@@ -1,0 +1,66 @@
+//! One Criterion benchmark per paper table/figure.
+//!
+//! Each bench runs the corresponding `harness::experiments` regenerator at
+//! `RunScale::Bench` (tiny cycle budget, subsampled cases) so `cargo bench`
+//! finishes in minutes; the printed report has the same rows/series as the
+//! paper's table or figure. For faithful numbers run
+//! `repro --scale quick all` (or `--scale paper`).
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use harness::experiments::Session;
+use harness::RunScale;
+
+fn bench_experiment(
+    c: &mut Criterion,
+    name: &str,
+    run: impl Fn(&Session) -> String,
+) {
+    // One fresh session per iteration: memoization inside a session would
+    // otherwise make every iteration after the first free.
+    let mut printed = false;
+    c.bench_function(name, |b| {
+        b.iter(|| {
+            let session = Session::new(RunScale::Bench);
+            let report = run(&session);
+            if !printed {
+                println!("\n{report}");
+                printed = true;
+            }
+            report.len()
+        })
+    });
+}
+
+fn figures(c: &mut Criterion) {
+    bench_experiment(c, "table1", |s| s.table1());
+    bench_experiment(c, "table2", |s| s.table2());
+    bench_experiment(c, "fig5_miss_distances", |s| s.fig5());
+    bench_experiment(c, "fig6a_qos_reach_pairs", |s| s.fig6a());
+    bench_experiment(c, "fig6b_qos_reach_trios_1qos", |s| s.fig6b());
+    bench_experiment(c, "fig6c_qos_reach_trios_2qos", |s| s.fig6c());
+    bench_experiment(c, "fig7_per_kernel_reach", |s| s.fig7());
+    bench_experiment(c, "fig8a_nonqos_throughput_pairs", |s| s.fig8a());
+    bench_experiment(c, "fig8b_nonqos_throughput_trios_1qos", |s| s.fig8bc(1));
+    bench_experiment(c, "fig8c_nonqos_throughput_trios_2qos", |s| s.fig8bc(2));
+    bench_experiment(c, "fig9_qos_overshoot", |s| s.fig9());
+    bench_experiment(c, "fig10_rollover_vs_time_reach", |s| s.fig10());
+    bench_experiment(c, "fig11_rollover_vs_time_throughput", |s| s.fig11());
+    bench_experiment(c, "fig12_56sm_reach", |s| s.fig12());
+    bench_experiment(c, "fig13_56sm_throughput", |s| s.fig13());
+    bench_experiment(c, "fig14_energy_efficiency", |s| s.fig14());
+    bench_experiment(c, "ablation_preemption", |s| s.ablation_preemption());
+    bench_experiment(c, "ablation_history", |s| s.ablation_history());
+    bench_experiment(c, "ablation_static_alloc", |s| s.ablation_static());
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = figures
+}
+criterion_main!(benches);

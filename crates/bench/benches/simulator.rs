@@ -1,0 +1,115 @@
+//! Micro-benchmarks of the simulator substrate.
+//!
+//! These measure simulation throughput (simulated cycles per second) for the
+//! building blocks the experiments stress: isolated compute / memory
+//! kernels, SMK co-runs with quota gating, spatial partitioning, and
+//! preemption churn.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use gpu_sim::{Gpu, GpuConfig, NullController, SharingMode};
+use qos_core::{QosManager, QosSpec, QuotaScheme, SpartController};
+
+const CYCLES: u64 = 20_000;
+
+fn isolated(c: &mut Criterion, name: &str, bench: &str) {
+    let mut g = c.benchmark_group("isolated");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function(name, |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::paper_table1());
+            let k = gpu.launch(workloads::by_name(bench).expect("known"));
+            gpu.run(CYCLES, &mut NullController);
+            gpu.stats().ipc(k)
+        })
+    });
+    g.finish();
+}
+
+fn corun_smk(c: &mut Criterion) {
+    let mut g = c.benchmark_group("corun");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("smk_rollover_pair", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::paper_table1());
+            let q = gpu.launch(workloads::by_name("sgemm").expect("known"));
+            let be = gpu.launch(workloads::by_name("lbm").expect("known"));
+            let mut mgr = QosManager::new(QuotaScheme::Rollover)
+                .with_kernel(q, QosSpec::qos(800.0))
+                .with_kernel(be, QosSpec::best_effort());
+            gpu.run(CYCLES, &mut mgr);
+            gpu.stats().total_ipc()
+        })
+    });
+    g.bench_function("spart_pair", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::paper_table1());
+            let q = gpu.launch(workloads::by_name("sgemm").expect("known"));
+            let be = gpu.launch(workloads::by_name("lbm").expect("known"));
+            let mut ctrl = SpartController::new()
+                .with_kernel(q, QosSpec::qos(800.0))
+                .with_kernel(be, QosSpec::best_effort());
+            gpu.run(CYCLES, &mut ctrl);
+            gpu.stats().total_ipc()
+        })
+    });
+    g.bench_function("unmanaged_trio", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::paper_table1());
+            for name in ["sgemm", "lbm", "spmv"] {
+                gpu.launch(workloads::by_name(name).expect("known"));
+            }
+            gpu.set_sharing_mode(SharingMode::Smk);
+            gpu.run(CYCLES, &mut NullController);
+            gpu.stats().total_ipc()
+        })
+    });
+    g.finish();
+}
+
+fn preemption_churn(c: &mut Criterion) {
+    let mut g = c.benchmark_group("preemption");
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("target_flip_churn", |b| {
+        b.iter(|| {
+            // Alternate TB targets between two kernels every epoch, forcing
+            // continuous partial context switching.
+            struct Flipper;
+            impl gpu_sim::Controller for Flipper {
+                fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64) {
+                    let (a, b) = if epoch % 2 == 0 { (6, 2) } else { (2, 6) };
+                    for sm in gpu.sm_ids().collect::<Vec<_>>() {
+                        gpu.set_tb_target(sm, gpu_sim::KernelId::new(0), a);
+                        gpu.set_tb_target(sm, gpu_sim::KernelId::new(1), b);
+                    }
+                }
+            }
+            let mut gpu = Gpu::new(GpuConfig::paper_table1());
+            gpu.launch(workloads::by_name("cutcp").expect("known"));
+            gpu.launch(workloads::by_name("stencil").expect("known"));
+            gpu.set_sharing_mode(SharingMode::Smk);
+            gpu.run(CYCLES, &mut Flipper);
+            gpu.preempt_stats().saves
+        })
+    });
+    g.finish();
+}
+
+fn simulator(c: &mut Criterion) {
+    isolated(c, "compute_sgemm", "sgemm");
+    isolated(c, "memory_lbm", "lbm");
+    isolated(c, "irregular_spmv", "spmv");
+    corun_smk(c);
+    preemption_churn(c);
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .sample_size(10)
+        .warm_up_time(Duration::from_millis(500))
+        .measurement_time(Duration::from_secs(2));
+    targets = simulator
+}
+criterion_main!(benches);

@@ -1,0 +1,16 @@
+//! Criterion benchmark crate.
+//!
+//! The benches live in `benches/`:
+//!
+//! * `figures` — one benchmark per paper table/figure, running the
+//!   corresponding [`harness::experiments`] regenerator at
+//!   [`harness::RunScale::Bench`] scale and printing the same rows the
+//!   `repro` binary prints at larger scales,
+//! * `simulator` — micro-benchmarks of the simulator substrate (isolated
+//!   kernel runs, SMK co-runs, preemption churn).
+
+/// Re-exported so the benches share one definition of the bench scale.
+pub use harness::RunScale;
+
+/// The scale every figure bench runs at.
+pub const BENCH_SCALE: RunScale = RunScale::Bench;

@@ -1,0 +1,349 @@
+//! Simulator configuration.
+//!
+//! [`GpuConfig::paper_table1`] reproduces Table 1 of the paper (the 16-SM
+//! GTX-class configuration used for the main evaluation) and
+//! [`GpuConfig::paper_56sm`] the 56-SM scalability configuration of §4.6.
+
+use std::error::Error;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::warp_sched::SchedPolicy;
+
+/// Error returned by [`GpuConfig::validate`] describing the first violated
+/// constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InvalidConfig(String);
+
+impl fmt::Display for InvalidConfig {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl Error for InvalidConfig {}
+
+/// Per-SM static resource limits and issue configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SmConfig {
+    /// Register file size in bytes (Table 1: 256 KB).
+    pub register_file_bytes: u64,
+    /// Shared memory (scratchpad) size in bytes (Table 1: 96 KB).
+    pub shared_mem_bytes: u64,
+    /// Maximum resident threads (Table 1: 2048).
+    pub max_threads: u32,
+    /// Maximum resident thread blocks (Table 1: 32).
+    pub max_tbs: u32,
+    /// Number of warp schedulers, each issuing one warp instruction per cycle
+    /// (Table 1: 4).
+    pub warp_schedulers: u32,
+    /// Warp scheduling policy (Table 1: GTO).
+    pub sched_policy: SchedPolicy,
+}
+
+impl Default for SmConfig {
+    fn default() -> Self {
+        SmConfig {
+            register_file_bytes: 256 * 1024,
+            shared_mem_bytes: 96 * 1024,
+            max_threads: 2048,
+            max_tbs: 32,
+            warp_schedulers: 4,
+            sched_policy: SchedPolicy::Gto,
+        }
+    }
+}
+
+impl SmConfig {
+    /// Maximum resident warps (`max_threads / 32`).
+    pub fn max_warps(&self) -> u32 {
+        self.max_threads / crate::WARP_SIZE
+    }
+}
+
+/// Memory hierarchy configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MemConfig {
+    /// Number of memory controllers / L2 slices / DRAM channels (Table 1: 4).
+    pub num_mcs: u32,
+    /// Per-SM L1 data cache size in bytes.
+    pub l1_bytes: u64,
+    /// L1 associativity.
+    pub l1_ways: u32,
+    /// Per-MC L2 slice size in bytes.
+    pub l2_bytes: u64,
+    /// L2 associativity.
+    pub l2_ways: u32,
+    /// Cache line / memory transaction size in bytes.
+    pub line_bytes: u32,
+    /// L1 hit latency in core cycles.
+    pub l1_hit_latency: u32,
+    /// Interconnect (SM ↔ MC crossbar) one-way latency in cycles.
+    pub xbar_latency: u32,
+    /// L2 hit latency in cycles (on top of the crossbar).
+    pub l2_hit_latency: u32,
+    /// DRAM access latency in cycles (row access, on top of L2 miss path).
+    pub dram_latency: u32,
+    /// Cycles each L2 slice needs to service one transaction (inverse L2
+    /// bandwidth per slice).
+    pub l2_service_cycles: u32,
+    /// Cycles each DRAM channel needs to service one transaction (inverse
+    /// DRAM bandwidth per channel).
+    pub dram_service_cycles: u32,
+    /// Maximum outstanding-miss-induced queue depth modeled per channel, in
+    /// cycles of accumulated backlog; beyond this the queue saturates and
+    /// further requests see the saturated delay. Keeps pathological backlogs
+    /// from growing without bound.
+    pub max_queue_backlog: u32,
+}
+
+impl Default for MemConfig {
+    fn default() -> Self {
+        MemConfig {
+            num_mcs: 4,
+            l1_bytes: 32 * 1024,
+            l1_ways: 4,
+            l2_bytes: 512 * 1024,
+            l2_ways: 8,
+            line_bytes: 32,
+            l1_hit_latency: 28,
+            xbar_latency: 8,
+            l2_hit_latency: 96,
+            dram_latency: 220,
+            l2_service_cycles: 1,
+            dram_service_cycles: 1,
+            max_queue_backlog: 2_000,
+        }
+    }
+}
+
+/// GPUWattch-style event-energy model parameters.
+///
+/// Units are arbitrary energy units per event; only *relative*
+/// instructions-per-Watt numbers are reported (Fig. 14), so absolute
+/// calibration is unnecessary.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerConfig {
+    /// Static energy per SM per cycle while the SM hosts at least one TB.
+    pub sm_static_per_cycle: f64,
+    /// Idle (gated) energy per SM per cycle when the SM hosts no TB.
+    pub sm_idle_per_cycle: f64,
+    /// Energy per ALU thread-instruction.
+    pub alu_per_thread_inst: f64,
+    /// Energy per SFU thread-instruction.
+    pub sfu_per_thread_inst: f64,
+    /// Energy per shared-memory thread-access.
+    pub smem_per_thread_access: f64,
+    /// Energy per L1 access (per transaction).
+    pub l1_per_access: f64,
+    /// Energy per L2 access (per transaction).
+    pub l2_per_access: f64,
+    /// Energy per DRAM access (per transaction).
+    pub dram_per_access: f64,
+}
+
+impl Default for PowerConfig {
+    fn default() -> Self {
+        PowerConfig {
+            sm_static_per_cycle: 1.0,
+            sm_idle_per_cycle: 0.3,
+            alu_per_thread_inst: 0.010,
+            sfu_per_thread_inst: 0.040,
+            smem_per_thread_access: 0.015,
+            l1_per_access: 0.20,
+            l2_per_access: 0.60,
+            dram_per_access: 2.50,
+        }
+    }
+}
+
+/// Preemption (partial context switch) cost model.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PreemptConfig {
+    /// Context store/load bandwidth in bytes per cycle per SM.
+    ///
+    /// A TB's context is its live registers plus shared memory; saving or
+    /// restoring it occupies the TB's slot for `context_bytes / bandwidth`
+    /// cycles (SMK reports most of this overlaps with other TBs' execution).
+    pub context_bytes_per_cycle: u32,
+    /// Fixed pipeline-drain cycles added to every context save.
+    pub drain_cycles: u32,
+}
+
+impl Default for PreemptConfig {
+    fn default() -> Self {
+        PreemptConfig {
+            context_bytes_per_cycle: 128,
+            drain_cycles: 100,
+        }
+    }
+}
+
+/// Top-level simulator configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuConfig {
+    /// Number of streaming multiprocessors.
+    pub num_sms: u32,
+    /// Core clock in MHz — used only when converting IPC goals to wall-clock
+    /// rates for reporting (Table 1: 1216 MHz).
+    pub core_mhz: u32,
+    /// Per-SM configuration.
+    pub sm: SmConfig,
+    /// Memory hierarchy configuration.
+    pub mem: MemConfig,
+    /// Power model parameters.
+    pub power: PowerConfig,
+    /// Preemption cost model.
+    pub preempt: PreemptConfig,
+    /// Epoch length in cycles for controller invocations (paper §4.1: 10 K).
+    pub epoch_cycles: u64,
+    /// Idle-warp sampling points per epoch (paper §4.1: 100).
+    pub samples_per_epoch: u32,
+}
+
+impl Default for GpuConfig {
+    fn default() -> Self {
+        GpuConfig::paper_table1()
+    }
+}
+
+impl GpuConfig {
+    /// The paper's main configuration (Table 1): 16 SMs, 4 MCs, GTO,
+    /// 4 warp schedulers per SM.
+    pub fn paper_table1() -> Self {
+        GpuConfig {
+            num_sms: 16,
+            core_mhz: 1216,
+            sm: SmConfig::default(),
+            mem: MemConfig::default(),
+            power: PowerConfig::default(),
+            preempt: PreemptConfig::default(),
+            epoch_cycles: 10_000,
+            samples_per_epoch: 100,
+        }
+    }
+
+    /// The §4.6 scalability configuration: 56 SMs, each with two warp
+    /// schedulers; other parameters as in Table 1.
+    pub fn paper_56sm() -> Self {
+        let mut cfg = GpuConfig::paper_table1();
+        cfg.num_sms = 56;
+        cfg.sm.warp_schedulers = 2;
+        // More SMs share the same four memory channels in the paper's setup;
+        // keep the memory system identical so the experiment isolates SM count.
+        cfg
+    }
+
+    /// A reduced configuration for fast unit tests: 2 SMs, small caches.
+    pub fn tiny() -> Self {
+        let mut cfg = GpuConfig::paper_table1();
+        cfg.num_sms = 2;
+        cfg.mem.num_mcs = 2;
+        cfg.mem.l1_bytes = 4 * 1024;
+        cfg.mem.l2_bytes = 32 * 1024;
+        cfg.epoch_cycles = 1_000;
+        cfg.samples_per_epoch = 10;
+        cfg
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated constraint as an [`InvalidConfig`].
+    pub fn validate(&self) -> Result<(), InvalidConfig> {
+        let fail = |msg: &str| Err(InvalidConfig(msg.to_string()));
+        if self.num_sms == 0 {
+            return fail("num_sms must be positive");
+        }
+        if self.mem.num_mcs == 0 {
+            return fail("num_mcs must be positive");
+        }
+        if !self.mem.line_bytes.is_power_of_two() {
+            return fail("line_bytes must be a power of two");
+        }
+        if self.sm.max_threads % crate::WARP_SIZE != 0 {
+            return fail("max_threads must be a multiple of the warp size");
+        }
+        if self.sm.warp_schedulers == 0 {
+            return fail("warp_schedulers must be positive");
+        }
+        if self.epoch_cycles == 0 {
+            return fail("epoch_cycles must be positive");
+        }
+        if self.samples_per_epoch == 0 || u64::from(self.samples_per_epoch) > self.epoch_cycles {
+            return fail("samples_per_epoch must be in 1..=epoch_cycles");
+        }
+        if self.mem.l1_bytes % u64::from(self.mem.line_bytes * self.mem.l1_ways) != 0 {
+            return fail("l1_bytes must be divisible by line_bytes * l1_ways");
+        }
+        if self.mem.l2_bytes % u64::from(self.mem.line_bytes * self.mem.l2_ways) != 0 {
+            return fail("l2_bytes must be divisible by line_bytes * l2_ways");
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper() {
+        let cfg = GpuConfig::paper_table1();
+        assert_eq!(cfg.num_sms, 16);
+        assert_eq!(cfg.mem.num_mcs, 4);
+        assert_eq!(cfg.core_mhz, 1216);
+        assert_eq!(cfg.sm.register_file_bytes, 256 * 1024);
+        assert_eq!(cfg.sm.shared_mem_bytes, 96 * 1024);
+        assert_eq!(cfg.sm.max_threads, 2048);
+        assert_eq!(cfg.sm.max_tbs, 32);
+        assert_eq!(cfg.sm.warp_schedulers, 4);
+        assert_eq!(cfg.sm.sched_policy, SchedPolicy::Gto);
+        assert_eq!(cfg.epoch_cycles, 10_000);
+        assert_eq!(cfg.samples_per_epoch, 100);
+        cfg.validate().expect("paper config must validate");
+    }
+
+    #[test]
+    fn fiftysix_sm_config() {
+        let cfg = GpuConfig::paper_56sm();
+        assert_eq!(cfg.num_sms, 56);
+        assert_eq!(cfg.sm.warp_schedulers, 2);
+        cfg.validate().expect("56-SM config must validate");
+    }
+
+    #[test]
+    fn tiny_validates() {
+        GpuConfig::tiny().validate().unwrap();
+    }
+
+    #[test]
+    fn max_warps_derived_from_threads() {
+        assert_eq!(SmConfig::default().max_warps(), 64);
+    }
+
+    #[test]
+    fn validate_rejects_zero_sms() {
+        let mut cfg = GpuConfig::paper_table1();
+        cfg.num_sms = 0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_non_pow2_line() {
+        let mut cfg = GpuConfig::paper_table1();
+        cfg.mem.line_bytes = 48;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn validate_rejects_bad_sampling() {
+        let mut cfg = GpuConfig::paper_table1();
+        cfg.samples_per_epoch = 0;
+        assert!(cfg.validate().is_err());
+        cfg.samples_per_epoch = 20_000;
+        assert!(cfg.validate().is_err());
+    }
+}

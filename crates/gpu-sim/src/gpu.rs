@@ -1,0 +1,506 @@
+//! The top-level GPU: owns SMs, memory system, TB scheduler, and the
+//! epoch-driven controller hook.
+
+use std::sync::Arc;
+
+use crate::config::GpuConfig;
+use crate::kernel::KernelDesc;
+use crate::memsys::MemSystem;
+use crate::preempt::PreemptStats;
+use crate::sm::Sm;
+use crate::stats::{EpochSnapshot, GpuStats, KernelStats};
+use crate::tb_sched::{KernelRuntime, SharingMode, TbScheduler};
+use crate::types::{per_kernel, Cycle, KernelId, PerKernel, SmId};
+
+/// Cycles between TB-scheduler service passes (dispatch / preemption checks).
+const DISPATCH_INTERVAL: Cycle = 8;
+
+/// Epoch-driven policy hook.
+///
+/// Implementations are the QoS managers of the `qos-core` crate; the
+/// simulator calls [`Controller::on_epoch`] every `epoch_cycles` (first at
+/// cycle 0, before any instruction issues) with full mutable access to the
+/// GPU's control plane: quota counters, TB targets, SM ownership.
+pub trait Controller {
+    /// Called at every epoch boundary. `epoch` counts from 0.
+    fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64);
+}
+
+/// A controller that never intervenes (plain unmanaged sharing).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullController;
+
+impl Controller for NullController {
+    fn on_epoch(&mut self, _gpu: &mut Gpu, _epoch: u64) {}
+}
+
+/// The simulated GPU.
+#[derive(Debug)]
+pub struct Gpu {
+    cfg: GpuConfig,
+    cycle: Cycle,
+    sms: Vec<Sm>,
+    mem: MemSystem,
+    kernels: Vec<KernelRuntime>,
+    tb_sched: TbScheduler,
+    epoch_snapshot: EpochSnapshot,
+    last_totals: PerKernel<u64>,
+    last_epoch_cycle: Cycle,
+    epoch_index: u64,
+    sample_interval: Cycle,
+}
+
+impl Gpu {
+    /// Builds a GPU from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration fails [`GpuConfig::validate`].
+    pub fn new(cfg: GpuConfig) -> Self {
+        cfg.validate().expect("invalid GPU configuration");
+        let sms = (0..cfg.num_sms as usize)
+            .map(|i| Sm::new(SmId::new(i), &cfg))
+            .collect();
+        let sample_interval =
+            (cfg.epoch_cycles / Cycle::from(cfg.samples_per_epoch)).max(1);
+        Gpu {
+            sms,
+            mem: MemSystem::new(cfg.mem.clone()),
+            kernels: Vec::new(),
+            tb_sched: TbScheduler::new(cfg.num_sms as usize),
+            epoch_snapshot: EpochSnapshot::empty(),
+            last_totals: per_kernel(|_| 0),
+            last_epoch_cycle: 0,
+            epoch_index: 0,
+            sample_interval,
+            cycle: 0,
+            cfg,
+        }
+    }
+
+    /// Launches a kernel; it becomes resident according to the sharing mode
+    /// at the next TB-scheduler service pass.
+    ///
+    /// # Panics
+    ///
+    /// Panics if [`crate::MAX_KERNELS`] kernels are already launched.
+    pub fn launch(&mut self, desc: KernelDesc) -> KernelId {
+        assert!(
+            self.kernels.len() < crate::MAX_KERNELS,
+            "at most {} resident kernels",
+            crate::MAX_KERNELS
+        );
+        let kid = KernelId::new(self.kernels.len());
+        let desc = Arc::new(desc);
+        for sm in &mut self.sms {
+            sm.set_kernel_desc(kid, desc.clone());
+        }
+        self.kernels.push(KernelRuntime::new(desc));
+        kid
+    }
+
+    /// Runs the simulation for `cycles` cycles under `ctrl`.
+    pub fn run(&mut self, cycles: Cycle, ctrl: &mut dyn Controller) {
+        let end = self.cycle + cycles;
+        while self.cycle < end {
+            let now = self.cycle;
+            if now % self.cfg.epoch_cycles == 0 {
+                self.finish_epoch(now);
+                ctrl.on_epoch(self, self.epoch_index);
+                self.epoch_index += 1;
+                for sm in &mut self.sms {
+                    sm.reset_idle_sampling();
+                }
+                self.service(now);
+            } else if now % DISPATCH_INTERVAL == 0 {
+                self.service(now);
+            }
+            for sm in &mut self.sms {
+                sm.tick(now, &mut self.mem);
+            }
+            if now % self.sample_interval == 0 {
+                for sm in &mut self.sms {
+                    sm.sample_idle_warps(now);
+                }
+            }
+            self.cycle += 1;
+        }
+    }
+
+    fn service(&mut self, now: Cycle) {
+        self.tb_sched.service(
+            now,
+            &mut self.sms,
+            &mut self.kernels,
+            &mut self.mem,
+            &self.cfg.preempt,
+        );
+    }
+
+    fn finish_epoch(&mut self, now: Cycle) {
+        let totals = self.kernel_totals();
+        let mut snap = EpochSnapshot::empty();
+        snap.epoch = self.epoch_index;
+        snap.cycles = now - self.last_epoch_cycle;
+        for k in 0..crate::MAX_KERNELS {
+            snap.thread_insts[k] = totals[k] - self.last_totals[k];
+        }
+        self.last_totals = totals;
+        self.last_epoch_cycle = now;
+        self.epoch_snapshot = snap;
+    }
+
+    fn kernel_totals(&self) -> PerKernel<u64> {
+        let mut totals = per_kernel(|_| 0u64);
+        for sm in &self.sms {
+            for (k, total) in totals.iter_mut().enumerate() {
+                *total += sm.counters(KernelId::new(k)).thread_insts;
+            }
+        }
+        totals
+    }
+
+    // ------------------------------------------------------------------
+    // Introspection
+    // ------------------------------------------------------------------
+
+    /// The configuration in use.
+    pub fn config(&self) -> &GpuConfig {
+        &self.cfg
+    }
+
+    /// Current simulation cycle.
+    pub fn cycle(&self) -> Cycle {
+        self.cycle
+    }
+
+    /// Number of launched kernels.
+    pub fn num_kernels(&self) -> usize {
+        self.kernels.len()
+    }
+
+    /// Launched kernel ids.
+    pub fn kernel_ids(&self) -> impl Iterator<Item = KernelId> + '_ {
+        (0..self.kernels.len()).map(KernelId::new)
+    }
+
+    /// Description of kernel `k`.
+    pub fn kernel_desc(&self, k: KernelId) -> &Arc<KernelDesc> {
+        &self.kernels[k.index()].desc
+    }
+
+    /// Number of preempted TBs of kernel `k` awaiting resumption.
+    pub fn preempted_len(&self, k: KernelId) -> usize {
+        self.kernels[k.index()].preempted_len()
+    }
+
+    /// The SMs (read-only).
+    pub fn sms(&self) -> &[Sm] {
+        &self.sms
+    }
+
+    /// Mutable access to one SM's control plane (quota counters, gating).
+    pub fn sm_mut(&mut self, id: SmId) -> &mut Sm {
+        &mut self.sms[id.index()]
+    }
+
+    /// The shared memory system.
+    pub fn mem(&self) -> &MemSystem {
+        &self.mem
+    }
+
+    /// Latest epoch snapshot (per-kernel instructions in the last epoch).
+    pub fn epoch_snapshot(&self) -> &EpochSnapshot {
+        &self.epoch_snapshot
+    }
+
+    /// Whether any SM has a context switch in flight.
+    pub fn context_switch_in_flight(&self) -> bool {
+        self.sms.iter().any(Sm::context_switch_in_flight)
+    }
+
+    /// Aggregated preemption statistics.
+    pub fn preempt_stats(&self) -> PreemptStats {
+        let mut agg = PreemptStats::default();
+        for sm in &self.sms {
+            let s = sm.preempt_stats();
+            agg.saves += s.saves;
+            agg.resumes += s.resumes;
+            agg.transfer_cycles += s.transfer_cycles;
+        }
+        agg
+    }
+
+    /// Aggregated statistics snapshot.
+    pub fn stats(&self) -> GpuStats {
+        let mut kernels: PerKernel<KernelStats> = per_kernel(|_| KernelStats::default());
+        for sm in &self.sms {
+            for (k, ks) in kernels.iter_mut().enumerate() {
+                let c = sm.counters(KernelId::new(k));
+                ks.thread_insts += c.thread_insts;
+                ks.warp_insts += c.warp_insts;
+            }
+        }
+        for (k, kr) in self.kernels.iter().enumerate() {
+            kernels[k].tbs_completed = kr.tbs_completed();
+            kernels[k].launches_completed = kr.launches_completed();
+        }
+        GpuStats::new(self.cycle, self.kernels.len(), kernels)
+    }
+
+    // ------------------------------------------------------------------
+    // Control plane (used by QoS managers)
+    // ------------------------------------------------------------------
+
+    /// Current sharing mode.
+    pub fn sharing_mode(&self) -> SharingMode {
+        self.tb_sched.mode()
+    }
+
+    /// Switches the sharing mode. Residency converges at subsequent service
+    /// passes (over-subscribed TBs are preempted, free capacity refilled).
+    pub fn set_sharing_mode(&mut self, mode: SharingMode) {
+        self.tb_sched.set_mode(mode);
+    }
+
+    /// Sets the SMK TB target of kernel `k` on SM `sm`.
+    pub fn set_tb_target(&mut self, sm: SmId, k: KernelId, tbs: u16) {
+        self.tb_sched.set_target(sm.index(), k, tbs);
+    }
+
+    /// SMK TB target of kernel `k` on SM `sm`.
+    pub fn tb_target(&self, sm: SmId, k: KernelId) -> u16 {
+        self.tb_sched.target(sm.index(), k)
+    }
+
+    /// Assigns SM `sm` to `owner` (spatial mode).
+    pub fn set_sm_owner(&mut self, sm: SmId, owner: Option<KernelId>) {
+        self.tb_sched.set_owner(sm.index(), owner);
+    }
+
+    /// Owner of SM `sm` (spatial mode).
+    pub fn sm_owner(&self, sm: SmId) -> Option<KernelId> {
+        self.tb_sched.owner(sm.index())
+    }
+
+    /// The kernel currently owning the GPU under
+    /// [`SharingMode::TimeMux`].
+    pub fn time_mux_active(&self) -> KernelId {
+        self.tb_sched.active_kernel()
+    }
+
+    /// Maximum TBs of kernel `k` one SM can host (occupancy bound).
+    pub fn max_resident_tbs(&self, k: KernelId) -> u32 {
+        self.sms[0].max_resident_tbs(self.kernel_desc(k))
+    }
+
+    /// All SM ids.
+    pub fn sm_ids(&self) -> impl Iterator<Item = SmId> + '_ {
+        (0..self.sms.len()).map(SmId::new)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{AccessPattern, Op};
+
+    fn compute_kernel(name: &str) -> KernelDesc {
+        KernelDesc::builder(name)
+            .threads_per_tb(256)
+            .regs_per_thread(32)
+            .grid_tbs(256)
+            .iterations(8)
+            .body(vec![Op::alu(2, 12), Op::mem_load(AccessPattern::tile(8 * 1024))])
+            .build()
+    }
+
+    fn memory_kernel(name: &str) -> KernelDesc {
+        KernelDesc::builder(name)
+            .threads_per_tb(256)
+            .regs_per_thread(24)
+            .grid_tbs(256)
+            .iterations(64)
+            .memory_intensive(true)
+            .body(vec![Op::mem_load(AccessPattern::stream()), Op::alu(2, 2)])
+            .build()
+    }
+
+    #[test]
+    fn isolated_run_makes_progress() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        let k = gpu.launch(compute_kernel("c"));
+        gpu.run(20_000, &mut NullController);
+        let stats = gpu.stats();
+        assert!(stats.kernel(k).thread_insts > 100_000);
+        assert!(stats.kernel(k).tbs_completed > 0);
+        assert!(stats.ipc(k) > 1.0, "IPC {}", stats.ipc(k));
+    }
+
+    #[test]
+    fn compute_kernel_outruns_memory_kernel_in_isolation() {
+        let mut c = Gpu::new(GpuConfig::tiny());
+        let kc = c.launch(compute_kernel("c"));
+        c.run(20_000, &mut NullController);
+        let mut m = Gpu::new(GpuConfig::tiny());
+        let km = m.launch(memory_kernel("m"));
+        m.run(20_000, &mut NullController);
+        assert!(
+            c.stats().ipc(kc) > m.stats().ipc(km),
+            "compute IPC {} must exceed memory IPC {}",
+            c.stats().ipc(kc),
+            m.stats().ipc(km)
+        );
+    }
+
+    #[test]
+    fn corun_degrades_both_kernels() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        let a = gpu.launch(memory_kernel("a"));
+        let b = gpu.launch(memory_kernel("b").with_seed(99));
+        gpu.set_sharing_mode(SharingMode::Smk);
+        // Force co-residency: half the TB slots each (unbounded targets would
+        // let whichever kernel dispatches first monopolize the SMs — the very
+        // problem the paper's static resource management addresses).
+        for sm in gpu.sm_ids().collect::<Vec<_>>() {
+            gpu.set_tb_target(sm, a, 4);
+            gpu.set_tb_target(sm, b, 4);
+        }
+        gpu.run(20_000, &mut NullController);
+        let shared = gpu.stats();
+
+        let mut iso = Gpu::new(GpuConfig::tiny());
+        let ki = iso.launch(memory_kernel("a"));
+        iso.run(20_000, &mut NullController);
+        let isolated = iso.stats();
+
+        assert!(shared.ipc(a) > 0.0 && shared.ipc(b) > 0.0);
+        assert!(
+            shared.ipc(a) < isolated.ipc(ki),
+            "sharing must cost bandwidth-bound kernels: {} vs isolated {}",
+            shared.ipc(a),
+            isolated.ipc(ki)
+        );
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let run = || {
+            let mut gpu = Gpu::new(GpuConfig::tiny());
+            let a = gpu.launch(compute_kernel("a"));
+            let b = gpu.launch(memory_kernel("b"));
+            gpu.set_sharing_mode(SharingMode::Smk);
+            gpu.run(15_000, &mut NullController);
+            (gpu.stats().kernel(a).thread_insts, gpu.stats().kernel(b).thread_insts)
+        };
+        assert_eq!(run(), run(), "same seeds must replay identically");
+    }
+
+    #[test]
+    fn epoch_snapshot_reports_progress() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        gpu.launch(compute_kernel("c"));
+
+        struct Check {
+            saw_progress: bool,
+        }
+        impl Controller for Check {
+            fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64) {
+                if epoch > 0 {
+                    let snap = gpu.epoch_snapshot();
+                    assert_eq!(snap.cycles, gpu.config().epoch_cycles);
+                    if snap.thread_insts[0] > 0 {
+                        self.saw_progress = true;
+                    }
+                }
+            }
+        }
+        let mut ctrl = Check { saw_progress: false };
+        gpu.run(5_000, &mut ctrl);
+        assert!(ctrl.saw_progress);
+    }
+
+    #[test]
+    fn spatial_mode_partitions_sms() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        let a = gpu.launch(compute_kernel("a"));
+        let b = gpu.launch(compute_kernel("b").with_seed(7));
+        gpu.set_sharing_mode(SharingMode::Spatial);
+        gpu.set_sm_owner(SmId::new(0), Some(a));
+        gpu.set_sm_owner(SmId::new(1), Some(b));
+        gpu.run(5_000, &mut NullController);
+        assert_eq!(gpu.sms()[0].hosted_tbs(b), 0);
+        assert_eq!(gpu.sms()[1].hosted_tbs(a), 0);
+        assert!(gpu.stats().ipc(a) > 0.0);
+        assert!(gpu.stats().ipc(b) > 0.0);
+    }
+
+    #[test]
+    fn time_mux_serializes_kernels() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        let a = gpu.launch(compute_kernel("a"));
+        let b = gpu.launch(compute_kernel("b").with_seed(5));
+        gpu.set_sharing_mode(SharingMode::TimeMux);
+        // While kernel a's first grid is incomplete, b must not be resident.
+        gpu.run(2_000, &mut NullController);
+        assert_eq!(gpu.time_mux_active(), a);
+        assert!(gpu.stats().ipc(b) == 0.0, "kernel b must wait its turn");
+        // Run long enough for a to finish a full grid and hand over.
+        gpu.run(400_000, &mut NullController);
+        assert!(
+            gpu.stats().kernel(b).thread_insts > 0,
+            "ownership must eventually rotate to kernel b"
+        );
+    }
+
+    #[test]
+    fn smk_outperforms_time_multiplexing_for_complementary_kernels() {
+        // The paper's motivation (section 2.3): fine-grained sharing beats
+        // kernel-granularity time multiplexing in total throughput because
+        // compute- and memory-bound kernels overlap.
+        let run = |mode: SharingMode| {
+            let mut gpu = Gpu::new(GpuConfig::tiny());
+            let a = gpu.launch(compute_kernel("c"));
+            let b = gpu.launch(memory_kernel("m"));
+            gpu.set_sharing_mode(mode);
+            if mode == SharingMode::Smk {
+                for sm in gpu.sm_ids().collect::<Vec<_>>() {
+                    gpu.set_tb_target(sm, a, 4);
+                    gpu.set_tb_target(sm, b, 4);
+                }
+            }
+            gpu.run(100_000, &mut NullController);
+            gpu.stats().total_thread_insts()
+        };
+        let smk = run(SharingMode::Smk);
+        let timemux = run(SharingMode::TimeMux);
+        assert!(
+            smk > timemux,
+            "SMK total throughput ({smk}) must beat time multiplexing ({timemux})"
+        );
+    }
+
+    #[test]
+    fn launch_limit_enforced() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        for i in 0..crate::MAX_KERNELS {
+            gpu.launch(compute_kernel(&format!("k{i}")));
+        }
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gpu.launch(compute_kernel("overflow"));
+        }));
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn run_is_resumable() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        let k = gpu.launch(compute_kernel("c"));
+        gpu.run(5_000, &mut NullController);
+        let mid = gpu.stats().kernel(k).thread_insts;
+        gpu.run(5_000, &mut NullController);
+        let end = gpu.stats().kernel(k).thread_insts;
+        assert!(end > mid);
+        assert_eq!(gpu.cycle(), 10_000);
+    }
+}

@@ -1,0 +1,254 @@
+//! The shared memory system: crossbar, per-MC L2 slices and DRAM channels.
+//!
+//! SMs call [`MemSystem::access_lines`] with the coalesced line addresses of
+//! one warp memory instruction; the returned cycle is when the slowest
+//! transaction completes, which is when the warp becomes ready again.
+//! Per-kernel traffic counters feed the power model and the harness reports.
+
+use crate::cache::{AccessOutcome, Cache};
+use crate::config::MemConfig;
+use crate::dram::ServiceQueue;
+use crate::types::{per_kernel, Addr, Cycle, KernelId, PerKernel};
+
+/// Per-kernel memory traffic counters (in transactions).
+#[derive(Debug, Clone)]
+pub struct MemTraffic {
+    /// L1 accesses (every global transaction).
+    pub l1_accesses: PerKernel<u64>,
+    /// L2 accesses (L1 misses).
+    pub l2_accesses: PerKernel<u64>,
+    /// DRAM accesses (L2 misses).
+    pub dram_accesses: PerKernel<u64>,
+    /// Context save/restore transactions caused by preempting this kernel.
+    pub context_transactions: PerKernel<u64>,
+}
+
+impl Default for MemTraffic {
+    fn default() -> Self {
+        MemTraffic {
+            l1_accesses: per_kernel(|_| 0),
+            l2_accesses: per_kernel(|_| 0),
+            dram_accesses: per_kernel(|_| 0),
+            context_transactions: per_kernel(|_| 0),
+        }
+    }
+}
+
+/// The GPU-wide shared memory hierarchy below the per-SM L1s.
+#[derive(Debug)]
+pub struct MemSystem {
+    cfg: MemConfig,
+    l2: Vec<Cache>,
+    l2_queue: Vec<ServiceQueue>,
+    dram_queue: Vec<ServiceQueue>,
+    traffic: MemTraffic,
+    context_rr: usize,
+}
+
+impl MemSystem {
+    /// Builds the memory system from its configuration.
+    pub fn new(cfg: MemConfig) -> Self {
+        let n = cfg.num_mcs as usize;
+        MemSystem {
+            l2: (0..n)
+                .map(|_| Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes))
+                .collect(),
+            l2_queue: (0..n)
+                .map(|_| ServiceQueue::new(cfg.l2_service_cycles, cfg.max_queue_backlog))
+                .collect(),
+            dram_queue: (0..n)
+                .map(|_| ServiceQueue::new(cfg.dram_service_cycles, cfg.max_queue_backlog))
+                .collect(),
+            traffic: MemTraffic::default(),
+            context_rr: 0,
+            cfg,
+        }
+    }
+
+    /// Memory configuration in use.
+    pub fn config(&self) -> &MemConfig {
+        &self.cfg
+    }
+
+    /// Maps a line address to its memory controller.
+    #[inline]
+    pub fn mc_for(&self, addr: Addr) -> usize {
+        ((addr >> self.cfg.line_bytes.trailing_zeros()) % u64::from(self.cfg.num_mcs)) as usize
+    }
+
+    /// Performs one warp memory instruction consisting of the given line
+    /// addresses, looking up `l1` first (the calling SM's L1). Returns the
+    /// completion cycle of the slowest transaction.
+    pub fn access_lines(
+        &mut self,
+        kernel: KernelId,
+        l1: &mut Cache,
+        lines: &[Addr],
+        now: Cycle,
+    ) -> Cycle {
+        let k = kernel.index();
+        let mut done = now + Cycle::from(self.cfg.l1_hit_latency);
+        self.traffic.l1_accesses[k] += lines.len() as u64;
+        for &addr in lines {
+            if l1.access(addr) == AccessOutcome::Hit {
+                continue;
+            }
+            self.traffic.l2_accesses[k] += 1;
+            let mc = self.mc_for(addr);
+            let at_l2 = now + Cycle::from(self.cfg.l1_hit_latency + self.cfg.xbar_latency);
+            let l2_served = self.l2_queue[mc].serve(at_l2);
+            let filled = match self.l2[mc].access(addr) {
+                AccessOutcome::Hit => l2_served + Cycle::from(self.cfg.l2_hit_latency),
+                AccessOutcome::Miss => {
+                    self.traffic.dram_accesses[k] += 1;
+                    self.dram_queue[mc].serve(l2_served + Cycle::from(self.cfg.l2_hit_latency))
+                        + Cycle::from(self.cfg.dram_latency)
+                }
+            };
+            done = done.max(filled + Cycle::from(self.cfg.xbar_latency));
+        }
+        done
+    }
+
+    /// Injects context save/restore traffic for a preemption of `kernel`:
+    /// `bytes` of register/shared-memory state written to (or read from)
+    /// device memory. Consumes DRAM bandwidth round-robin across channels
+    /// and returns when the last transaction completes.
+    pub fn inject_context_traffic(&mut self, kernel: KernelId, bytes: u64, now: Cycle) -> Cycle {
+        let lines = bytes.div_ceil(u64::from(self.cfg.line_bytes));
+        self.traffic.context_transactions[kernel.index()] += lines;
+        let mut done = now;
+        for _ in 0..lines {
+            let mc = self.context_rr;
+            self.context_rr = (self.context_rr + 1) % self.dram_queue.len();
+            done = done.max(self.dram_queue[mc].serve(now) + Cycle::from(self.cfg.dram_latency));
+        }
+        done
+    }
+
+    /// Per-kernel traffic counters.
+    pub fn traffic(&self) -> &MemTraffic {
+        &self.traffic
+    }
+
+    /// L2 slice hit/miss statistics, aggregated over all slices.
+    pub fn l2_stats(&self) -> crate::cache::CacheStats {
+        let mut agg = crate::cache::CacheStats::default();
+        for c in &self.l2 {
+            agg.hits += c.stats().hits;
+            agg.misses += c.stats().misses;
+        }
+        agg
+    }
+
+    /// Mean DRAM queueing delay across channels, in cycles.
+    pub fn mean_dram_wait(&self) -> f64 {
+        let served: u64 = self.dram_queue.iter().map(ServiceQueue::served).sum();
+        if served == 0 {
+            return 0.0;
+        }
+        let weighted: f64 = self
+            .dram_queue
+            .iter()
+            .map(|q| q.mean_wait() * q.served() as f64)
+            .sum();
+        weighted / served as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::MemConfig;
+
+    fn sys() -> (MemSystem, Cache) {
+        let cfg = MemConfig::default();
+        let l1 = Cache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes);
+        (MemSystem::new(cfg), l1)
+    }
+
+    #[test]
+    fn l1_hit_is_fast() {
+        let (mut m, mut l1) = sys();
+        let k = KernelId::new(0);
+        let first = m.access_lines(k, &mut l1, &[0x1000], 0);
+        let second = m.access_lines(k, &mut l1, &[0x1000], first);
+        assert_eq!(second - first, u64::from(m.config().l1_hit_latency));
+        assert!(first > second - first, "first access (miss) must be slower");
+    }
+
+    #[test]
+    fn miss_path_goes_through_l2_and_dram() {
+        let (mut m, mut l1) = sys();
+        let k = KernelId::new(0);
+        m.access_lines(k, &mut l1, &[0x2000], 0);
+        let t = m.traffic();
+        assert_eq!(t.l1_accesses[0], 1);
+        assert_eq!(t.l2_accesses[0], 1);
+        assert_eq!(t.dram_accesses[0], 1);
+    }
+
+    #[test]
+    fn l2_hit_skips_dram() {
+        let (mut m, mut l1) = sys();
+        let k = KernelId::new(0);
+        m.access_lines(k, &mut l1, &[0x3000], 0);
+        l1.flush(); // force the next access to miss L1 but hit L2
+        m.access_lines(k, &mut l1, &[0x3000], 10_000);
+        assert_eq!(m.traffic().dram_accesses[0], 1, "second access must hit in L2");
+        assert_eq!(m.traffic().l2_accesses[0], 2);
+    }
+
+    #[test]
+    fn addresses_spread_across_mcs() {
+        let (m, _) = sys();
+        let line = u64::from(m.config().line_bytes);
+        let mcs: std::collections::HashSet<usize> =
+            (0..8u64).map(|i| m.mc_for(i * line)).collect();
+        assert_eq!(mcs.len(), m.config().num_mcs as usize);
+    }
+
+    #[test]
+    fn contention_slows_the_second_kernel() {
+        let (mut m, mut l1a) = sys();
+        let cfg = m.config().clone();
+        let mut l1b = Cache::new(cfg.l1_bytes, cfg.l1_ways, cfg.line_bytes);
+        let ka = KernelId::new(0);
+        let kb = KernelId::new(1);
+        // Kernel A floods one channel.
+        let line = u64::from(cfg.line_bytes);
+        let nmc = u64::from(cfg.num_mcs);
+        let flood: Vec<u64> = (0..64).map(|i| i * line * nmc).collect();
+        m.access_lines(ka, &mut l1a, &flood, 0);
+        // Kernel B's single access to the same channel now queues.
+        let solo_latency = {
+            let (mut fresh, mut l1) = sys();
+            fresh.access_lines(kb, &mut l1, &[1 << 30], 0)
+        };
+        let contended = m.access_lines(kb, &mut l1b, &[(1u64 << 30) / nmc * nmc], 0);
+        assert!(
+            contended > solo_latency,
+            "contended access ({contended}) must exceed solo latency ({solo_latency})"
+        );
+    }
+
+    #[test]
+    fn context_traffic_counts_lines() {
+        let (mut m, _) = sys();
+        let k = KernelId::new(2);
+        let done = m.inject_context_traffic(k, 1024, 0);
+        assert_eq!(m.traffic().context_transactions[2], 1024 / 32);
+        assert!(done > 0);
+    }
+
+    #[test]
+    fn multi_line_access_completion_is_max() {
+        let (mut m, mut l1) = sys();
+        let k = KernelId::new(0);
+        let one = m.access_lines(k, &mut l1, &[0x10_0000], 0);
+        let (mut m2, mut l1b) = sys();
+        let many_addrs: Vec<u64> = (0..32u64).map(|i| 0x10_0000 + i * 32).collect();
+        let many = m2.access_lines(k, &mut l1b, &many_addrs, 0);
+        assert!(many >= one, "32 transactions can't finish before 1");
+    }
+}

@@ -1,0 +1,1120 @@
+//! A streaming multiprocessor: occupancy, warp issue, quota gating.
+//!
+//! The SM executes resident thread blocks' warps under a warp-scheduling
+//! policy, gated by the per-kernel *quota counters* that implement the
+//! paper's Enhanced Warp Scheduler (EWS): a kernel whose counter is
+//! exhausted is simply skipped by the (otherwise unmodified) scheduler.
+//! Mid-epoch refill rules (non-QoS top-up, elastic epoch restart) are
+//! evaluated lazily when a blocked warp is encountered, so the per-cycle
+//! issue loop stays branch-light.
+
+use std::sync::Arc;
+
+use crate::cache::Cache;
+use crate::config::GpuConfig;
+use crate::kernel::{KernelDesc, MemSpace, Op};
+use crate::memsys::MemSystem;
+use crate::preempt::{PreemptStats, SavedTb};
+use crate::rng::derive_seed;
+use crate::tb::{TbPhase, TbState};
+use crate::types::{per_kernel, Cycle, KernelId, PerKernel, SmId, TbIndex};
+use crate::warp::{WarpProgress, WarpState};
+use crate::warp_sched::{choose, Candidate, SchedPolicy, SchedulerState};
+use crate::MAX_KERNELS;
+
+/// How an epoch-boundary quota assignment treats the previous counter value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum QuotaCarry {
+    /// Discard unused (positive) quota, keep over-consumption debt:
+    /// `C ← alloc + min(C, 0)` (Naïve/Elastic behaviour, and non-QoS kernels
+    /// under every scheme — Fig. 4a/4c).
+    DiscardSurplus,
+    /// Keep debt and the unused quota *from the last epoch* (Rollover,
+    /// Fig. 4c): `C ← alloc + min(C, alloc)`. Capping the carried surplus at
+    /// one allocation keeps a long TLP-starved transient from stockpiling
+    /// epochs' worth of quota that would later let the kernel run far past
+    /// its goal.
+    Full,
+    /// Fresh counter every epoch: `C ← alloc`. Used for non-QoS kernels,
+    /// whose work-conserving slack issues would otherwise accumulate
+    /// unbounded debt that locks them out of the normal issue path.
+    Reset,
+}
+
+/// Per-kernel issue counters of one SM for one epoch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmKernelCounters {
+    /// Thread-level instructions issued (what quotas count).
+    pub thread_insts: u64,
+    /// Warp-level instructions issued.
+    pub warp_insts: u64,
+}
+
+/// A streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    id: SmId,
+    policy: SchedPolicy,
+    num_scheds: u16,
+    max_warps: u16,
+    max_tbs: u16,
+    max_threads: u32,
+    regfile_bytes: u64,
+    smem_bytes: u64,
+
+    l1: Cache,
+    descs: PerKernel<Option<Arc<KernelDesc>>>,
+
+    used_threads: u32,
+    used_regs: u64,
+    used_smem: u64,
+
+    warps: Vec<Option<WarpState>>,
+    tbs: Vec<Option<TbState>>,
+    free_warps: Vec<u16>,
+    free_tbs: Vec<u16>,
+    scheds: Vec<SchedulerState>,
+    next_age: u64,
+    transitioning: Vec<u16>,
+
+    // --- quota state (EWS) ---
+    quota: PerKernel<i64>,
+    gated: PerKernel<bool>,
+    refill: PerKernel<i64>,
+    is_qos: PerKernel<bool>,
+    elastic: bool,
+    priority_block: bool,
+
+    // --- statistics ---
+    hosted: PerKernel<u16>,
+    counters: PerKernel<SmKernelCounters>,
+    alu_thread_insts: PerKernel<u64>,
+    sfu_thread_insts: PerKernel<u64>,
+    smem_accesses: PerKernel<u64>,
+    busy_cycles: u64,
+    issue_slots: u64,
+    issued_total: u64,
+    idle_warp_acc: PerKernel<u64>,
+    idle_samples: u64,
+    preempt_stats: PreemptStats,
+
+    // --- outboxes drained by the TB scheduler ---
+    completed: Vec<(KernelId, TbIndex)>,
+    saved: Vec<(KernelId, SavedTb)>,
+
+    ready_buf: Vec<Candidate>,
+}
+
+impl Sm {
+    /// Builds an SM from the GPU configuration.
+    pub fn new(id: SmId, cfg: &GpuConfig) -> Self {
+        let max_warps = cfg.sm.max_warps() as u16;
+        let max_tbs = cfg.sm.max_tbs as u16;
+        Sm {
+            id,
+            policy: cfg.sm.sched_policy,
+            num_scheds: cfg.sm.warp_schedulers as u16,
+            max_warps,
+            max_tbs,
+            max_threads: cfg.sm.max_threads,
+            regfile_bytes: cfg.sm.register_file_bytes,
+            smem_bytes: cfg.sm.shared_mem_bytes,
+            l1: Cache::new(cfg.mem.l1_bytes, cfg.mem.l1_ways, cfg.mem.line_bytes),
+            descs: per_kernel(|_| None),
+            used_threads: 0,
+            used_regs: 0,
+            used_smem: 0,
+            warps: (0..max_warps).map(|_| None).collect(),
+            tbs: (0..max_tbs).map(|_| None).collect(),
+            free_warps: (0..max_warps).rev().collect(),
+            free_tbs: (0..max_tbs).rev().collect(),
+            scheds: vec![SchedulerState::default(); cfg.sm.warp_schedulers as usize],
+            next_age: 0,
+            transitioning: Vec::new(),
+            quota: per_kernel(|_| 0),
+            gated: per_kernel(|_| false),
+            refill: per_kernel(|_| 0),
+            is_qos: per_kernel(|_| false),
+            elastic: false,
+            priority_block: false,
+            hosted: per_kernel(|_| 0),
+            counters: per_kernel(|_| SmKernelCounters::default()),
+            alu_thread_insts: per_kernel(|_| 0),
+            sfu_thread_insts: per_kernel(|_| 0),
+            smem_accesses: per_kernel(|_| 0),
+            busy_cycles: 0,
+            issue_slots: 0,
+            issued_total: 0,
+            idle_warp_acc: per_kernel(|_| 0),
+            idle_samples: 0,
+            preempt_stats: PreemptStats::default(),
+            completed: Vec::new(),
+            saved: Vec::new(),
+            ready_buf: Vec::with_capacity(max_warps as usize),
+        }
+    }
+
+    /// This SM's identifier.
+    pub fn id(&self) -> SmId {
+        self.id
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel registration and occupancy
+    // ------------------------------------------------------------------
+
+    /// Registers the kernel description for slot `k` (done once at launch).
+    pub(crate) fn set_kernel_desc(&mut self, k: KernelId, desc: Arc<KernelDesc>) {
+        self.descs[k.index()] = Some(desc);
+    }
+
+    /// Whether one more TB of `desc` fits in the remaining resources.
+    pub fn can_host(&self, desc: &KernelDesc) -> bool {
+        !self.free_tbs.is_empty()
+            && self.free_warps.len() >= desc.warps_per_tb() as usize
+            && self.used_threads + desc.threads_per_tb() <= self.max_threads
+            && self.used_regs + desc.regfile_bytes_per_tb() <= self.regfile_bytes
+            && self.used_smem + desc.smem_per_tb() <= self.smem_bytes
+    }
+
+    /// Maximum TBs of `desc` an (empty) SM of this configuration can hold.
+    pub fn max_resident_tbs(&self, desc: &KernelDesc) -> u32 {
+        let by_tbs = u32::from(self.max_tbs);
+        let by_warps = u32::from(self.max_warps) / desc.warps_per_tb();
+        let by_threads = self.max_threads / desc.threads_per_tb();
+        let by_regs = (self.regfile_bytes / desc.regfile_bytes_per_tb().max(1)) as u32;
+        let by_smem = if desc.smem_per_tb() == 0 {
+            u32::MAX
+        } else {
+            (self.smem_bytes / desc.smem_per_tb()) as u32
+        };
+        by_tbs.min(by_warps).min(by_threads).min(by_regs).min(by_smem)
+    }
+
+    /// Number of TBs of kernel `k` currently resident (including loading /
+    /// saving ones).
+    pub fn hosted_tbs(&self, k: KernelId) -> u32 {
+        u32::from(self.hosted[k.index()])
+    }
+
+    /// Dispatches one TB of kernel `k`, optionally resuming saved context.
+    /// The TB's warps may issue after `load_cost` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TB does not fit (callers check [`Sm::can_host`]) or the
+    /// kernel description was not registered.
+    pub(crate) fn dispatch(
+        &mut self,
+        k: KernelId,
+        tb_index: TbIndex,
+        resume: Option<SavedTb>,
+        now: Cycle,
+        load_cost: Cycle,
+    ) {
+        let desc = self.descs[k.index()].as_ref().expect("kernel desc registered").clone();
+        assert!(self.can_host(&desc), "dispatch without capacity on {}", self.id);
+        let tb_slot = self.free_tbs.pop().expect("free TB slot");
+        let warps_per_tb = desc.warps_per_tb() as u16;
+        let mut warp_slots = Vec::with_capacity(warps_per_tb as usize);
+        let mut warps_done = 0u16;
+        let saved_warps = resume.as_ref().map(|s| &s.warps);
+        if let Some(s) = &resume {
+            assert_eq!(s.tb_index, tb_index, "resume must target the saved TB index");
+            assert_eq!(s.warps.len(), warps_per_tb as usize, "saved warp count mismatch");
+            self.preempt_stats.resumes += 1;
+            self.preempt_stats.transfer_cycles += load_cost;
+        }
+        for wi in 0..warps_per_tb {
+            let slot = self.free_warps.pop().expect("free warp slot");
+            let warp_uid = u64::from(tb_index.0) * u64::from(warps_per_tb) + u64::from(wi);
+            let mut w = WarpState {
+                kernel: k,
+                tb_slot,
+                warp_in_tb: wi,
+                warp_uid,
+                pc: 0,
+                rem: 0,
+                iter: desc.iterations(),
+                ready_at: now + load_cost,
+                at_barrier: false,
+                done: false,
+                seq: 0,
+                rng: crate::rng::SplitMix64::new(derive_seed(desc.seed(), warp_uid)),
+                age: self.next_age,
+            };
+            self.next_age += 1;
+            if let Some(saved) = saved_warps {
+                let p: &WarpProgress = &saved[wi as usize];
+                w.pc = p.pc;
+                w.rem = p.rem;
+                w.iter = p.iter;
+                w.seq = p.seq;
+                w.done = p.done;
+                w.rng = p.rng.clone();
+                if p.done {
+                    warps_done += 1;
+                }
+            }
+            self.warps[slot as usize] = Some(w);
+            warp_slots.push(slot);
+        }
+        self.used_threads += desc.threads_per_tb();
+        self.used_regs += desc.regfile_bytes_per_tb();
+        self.used_smem += desc.smem_per_tb();
+        self.hosted[k.index()] += 1;
+        self.tbs[tb_slot as usize] = Some(TbState {
+            kernel: k,
+            tb_index,
+            warp_slots,
+            warps_done,
+            barrier_arrived: 0,
+            phase: TbPhase::Loading(now + load_cost),
+        });
+        self.transitioning.push(tb_slot);
+    }
+
+    /// Starts a partial context switch of one `k` TB (the most recently
+    /// dispatched active one). Returns `false` if no active TB of `k` is
+    /// resident.
+    pub(crate) fn start_preempt(&mut self, k: KernelId, now: Cycle, save_cost: Cycle) -> bool {
+        let victim = self
+            .tbs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, tb)| tb.as_ref().map(|t| (i, t)))
+            .filter(|(_, t)| t.kernel == k && t.phase == TbPhase::Active && !t.finished())
+            .map(|(i, t)| (i, t.tb_index.0))
+            .max_by_key(|&(_, idx)| idx);
+        let Some((slot, _)) = victim else { return false };
+        let tb = self.tbs[slot].as_mut().expect("victim TB present");
+        tb.phase = TbPhase::Saving(now + save_cost);
+        // Warps parked at a barrier would deadlock the saved context check;
+        // the barrier state is recomputed on resume, so release the arrivals.
+        tb.barrier_arrived = 0;
+        self.preempt_stats.saves += 1;
+        self.preempt_stats.transfer_cycles += save_cost;
+        self.transitioning.push(slot as u16);
+        true
+    }
+
+    /// Whether any TB is currently loading or saving context.
+    pub fn context_switch_in_flight(&self) -> bool {
+        self.transitioning.iter().any(|&s| {
+            matches!(
+                self.tbs[s as usize].as_ref().map(|t| t.phase),
+                Some(TbPhase::Saving(_)) | Some(TbPhase::Loading(_))
+            )
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Quota control (the paper's EWS interface)
+    // ------------------------------------------------------------------
+
+    /// Enables or disables quota gating for kernel `k` on this SM.
+    pub fn set_gated(&mut self, k: KernelId, gated: bool) {
+        self.gated[k.index()] = gated;
+    }
+
+    /// Assigns the epoch quota for kernel `k`.
+    ///
+    /// `carry` selects the paper's carry-over semantics, and `refill` is the
+    /// amount added by mid-epoch refills (non-QoS top-ups, elastic restarts).
+    pub fn set_epoch_quota(&mut self, k: KernelId, alloc: i64, carry: QuotaCarry, refill: i64) {
+        let i = k.index();
+        self.quota[i] = match carry {
+            QuotaCarry::DiscardSurplus => alloc + self.quota[i].min(0),
+            QuotaCarry::Full => alloc + self.quota[i].min(alloc),
+            QuotaCarry::Reset => alloc,
+        };
+        self.refill[i] = refill;
+    }
+
+    /// Current quota counter for kernel `k`.
+    pub fn quota(&self, k: KernelId) -> i64 {
+        self.quota[k.index()]
+    }
+
+    /// Marks kernel `k` as a QoS kernel (affects mid-epoch refill rules and
+    /// the Rollover-Time priority gate).
+    pub fn set_qos_kernel(&mut self, k: KernelId, qos: bool) {
+        self.is_qos[k.index()] = qos;
+    }
+
+    /// Enables elastic-epoch mid-epoch restarts (all gated kernels are
+    /// replenished when every one of them is exhausted).
+    pub fn set_elastic(&mut self, on: bool) {
+        self.elastic = on;
+    }
+
+    /// Enables the Rollover-Time priority gate: non-QoS kernels may only
+    /// issue when every gated QoS kernel has exhausted its quota.
+    pub fn set_priority_block(&mut self, on: bool) {
+        self.priority_block = on;
+    }
+
+    #[inline]
+    fn any_qos_quota_positive(&self) -> bool {
+        (0..MAX_KERNELS).any(|i| self.gated[i] && self.is_qos[i] && self.quota[i] > 0)
+    }
+
+    #[inline]
+    fn all_gated_exhausted(&self) -> bool {
+        (0..MAX_KERNELS).all(|i| !self.gated[i] || self.quota[i] <= 0)
+    }
+
+    /// Quota admission check with lazy mid-epoch refills.
+    fn quota_allows(&mut self, k: usize) -> bool {
+        if self.priority_block && !self.is_qos[k] && self.any_qos_quota_positive() {
+            return false;
+        }
+        if !self.gated[k] {
+            return true;
+        }
+        if self.quota[k] > 0 {
+            return true;
+        }
+        if self.elastic {
+            // Elastic epoch: a new epoch starts early once *all* kernels
+            // have consumed their quotas (Fig. 4b), carrying debt.
+            if self.all_gated_exhausted() {
+                for i in 0..MAX_KERNELS {
+                    if self.gated[i] {
+                        self.quota[i] += self.refill[i];
+                    }
+                }
+                return self.quota[k] > 0;
+            }
+            return false;
+        }
+        if !self.is_qos[k] && self.refill[k] > 0 && !self.any_qos_quota_positive() {
+            // Naïve/Rollover mid-epoch rule: once every QoS kernel reached
+            // its per-epoch goal, non-QoS kernels keep running (§3.4.1).
+            self.quota[k] += self.refill[k];
+            return self.quota[k] > 0;
+        }
+        false
+    }
+
+    // ------------------------------------------------------------------
+    // Execution
+    // ------------------------------------------------------------------
+
+    fn warp_issuable(&self, slot: u16, now: Cycle) -> bool {
+        let Some(w) = self.warps[slot as usize].as_ref() else { return false };
+        if w.done || w.at_barrier || w.ready_at > now {
+            return false;
+        }
+        self.tbs[w.tb_slot as usize]
+            .as_ref()
+            .is_some_and(|tb| tb.issuable(now))
+    }
+
+    /// Advances the SM by one cycle.
+    pub(crate) fn tick(&mut self, now: Cycle, mem: &mut MemSystem) {
+        if !self.transitioning.is_empty() {
+            self.process_transitions(now);
+        }
+        if self.used_threads == 0 {
+            return;
+        }
+        self.busy_cycles += 1;
+        self.issue_slots += u64::from(self.num_scheds);
+
+        for sid in 0..self.num_scheds {
+            // Gather issuable warps for this scheduler.
+            let mut ready = std::mem::take(&mut self.ready_buf);
+            ready.clear();
+            let mut slot = sid;
+            while slot < self.max_warps {
+                if self.warp_issuable(slot, now) {
+                    let k = self.warps[slot as usize].as_ref().expect("issuable warp").kernel;
+                    if self.quota_allows(k.index()) {
+                        let age = self.warps[slot as usize].as_ref().expect("warp").age;
+                        ready.push((slot, age));
+                    }
+                }
+                slot += self.num_scheds;
+            }
+            let pick = choose(self.policy, &mut self.scheds[sid as usize], &ready);
+            self.ready_buf = ready;
+            if let Some(slot) = pick {
+                self.issue(slot, now, mem);
+                self.issued_total += 1;
+            } else if let Some(slot) = self.scavenge(sid, now) {
+                // Work-conserving slack reclamation: the slot would idle --
+                // no admissible warp is ready -- so a quota-exhausted
+                // *non-QoS* warp may use it (QoS kernels stay throttled at
+                // their goals; this is the "keep them running" intent of
+                // the mid-epoch rule in section 3.4.1). The issue still
+                // debits the quota counter, so epoch accounting and the
+                // section 3.5 feedback see the true consumption.
+                self.issue(slot, now, mem);
+                self.issued_total += 1;
+            }
+        }
+    }
+
+    /// Oldest issuable non-QoS warp whose kernel is only blocked by an
+    /// exhausted quota; `None` under the Rollover-Time priority gate while
+    /// QoS quota remains (strict time multiplexing is that scheme's point).
+    fn scavenge(&self, sid: u16, now: Cycle) -> Option<u16> {
+        if self.priority_block && self.any_qos_quota_positive() {
+            return None;
+        }
+        let mut best: Option<(u16, u64)> = None;
+        let mut slot = sid;
+        while slot < self.max_warps {
+            if self.warp_issuable(slot, now) {
+                let w = self.warps[slot as usize].as_ref().expect("issuable warp");
+                let k = w.kernel.index();
+                if self.gated[k] && !self.is_qos[k] && self.quota[k] <= 0 {
+                    match best {
+                        Some((_, age)) if age <= w.age => {}
+                        _ => best = Some((slot, w.age)),
+                    }
+                }
+            }
+            slot += self.num_scheds;
+        }
+        best.map(|(slot, _)| slot)
+    }
+
+    fn process_transitions(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.transitioning.len() {
+            let slot = self.transitioning[i];
+            let phase = self.tbs[slot as usize].as_ref().map(|t| t.phase);
+            match phase {
+                Some(TbPhase::Loading(until)) if now >= until => {
+                    self.tbs[slot as usize].as_mut().expect("loading TB").phase = TbPhase::Active;
+                    self.transitioning.swap_remove(i);
+                }
+                Some(TbPhase::Saving(until)) if now >= until => {
+                    self.finalize_save(slot);
+                    self.transitioning.swap_remove(i);
+                }
+                None => {
+                    // The TB completed while transitioning bookkeeping was
+                    // pending (cannot normally happen; defensive).
+                    self.transitioning.swap_remove(i);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn finalize_save(&mut self, tb_slot: u16) {
+        let tb = self.tbs[tb_slot as usize].take().expect("saving TB present");
+        let desc = self.descs[tb.kernel.index()].as_ref().expect("desc").clone();
+        let mut warps = Vec::with_capacity(tb.warp_slots.len());
+        for &ws in &tb.warp_slots {
+            let w = self.warps[ws as usize].take().expect("warp of saving TB");
+            warps.push(WarpProgress::capture(&w));
+            self.free_warps.push(ws);
+        }
+        self.release_resources(&desc);
+        self.hosted[tb.kernel.index()] -= 1;
+        self.free_tbs.push(tb_slot);
+        self.saved.push((tb.kernel, SavedTb { tb_index: tb.tb_index, warps }));
+    }
+
+    fn release_resources(&mut self, desc: &KernelDesc) {
+        self.used_threads -= desc.threads_per_tb();
+        self.used_regs -= desc.regfile_bytes_per_tb();
+        self.used_smem -= desc.smem_per_tb();
+    }
+
+    fn issue(&mut self, slot: u16, now: Cycle, mem: &mut MemSystem) {
+        let k = self.warps[slot as usize].as_ref().expect("issued warp exists").kernel.index();
+        // `Op` is `Copy` and the body length is all the control flow needs,
+        // so the hot path avoids cloning the kernel's `Arc`.
+        let (op, body_len) = {
+            let d = self.descs[k].as_ref().expect("desc");
+            let w = self.warps[slot as usize].as_ref().expect("warp");
+            (d.body()[w.pc as usize], d.body().len())
+        };
+        let w = self.warps[slot as usize].as_mut().expect("issued warp exists");
+
+        if w.rem == 0 {
+            w.rem = match op {
+                Op::Alu { repeat, .. } | Op::Sfu { repeat, .. } => repeat.max(1),
+                Op::Mem { .. } | Op::Bar => 1,
+            };
+        }
+
+        let lanes;
+        match op {
+            Op::Alu { latency, active_lanes, .. } => {
+                lanes = active_lanes;
+                w.ready_at = now + Cycle::from(latency.max(1));
+                self.alu_thread_insts[k] += u64::from(active_lanes);
+            }
+            Op::Sfu { latency, active_lanes, .. } => {
+                lanes = active_lanes;
+                w.ready_at = now + Cycle::from(latency.max(1));
+                self.sfu_thread_insts[k] += u64::from(active_lanes);
+            }
+            Op::Mem { space: MemSpace::Shared, active_lanes, .. } => {
+                lanes = active_lanes;
+                w.ready_at = now + Cycle::from(mem.config().l1_hit_latency);
+                self.smem_accesses[k] += u64::from(active_lanes);
+            }
+            Op::Mem { space: MemSpace::Global, pattern, active_lanes, .. } => {
+                lanes = active_lanes;
+                let tb_index = self.tbs[w.tb_slot as usize]
+                    .as_ref()
+                    .expect("TB of issuing warp")
+                    .tb_index
+                    .0;
+                let mut buf = [0u64; 32];
+                let n = w.gen_lines(
+                    &pattern,
+                    KernelDesc::base_addr(k),
+                    mem.config().line_bytes,
+                    tb_index,
+                    &mut buf,
+                );
+                w.ready_at = mem.access_lines(w.kernel, &mut self.l1, &buf[..n], now);
+            }
+            Op::Bar => {
+                lanes = crate::WARP_SIZE as u8;
+                w.ready_at = now + 1;
+            }
+        }
+
+        // Retire one dynamic instruction and advance the program counter.
+        w.rem -= 1;
+        let mut arrived_barrier = false;
+        let mut retired = false;
+        if w.rem == 0 {
+            w.pc += 1;
+            if usize::from(w.pc) == body_len {
+                w.iter -= 1;
+                if w.iter == 0 {
+                    w.done = true;
+                    retired = true;
+                } else {
+                    w.pc = 0;
+                }
+            }
+            if matches!(op, Op::Bar) {
+                w.at_barrier = true;
+                arrived_barrier = true;
+            }
+        }
+        let tb_slot = w.tb_slot;
+
+        self.counters[k].thread_insts += u64::from(lanes);
+        self.counters[k].warp_insts += 1;
+        if self.gated[k] {
+            self.quota[k] -= i64::from(lanes);
+        }
+
+        if arrived_barrier {
+            self.note_barrier_arrival(tb_slot, now);
+        }
+        if retired {
+            self.note_warp_retired(tb_slot);
+        }
+    }
+
+    fn note_barrier_arrival(&mut self, tb_slot: u16, now: Cycle) {
+        let tb = self.tbs[tb_slot as usize].as_mut().expect("TB at barrier");
+        tb.barrier_arrived += 1;
+        let live = tb.warp_slots.len() as u16 - tb.warps_done;
+        if tb.barrier_arrived >= live {
+            tb.barrier_arrived = 0;
+            let slots = tb.warp_slots.clone();
+            for ws in slots {
+                if let Some(w) = self.warps[ws as usize].as_mut() {
+                    if w.at_barrier {
+                        w.at_barrier = false;
+                        w.ready_at = w.ready_at.max(now + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    fn note_warp_retired(&mut self, tb_slot: u16) {
+        let finished = {
+            let tb = self.tbs[tb_slot as usize].as_mut().expect("TB of retiring warp");
+            tb.warps_done += 1;
+            tb.finished()
+        };
+        if finished {
+            let tb = self.tbs[tb_slot as usize].take().expect("finished TB");
+            let desc = self.descs[tb.kernel.index()].as_ref().expect("desc").clone();
+            for &ws in &tb.warp_slots {
+                self.warps[ws as usize] = None;
+                self.free_warps.push(ws);
+            }
+            self.release_resources(&desc);
+            self.hosted[tb.kernel.index()] -= 1;
+            self.free_tbs.push(tb_slot);
+            self.completed.push((tb.kernel, tb.tb_index));
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Sampling and statistics
+    // ------------------------------------------------------------------
+
+    /// Records one idle-warp sample (call right after [`Sm::tick`]).
+    ///
+    /// A warp is *idle* if it could issue (ready operands, active TB) but was
+    /// not selected this cycle — including warps throttled by quota, which
+    /// occupy static resources without contributing progress (§3.6).
+    pub(crate) fn sample_idle_warps(&mut self, now: Cycle) {
+        self.idle_samples += 1;
+        for slot in 0..self.max_warps {
+            if self.warp_issuable(slot, now) {
+                let k = self.warps[slot as usize].as_ref().expect("warp").kernel;
+                self.idle_warp_acc[k.index()] += 1;
+            }
+        }
+    }
+
+    /// Mean idle warps of kernel `k` since the last
+    /// [`Sm::reset_idle_sampling`] call.
+    pub fn idle_warp_avg(&self, k: KernelId) -> f64 {
+        if self.idle_samples == 0 {
+            0.0
+        } else {
+            self.idle_warp_acc[k.index()] as f64 / self.idle_samples as f64
+        }
+    }
+
+    /// Clears idle-warp sampling accumulators (call at epoch boundaries).
+    pub fn reset_idle_sampling(&mut self) {
+        self.idle_warp_acc = per_kernel(|_| 0);
+        self.idle_samples = 0;
+    }
+
+    /// Cumulative issue counters for kernel `k`.
+    pub fn counters(&self, k: KernelId) -> SmKernelCounters {
+        self.counters[k.index()]
+    }
+
+    /// Cycles in which the SM hosted at least one thread.
+    pub fn busy_cycles(&self) -> u64 {
+        self.busy_cycles
+    }
+
+    /// Fraction of issue slots used while busy.
+    pub fn issue_utilization(&self) -> f64 {
+        if self.issue_slots == 0 {
+            0.0
+        } else {
+            self.issued_total as f64 / self.issue_slots as f64
+        }
+    }
+
+    /// Per-kernel ALU thread instructions (power model input).
+    pub fn alu_thread_insts(&self, k: KernelId) -> u64 {
+        self.alu_thread_insts[k.index()]
+    }
+
+    /// Per-kernel SFU thread instructions (power model input).
+    pub fn sfu_thread_insts(&self, k: KernelId) -> u64 {
+        self.sfu_thread_insts[k.index()]
+    }
+
+    /// Per-kernel shared-memory thread accesses (power model input).
+    pub fn smem_accesses(&self, k: KernelId) -> u64 {
+        self.smem_accesses[k.index()]
+    }
+
+    /// L1 hit/miss statistics.
+    pub fn l1_stats(&self) -> crate::cache::CacheStats {
+        self.l1.stats()
+    }
+
+    /// Preemption statistics.
+    pub fn preempt_stats(&self) -> PreemptStats {
+        self.preempt_stats
+    }
+
+    /// Number of resident threads.
+    pub fn used_threads(&self) -> u32 {
+        self.used_threads
+    }
+
+    /// Free thread capacity.
+    pub fn free_threads(&self) -> u32 {
+        self.max_threads - self.used_threads
+    }
+
+    /// Free register-file bytes.
+    pub fn free_regs(&self) -> u64 {
+        self.regfile_bytes - self.used_regs
+    }
+
+    /// Free shared-memory bytes.
+    pub fn free_smem(&self) -> u64 {
+        self.smem_bytes - self.used_smem
+    }
+
+    /// Free warp slots.
+    pub fn free_warp_slots(&self) -> u32 {
+        self.free_warps.len() as u32
+    }
+
+    /// Free TB slots.
+    pub fn free_tb_slots(&self) -> u32 {
+        self.free_tbs.len() as u32
+    }
+
+    /// Drains TB-completion notifications for the TB scheduler.
+    pub(crate) fn drain_completed(&mut self, out: &mut Vec<(KernelId, TbIndex)>) {
+        out.append(&mut self.completed);
+    }
+
+    /// Drains saved-context notifications for the TB scheduler.
+    pub(crate) fn drain_saved(&mut self, out: &mut Vec<(KernelId, SavedTb)>) {
+        out.append(&mut self.saved);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::kernel::{AccessPattern, Op};
+    use crate::memsys::MemSystem;
+
+    fn setup(body: Vec<Op>, iters: u32) -> (Sm, MemSystem, Arc<KernelDesc>) {
+        let cfg = GpuConfig::tiny();
+        let sm = Sm::new(SmId::new(0), &cfg);
+        let mem = MemSystem::new(cfg.mem.clone());
+        let desc = Arc::new(
+            KernelDesc::builder("t")
+                .threads_per_tb(64)
+                .regs_per_thread(16)
+                .iterations(iters)
+                .grid_tbs(8)
+                .body(body)
+                .build(),
+        );
+        (sm, mem, desc)
+    }
+
+    fn run(sm: &mut Sm, mem: &mut MemSystem, cycles: u64) {
+        for now in 0..cycles {
+            sm.tick(now, mem);
+        }
+    }
+
+    #[test]
+    fn dispatch_occupies_and_completion_frees() {
+        let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 4)], 2);
+        let k = KernelId::new(0);
+        sm.set_kernel_desc(k, desc.clone());
+        sm.dispatch(k, TbIndex(0), None, 0, 0);
+        assert_eq!(sm.hosted_tbs(k), 1);
+        assert_eq!(sm.used_threads(), 64);
+        run(&mut sm, &mut mem, 200);
+        assert_eq!(sm.hosted_tbs(k), 0, "TB should complete and free");
+        assert_eq!(sm.used_threads(), 0);
+        let mut done = Vec::new();
+        sm.drain_completed(&mut done);
+        assert_eq!(done, vec![(k, TbIndex(0))]);
+        // 2 warps * 2 iters * 4 insts * 32 lanes
+        assert_eq!(sm.counters(k).thread_insts, 2 * 2 * 4 * 32);
+    }
+
+    #[test]
+    fn quota_gating_throttles_kernel() {
+        let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+        let k = KernelId::new(0);
+        sm.set_kernel_desc(k, desc);
+        sm.dispatch(k, TbIndex(0), None, 0, 0);
+        sm.set_gated(k, true);
+        sm.set_qos_kernel(k, true);
+        sm.set_epoch_quota(k, 320, QuotaCarry::DiscardSurplus, 0);
+        run(&mut sm, &mut mem, 1_000);
+        // 320 thread-insts = 10 warp instructions; slight overshoot of one
+        // warp instruction per scheduler is possible at the boundary.
+        let issued = sm.counters(k).thread_insts;
+        assert!(issued >= 320, "must consume its quota, got {issued}");
+        assert!(issued <= 320 + 32 * 2, "throttled soon after exhaustion, got {issued}");
+        assert!(sm.quota(k) <= 0);
+    }
+
+    #[test]
+    fn nonqos_refill_after_qos_exhausted() {
+        let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+        let q = KernelId::new(0);
+        let n = KernelId::new(1);
+        sm.set_kernel_desc(q, desc.clone());
+        sm.set_kernel_desc(n, desc);
+        sm.dispatch(q, TbIndex(0), None, 0, 0);
+        sm.dispatch(n, TbIndex(0), None, 0, 0);
+        for (k, qos) in [(q, true), (n, false)] {
+            sm.set_gated(k, true);
+            sm.set_qos_kernel(k, qos);
+        }
+        sm.set_epoch_quota(q, 320, QuotaCarry::DiscardSurplus, 0);
+        sm.set_epoch_quota(n, 320, QuotaCarry::DiscardSurplus, 320);
+        run(&mut sm, &mut mem, 2_000);
+        let qi = sm.counters(q).thread_insts;
+        let ni = sm.counters(n).thread_insts;
+        assert!(qi <= 320 + 64, "QoS kernel stays near quota, got {qi}");
+        assert!(ni > 10 * 320, "non-QoS kernel keeps refilling, got {ni}");
+    }
+
+    #[test]
+    fn elastic_refills_all_when_everyone_exhausted() {
+        let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+        let k = KernelId::new(0);
+        sm.set_kernel_desc(k, desc);
+        sm.dispatch(k, TbIndex(0), None, 0, 0);
+        sm.set_gated(k, true);
+        sm.set_qos_kernel(k, true);
+        sm.set_elastic(true);
+        sm.set_epoch_quota(k, 320, QuotaCarry::DiscardSurplus, 320);
+        run(&mut sm, &mut mem, 2_000);
+        assert!(
+            sm.counters(k).thread_insts > 10 * 320,
+            "elastic epochs keep replenishing, got {}",
+            sm.counters(k).thread_insts
+        );
+    }
+
+    #[test]
+    fn priority_block_serializes_kernels() {
+        let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+        let q = KernelId::new(0);
+        let n = KernelId::new(1);
+        sm.set_kernel_desc(q, desc.clone());
+        sm.set_kernel_desc(n, desc);
+        sm.dispatch(q, TbIndex(0), None, 0, 0);
+        sm.dispatch(n, TbIndex(0), None, 0, 0);
+        sm.set_gated(q, true);
+        sm.set_qos_kernel(q, true);
+        sm.set_priority_block(true);
+        sm.set_epoch_quota(q, 3_200, QuotaCarry::DiscardSurplus, 0);
+        // While the QoS kernel has quota, the non-QoS kernel must not issue.
+        for now in 0..20 {
+            sm.tick(now, &mut mem);
+        }
+        assert!(sm.counters(q).thread_insts > 0);
+        assert_eq!(sm.counters(n).thread_insts, 0, "non-QoS blocked by priority gate");
+        run(&mut sm, &mut mem, 3_000);
+        assert!(sm.counters(n).thread_insts > 0, "non-QoS runs after quota exhausted");
+    }
+
+    #[test]
+    fn barrier_synchronizes_warps() {
+        // Warp 0 of the TB has no extra work; all warps must still wait at
+        // the barrier for the slowest one.
+        let (mut sm, mut mem, desc) =
+            setup(vec![Op::alu(8, 4), Op::Bar, Op::alu(1, 1)], 1);
+        let k = KernelId::new(0);
+        sm.set_kernel_desc(k, desc);
+        sm.dispatch(k, TbIndex(0), None, 0, 0);
+        run(&mut sm, &mut mem, 500);
+        assert_eq!(sm.hosted_tbs(k), 0, "TB with barrier completes");
+    }
+
+    #[test]
+    fn preempt_and_resume_preserves_progress() {
+        let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 10)], 50);
+        let k = KernelId::new(0);
+        sm.set_kernel_desc(k, desc.clone());
+        sm.dispatch(k, TbIndex(3), None, 0, 0);
+        run(&mut sm, &mut mem, 100);
+        let before = sm.counters(k).thread_insts;
+        assert!(before > 0);
+        assert!(sm.start_preempt(k, 100, 50));
+        for now in 100..200 {
+            sm.tick(now, &mut mem);
+        }
+        let mut saved = Vec::new();
+        sm.drain_saved(&mut saved);
+        assert_eq!(saved.len(), 1);
+        assert_eq!(sm.hosted_tbs(k), 0);
+        let (_, tb) = saved.pop().expect("one saved TB");
+        assert_eq!(tb.tb_index, TbIndex(3));
+        // Resume and run to completion.
+        sm.dispatch(k, TbIndex(3), Some(tb), 200, 10);
+        for now in 200..4_000 {
+            sm.tick(now, &mut mem);
+        }
+        let mut done = Vec::new();
+        sm.drain_completed(&mut done);
+        assert_eq!(done, vec![(k, TbIndex(3))]);
+        // Total work equals a full TB execution: 2 warps * 50 iters * 10 * 32.
+        assert_eq!(sm.counters(k).thread_insts, 2 * 50 * 10 * 32);
+    }
+
+    #[test]
+    fn idle_warp_sampling_counts_unissued_ready_warps() {
+        let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+        let k = KernelId::new(0);
+        sm.set_kernel_desc(k, desc.clone());
+        // Several TBs worth of warps, only `warp_schedulers` can issue per cycle.
+        for i in 0..4 {
+            sm.dispatch(k, TbIndex(i), None, 0, 0);
+        }
+        for now in 0..50 {
+            sm.tick(now, &mut mem);
+            sm.sample_idle_warps(now);
+        }
+        assert!(sm.idle_warp_avg(k) > 0.0, "with 8 ready warps and 4 issue slots some idle");
+        sm.reset_idle_sampling();
+        assert_eq!(sm.idle_warp_avg(k), 0.0);
+    }
+
+    #[test]
+    fn max_resident_tbs_respects_limits() {
+        let cfg = GpuConfig::paper_table1();
+        let sm = Sm::new(SmId::new(0), &cfg);
+        let fat = KernelDesc::builder("fat")
+            .threads_per_tb(256)
+            .regs_per_thread(64) // 64 KiB regs per TB -> 4 TBs by regfile
+            .body(vec![Op::alu(1, 1)])
+            .build();
+        assert_eq!(sm.max_resident_tbs(&fat), 4);
+        let slim = KernelDesc::builder("slim")
+            .threads_per_tb(64)
+            .regs_per_thread(16)
+            .body(vec![Op::alu(1, 1)])
+            .build();
+        assert_eq!(sm.max_resident_tbs(&slim), 32, "TB-slot limited");
+    }
+
+    #[test]
+    fn memory_op_goes_through_memsys() {
+        let (mut sm, mut mem, desc) = setup(
+            vec![Op::mem_load(AccessPattern::stream()), Op::alu(1, 1)],
+            4,
+        );
+        let k = KernelId::new(0);
+        sm.set_kernel_desc(k, desc);
+        sm.dispatch(k, TbIndex(0), None, 0, 0);
+        run(&mut sm, &mut mem, 5_000);
+        assert!(mem.traffic().l1_accesses[0] > 0);
+        assert!(sm.l1_stats().accesses() > 0);
+    }
+
+    #[test]
+    fn scavenging_lets_exhausted_nonqos_use_idle_slots() {
+        // A lone non-QoS kernel with zero quota: no QoS kernel competes for
+        // the slots, so scavenging must keep it running.
+        let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+        let n = KernelId::new(0);
+        sm.set_kernel_desc(n, desc);
+        sm.dispatch(n, TbIndex(0), None, 0, 0);
+        sm.set_gated(n, true);
+        sm.set_qos_kernel(n, false);
+        sm.set_epoch_quota(n, 0, QuotaCarry::Reset, 0);
+        run(&mut sm, &mut mem, 500);
+        assert!(
+            sm.counters(n).thread_insts > 10_000,
+            "scavenging must keep the machine busy, got {}",
+            sm.counters(n).thread_insts
+        );
+    }
+
+    #[test]
+    fn scavenging_never_feeds_exhausted_qos_kernels() {
+        let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+        let q = KernelId::new(0);
+        sm.set_kernel_desc(q, desc);
+        sm.dispatch(q, TbIndex(0), None, 0, 0);
+        sm.set_gated(q, true);
+        sm.set_qos_kernel(q, true);
+        sm.set_epoch_quota(q, 320, QuotaCarry::DiscardSurplus, 0);
+        run(&mut sm, &mut mem, 2_000);
+        assert!(
+            sm.counters(q).thread_insts <= 320 + 64,
+            "QoS kernels stay throttled at their quota, got {}",
+            sm.counters(q).thread_insts
+        );
+    }
+
+    #[test]
+    fn reset_carry_drops_debt() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(SmId::new(0), &cfg);
+        let k = KernelId::new(0);
+        sm.set_gated(k, true);
+        sm.set_epoch_quota(k, 100, QuotaCarry::DiscardSurplus, 0);
+        // Simulate deep debt, then a Reset assignment.
+        sm.set_epoch_quota(k, -5_000, QuotaCarry::DiscardSurplus, 0);
+        assert!(sm.quota(k) < 0);
+        sm.set_epoch_quota(k, 100, QuotaCarry::Reset, 0);
+        assert_eq!(sm.quota(k), 100, "reset ignores prior debt");
+    }
+
+    mod preemption_properties {
+        use super::*;
+        use proptest::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(32))]
+
+            /// Preempting and resuming a TB at an arbitrary point never
+            /// loses or duplicates work: total retired thread-instructions
+            /// equal one uninterrupted TB execution.
+            #[test]
+            fn preempt_resume_conserves_work(
+                preempt_at in 1u64..2_000,
+                save_cost in 1u64..500,
+                load_cost in 0u64..500,
+                iters in 1u32..20,
+            ) {
+                let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 10)], iters);
+                let k = KernelId::new(0);
+                sm.set_kernel_desc(k, desc.clone());
+                sm.dispatch(k, TbIndex(0), None, 0, 0);
+                for now in 0..preempt_at {
+                    sm.tick(now, &mut mem);
+                }
+                let expected = desc.thread_insts_per_tb();
+                if sm.hosted_tbs(k) == 0 {
+                    // The TB already finished before the preemption point.
+                    prop_assert_eq!(sm.counters(k).thread_insts, expected);
+                    return Ok(());
+                }
+                prop_assert!(sm.start_preempt(k, preempt_at, save_cost));
+                let resume_at = preempt_at + save_cost + 1;
+                for now in preempt_at..resume_at {
+                    sm.tick(now, &mut mem);
+                }
+                let mut saved = Vec::new();
+                sm.drain_saved(&mut saved);
+                prop_assert_eq!(saved.len(), 1);
+                let (_, tb) = saved.pop().expect("one saved TB");
+                sm.dispatch(k, TbIndex(0), Some(tb), resume_at, load_cost);
+                for now in resume_at..resume_at + 60_000 {
+                    sm.tick(now, &mut mem);
+                    if sm.hosted_tbs(k) == 0 {
+                        break;
+                    }
+                }
+                prop_assert_eq!(sm.hosted_tbs(k), 0, "resumed TB must finish");
+                prop_assert_eq!(sm.counters(k).thread_insts, expected);
+            }
+        }
+    }
+
+    #[test]
+    fn rollover_carry_keeps_surplus_discard_drops_it() {
+        let cfg = GpuConfig::tiny();
+        let mut sm = Sm::new(SmId::new(0), &cfg);
+        let k = KernelId::new(0);
+        sm.set_gated(k, true);
+        sm.set_epoch_quota(k, 100, QuotaCarry::DiscardSurplus, 0);
+        assert_eq!(sm.quota(k), 100);
+        sm.set_epoch_quota(k, 100, QuotaCarry::Full, 0);
+        assert_eq!(sm.quota(k), 200, "rollover keeps the surplus");
+        sm.set_epoch_quota(k, 50, QuotaCarry::Full, 0);
+        assert_eq!(sm.quota(k), 100, "carried surplus is capped at one allocation");
+        sm.set_epoch_quota(k, 100, QuotaCarry::DiscardSurplus, 0);
+        assert_eq!(sm.quota(k), 100, "discard drops the surplus");
+    }
+}

@@ -1,0 +1,81 @@
+//! Per-thread-block residency state.
+
+use crate::types::{Cycle, KernelId, TbIndex};
+
+/// Lifecycle phase of a resident thread block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TbPhase {
+    /// Context is being loaded (fresh dispatch or resume after preemption);
+    /// warps may not issue until the given cycle.
+    Loading(Cycle),
+    /// Normal execution.
+    Active,
+    /// Context is being saved for preemption; warps are frozen and the slot
+    /// is released at the given cycle.
+    Saving(Cycle),
+}
+
+/// A thread block resident on an SM.
+#[derive(Debug, Clone)]
+pub struct TbState {
+    /// Owning kernel.
+    pub kernel: KernelId,
+    /// Grid-wide index of this TB.
+    pub tb_index: TbIndex,
+    /// Warp slot indices (into the SM's warp array) belonging to this TB.
+    pub warp_slots: Vec<u16>,
+    /// Number of warps that have retired.
+    pub warps_done: u16,
+    /// Number of warps currently parked at the active barrier.
+    pub barrier_arrived: u16,
+    /// Current lifecycle phase.
+    pub phase: TbPhase,
+}
+
+impl TbState {
+    /// Whether all warps of the TB have retired.
+    pub fn finished(&self) -> bool {
+        self.warps_done as usize == self.warp_slots.len()
+    }
+
+    /// Whether warps of this TB may issue at `now`.
+    pub fn issuable(&self, now: Cycle) -> bool {
+        match self.phase {
+            TbPhase::Active => true,
+            TbPhase::Loading(until) => now >= until,
+            TbPhase::Saving(_) => false,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tb(phase: TbPhase) -> TbState {
+        TbState {
+            kernel: KernelId::new(0),
+            tb_index: TbIndex(3),
+            warp_slots: vec![0, 1, 2, 3],
+            warps_done: 0,
+            barrier_arrived: 0,
+            phase,
+        }
+    }
+
+    #[test]
+    fn finished_requires_all_warps() {
+        let mut t = tb(TbPhase::Active);
+        assert!(!t.finished());
+        t.warps_done = 4;
+        assert!(t.finished());
+    }
+
+    #[test]
+    fn issuable_by_phase() {
+        assert!(tb(TbPhase::Active).issuable(0));
+        assert!(!tb(TbPhase::Loading(10)).issuable(9));
+        assert!(tb(TbPhase::Loading(10)).issuable(10));
+        assert!(!tb(TbPhase::Saving(10)).issuable(100));
+    }
+}

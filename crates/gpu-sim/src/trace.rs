@@ -1,0 +1,147 @@
+//! Epoch-granular telemetry: record per-kernel time series while any
+//! controller runs.
+//!
+//! [`Tracer`] wraps an inner [`Controller`] and snapshots per-kernel IPC,
+//! residency and quota state at every epoch — the data behind the paper's
+//! time-behaviour arguments (§3.5's "a kernel can behave differently during
+//! execution") and this repo's debugging examples.
+
+use serde::{Deserialize, Serialize};
+
+use crate::gpu::{Controller, Gpu};
+use crate::types::KernelId;
+
+/// One kernel's state at one epoch boundary.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelSample {
+    /// Thread-level IPC over the elapsed epoch.
+    pub epoch_ipc: f64,
+    /// TBs resident across all SMs.
+    pub hosted_tbs: u32,
+    /// Sum of quota counters across SMs (after the controller ran).
+    pub quota_total: i64,
+    /// Preempted TBs waiting in the pool.
+    pub preempted: usize,
+}
+
+/// One epoch's record.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EpochRecord {
+    /// Epoch index.
+    pub epoch: u64,
+    /// Simulation cycle at the boundary.
+    pub cycle: u64,
+    /// Per-kernel samples, indexed by kernel slot.
+    pub kernels: Vec<KernelSample>,
+    /// Cumulative TB context saves.
+    pub preemption_saves: u64,
+}
+
+/// A controller wrapper that records an [`EpochRecord`] per epoch.
+#[derive(Debug)]
+pub struct Tracer<C> {
+    inner: C,
+    records: Vec<EpochRecord>,
+}
+
+impl<C: Controller> Tracer<C> {
+    /// Wraps `inner`, recording after each of its epoch callbacks.
+    pub fn new(inner: C) -> Self {
+        Tracer { inner, records: Vec::new() }
+    }
+
+    /// The recorded series so far.
+    pub fn records(&self) -> &[EpochRecord] {
+        &self.records
+    }
+
+    /// The wrapped controller.
+    pub fn inner(&self) -> &C {
+        &self.inner
+    }
+
+    /// Consumes the tracer, returning the inner controller and the records.
+    pub fn into_parts(self) -> (C, Vec<EpochRecord>) {
+        (self.inner, self.records)
+    }
+
+    /// The per-epoch IPC series of one kernel.
+    pub fn ipc_series(&self, k: KernelId) -> Vec<f64> {
+        self.records
+            .iter()
+            .filter_map(|r| r.kernels.get(k.index()).map(|s| s.epoch_ipc))
+            .collect()
+    }
+
+    /// The residency (hosted TBs) series of one kernel.
+    pub fn residency_series(&self, k: KernelId) -> Vec<u32> {
+        self.records
+            .iter()
+            .filter_map(|r| r.kernels.get(k.index()).map(|s| s.hosted_tbs))
+            .collect()
+    }
+}
+
+impl<C: Controller> Controller for Tracer<C> {
+    fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64) {
+        self.inner.on_epoch(gpu, epoch);
+        let snap = gpu.epoch_snapshot();
+        let kernels = gpu
+            .kernel_ids()
+            .map(|k| KernelSample {
+                epoch_ipc: snap.ipc(k),
+                hosted_tbs: gpu.sms().iter().map(|sm| sm.hosted_tbs(k)).sum(),
+                quota_total: gpu.sms().iter().map(|sm| sm.quota(k)).sum(),
+                preempted: gpu.preempted_len(k),
+            })
+            .collect();
+        self.records.push(EpochRecord {
+            epoch,
+            cycle: gpu.cycle(),
+            kernels,
+            preemption_saves: gpu.preempt_stats().saves,
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuConfig;
+    use crate::gpu::NullController;
+    use crate::kernel::{KernelDesc, Op};
+
+    fn kernel() -> KernelDesc {
+        KernelDesc::builder("t")
+            .threads_per_tb(128)
+            .grid_tbs(64)
+            .iterations(16)
+            .body(vec![Op::alu(2, 8)])
+            .build()
+    }
+
+    #[test]
+    fn records_one_entry_per_epoch() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        let k = gpu.launch(kernel());
+        let mut tracer = Tracer::new(NullController);
+        gpu.run(5_000, &mut tracer); // tiny epoch = 1000 cycles -> 5 epochs
+        assert_eq!(tracer.records().len(), 5);
+        assert_eq!(tracer.records()[0].epoch, 0);
+        let series = tracer.ipc_series(k);
+        assert_eq!(series.len(), 5);
+        assert!(series[1] > 0.0, "the kernel progresses after warm-up");
+        assert!(tracer.residency_series(k).iter().skip(1).all(|&h| h > 0));
+    }
+
+    #[test]
+    fn into_parts_round_trips() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        gpu.launch(kernel());
+        let mut tracer = Tracer::new(NullController);
+        gpu.run(2_000, &mut tracer);
+        let (_inner, records) = tracer.into_parts();
+        assert_eq!(records.len(), 2);
+        assert!(records[1].cycle >= 1_000);
+    }
+}

@@ -1,0 +1,248 @@
+//! Per-warp execution state and address-stream generation.
+
+use crate::kernel::{AccessPattern, PatternKind};
+use crate::rng::SplitMix64;
+use crate::types::{Addr, Cycle, KernelId};
+
+/// Execution progress of one warp, the unit the paper's quota counters and
+/// idle-warp sampling reason about.
+#[derive(Debug, Clone)]
+pub struct WarpState {
+    /// Owning kernel.
+    pub kernel: KernelId,
+    /// Index of the owning TB in the SM's TB slot array.
+    pub tb_slot: u16,
+    /// Warp position within its TB.
+    pub warp_in_tb: u16,
+    /// Globally unique warp number within the kernel (survives preemption),
+    /// used to derive deterministic address streams.
+    pub warp_uid: u64,
+    /// Index of the current op in the kernel body.
+    pub pc: u16,
+    /// Remaining repeats of the current op (0 = not yet started).
+    pub rem: u16,
+    /// Remaining body iterations (counts down from `KernelDesc::iterations`).
+    pub iter: u32,
+    /// Cycle at which the warp's previous instruction completes.
+    pub ready_at: Cycle,
+    /// Whether the warp is parked at a barrier.
+    pub at_barrier: bool,
+    /// Whether the warp has retired its last instruction.
+    pub done: bool,
+    /// Memory-access sequence number (drives address streams).
+    pub seq: u64,
+    /// Deterministic per-warp RNG for randomized patterns.
+    pub rng: SplitMix64,
+    /// Dispatch age: smaller = older (GTO tie-break).
+    pub age: u64,
+}
+
+impl WarpState {
+    /// Generates the coalesced line addresses for the warp's next memory
+    /// access under `pattern`, appending up to `pattern.transactions` line
+    /// addresses into `buf` and returning how many were written.
+    ///
+    /// Streams are fully determined by `(kernel seed, warp_uid, seq)`, so a
+    /// preempted-and-resumed warp continues exactly where it left off.
+    pub fn gen_lines(
+        &mut self,
+        pattern: &AccessPattern,
+        kernel_base: Addr,
+        line_bytes: u32,
+        tb_index: u32,
+        buf: &mut [Addr; 32],
+    ) -> usize {
+        let line = u64::from(line_bytes);
+        let trans = usize::from(pattern.transactions);
+        let fp_lines = (pattern.footprint_bytes / line).max(1);
+        let seq = self.seq;
+        self.seq += 1;
+        match pattern.kind {
+            PatternKind::Stream => {
+                // Each warp streams through its own region; fresh lines each
+                // access until the (large) footprint wraps.
+                let start = self
+                    .warp_uid
+                    .wrapping_mul(2048)
+                    .wrapping_add(seq * trans as u64)
+                    % fp_lines;
+                for (t, slot) in buf.iter_mut().take(trans).enumerate() {
+                    *slot = kernel_base + ((start + t as u64) % fp_lines) * line;
+                }
+            }
+            PatternKind::Tile => {
+                // The whole TB cycles within one tile; after the first pass
+                // the tile is cache-resident.
+                let tile_base = kernel_base + u64::from(tb_index) % 1024 * pattern.footprint_bytes;
+                let start =
+                    (u64::from(self.warp_in_tb) * 97 + seq).wrapping_mul(trans as u64) % fp_lines;
+                for (t, slot) in buf.iter_mut().take(trans).enumerate() {
+                    *slot = tile_base + ((start + t as u64) % fp_lines) * line;
+                }
+            }
+            PatternKind::Random => {
+                for slot in buf.iter_mut().take(trans) {
+                    *slot = kernel_base + self.rng.next_below(fp_lines) * line;
+                }
+            }
+            PatternKind::Stencil => {
+                // Sliding windows that overlap across neighbouring warps and
+                // successive accesses: L1 catches same-warp reuse, L2 catches
+                // cross-TB reuse.
+                let center = (self.warp_uid * trans as u64 + seq * 2) % fp_lines;
+                for (t, slot) in buf.iter_mut().take(trans).enumerate() {
+                    *slot = kernel_base + ((center + t as u64) % fp_lines) * line;
+                }
+            }
+        }
+        trans
+    }
+}
+
+/// A warp's saved architectural progress (for partial context switch).
+#[derive(Debug, Clone)]
+pub struct WarpProgress {
+    /// Saved op index.
+    pub pc: u16,
+    /// Saved repeats-remaining.
+    pub rem: u16,
+    /// Saved loop iterations remaining.
+    pub iter: u32,
+    /// Saved memory sequence number.
+    pub seq: u64,
+    /// Whether the warp had already retired.
+    pub done: bool,
+    /// Saved RNG state (randomized streams resume deterministically).
+    pub rng: SplitMix64,
+}
+
+impl WarpProgress {
+    /// Captures a warp's progress for a context save.
+    pub fn capture(w: &WarpState) -> Self {
+        WarpProgress {
+            pc: w.pc,
+            rem: w.rem,
+            iter: w.iter,
+            seq: w.seq,
+            done: w.done,
+            rng: w.rng.clone(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::SplitMix64;
+
+    fn warp(uid: u64) -> WarpState {
+        WarpState {
+            kernel: KernelId::new(0),
+            tb_slot: 0,
+            warp_in_tb: 0,
+            warp_uid: uid,
+            pc: 0,
+            rem: 0,
+            iter: 1,
+            ready_at: 0,
+            at_barrier: false,
+            done: false,
+            seq: 0,
+            rng: SplitMix64::new(uid),
+            age: 0,
+        }
+    }
+
+    #[test]
+    fn stream_generates_fresh_consecutive_lines() {
+        let mut w = warp(0);
+        let mut buf = [0u64; 32];
+        let p = AccessPattern::stream();
+        let n = w.gen_lines(&p, 0, 32, 0, &mut buf);
+        assert_eq!(n, 4);
+        for t in 1..n {
+            assert_eq!(buf[t] - buf[t - 1], 32, "stream lines are consecutive");
+        }
+        let first_access = buf[..n].to_vec();
+        let n2 = w.gen_lines(&p, 0, 32, 0, &mut buf);
+        assert!(
+            buf[..n2].iter().all(|a| !first_access.contains(a)),
+            "successive stream accesses touch fresh lines"
+        );
+    }
+
+    #[test]
+    fn tile_stays_within_footprint() {
+        let mut w = warp(3);
+        let mut buf = [0u64; 32];
+        let p = AccessPattern::tile(4096);
+        for _ in 0..100 {
+            let n = w.gen_lines(&p, 0, 32, 7, &mut buf);
+            let tile_base = 7 * 4096;
+            for &a in &buf[..n] {
+                assert!(
+                    (tile_base..tile_base + 4096).contains(&a),
+                    "tile access {a:#x} outside tile"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn random_stays_within_footprint_and_uses_rng() {
+        let mut w = warp(5);
+        let mut buf = [0u64; 32];
+        let p = AccessPattern::random(1 << 20, 32);
+        let n = w.gen_lines(&p, 1 << 30, 32, 0, &mut buf);
+        assert_eq!(n, 32);
+        for &a in &buf[..n] {
+            assert!(a >= 1 << 30 && a < (1 << 30) + (1 << 20));
+        }
+        let distinct: std::collections::HashSet<u64> = buf[..n].iter().copied().collect();
+        assert!(distinct.len() > 16, "random pattern should rarely repeat lines");
+    }
+
+    #[test]
+    fn same_seed_same_stream_across_clones() {
+        let mut a = warp(9);
+        let mut b = warp(9);
+        let mut ba = [0u64; 32];
+        let mut bb = [0u64; 32];
+        let p = AccessPattern::random(1 << 16, 8);
+        for _ in 0..10 {
+            a.gen_lines(&p, 0, 32, 0, &mut ba);
+            b.gen_lines(&p, 0, 32, 0, &mut bb);
+            assert_eq!(ba, bb);
+        }
+    }
+
+    #[test]
+    fn progress_capture_round_trip() {
+        let mut w = warp(1);
+        w.pc = 3;
+        w.rem = 2;
+        w.iter = 5;
+        w.seq = 42;
+        let p = WarpProgress::capture(&w);
+        assert_eq!((p.pc, p.rem, p.iter, p.seq, p.done), (3, 2, 5, 42, false));
+    }
+
+    #[test]
+    fn stencil_windows_overlap_between_neighbour_warps() {
+        let mut w0 = warp(0);
+        let mut w1 = warp(1);
+        let mut b0 = [0u64; 32];
+        let mut b1 = [0u64; 32];
+        let p = AccessPattern::stencil(1 << 16);
+        // Advance warp 0 a little; its window should reach warp 1's start.
+        let n0 = w0.gen_lines(&p, 0, 32, 0, &mut b0);
+        let n1 = w1.gen_lines(&p, 0, 32, 0, &mut b1);
+        let s0: std::collections::HashSet<u64> = b0[..n0].iter().copied().collect();
+        let mut overlap = b1[..n1].iter().any(|a| s0.contains(a));
+        for _ in 0..4 {
+            let n = w0.gen_lines(&p, 0, 32, 0, &mut b0);
+            overlap |= b0[..n].iter().any(|a| b1[..n1].contains(a));
+        }
+        assert!(overlap, "stencil windows should overlap across warps/accesses");
+    }
+}

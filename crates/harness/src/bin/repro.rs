@@ -1,0 +1,131 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! ```text
+//! repro [--scale bench|smoke|quick|paper] <experiment>...
+//! repro --scale quick all
+//! repro fig6a fig9
+//! repro list
+//! ```
+
+use std::process::ExitCode;
+
+use harness::experiments::Session;
+use harness::scale::RunScale;
+
+const EXPERIMENTS: [&str; 19] = [
+    "table1",
+    "table2",
+    "fig5",
+    "fig6a",
+    "fig6b",
+    "fig6c",
+    "fig7",
+    "fig8a",
+    "fig8b",
+    "fig8c",
+    "fig9",
+    "fig10",
+    "fig11",
+    "fig12",
+    "fig13",
+    "fig14",
+    "ablations",
+    "ablation-epoch",
+    "all",
+];
+
+fn usage() -> String {
+    format!(
+        "usage: repro [--scale bench|smoke|quick|paper] <experiment>...\n\
+         experiments: {}\n",
+        EXPERIMENTS.join(" ")
+    )
+}
+
+fn run_one(session: &Session, name: &str) -> Option<String> {
+    Some(match name {
+        "table1" => session.table1(),
+        "table2" => session.table2(),
+        "fig5" => session.fig5(),
+        "fig6a" => session.fig6a(),
+        "fig6b" => session.fig6b(),
+        "fig6c" => session.fig6c(),
+        "fig7" => session.fig7(),
+        "fig8a" => session.fig8a(),
+        "fig8b" => session.fig8bc(1),
+        "fig8c" => session.fig8bc(2),
+        "fig9" => session.fig9(),
+        "fig10" => session.fig10(),
+        "fig11" => session.fig11(),
+        "fig12" => session.fig12(),
+        "fig13" => session.fig13(),
+        "fig14" => session.fig14(),
+        "ablation-epoch" => session.ablation_epoch_length(),
+        "ablations" => format!(
+            "{}\n{}\n{}",
+            session.ablation_preemption(),
+            session.ablation_history(),
+            session.ablation_static()
+        ),
+        _ => return None,
+    })
+}
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut scale = RunScale::Quick;
+    let mut wanted: Vec<String> = Vec::new();
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" | "-s" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--scale needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                match RunScale::parse(&value) {
+                    Some(s) => scale = s,
+                    None => {
+                        eprintln!("unknown scale {value:?}\n{}", usage());
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            "list" | "--list" => {
+                println!("{}", EXPERIMENTS.join("\n"));
+                return ExitCode::SUCCESS;
+            }
+            "help" | "--help" | "-h" => {
+                println!("{}", usage());
+                return ExitCode::SUCCESS;
+            }
+            other => wanted.push(other.to_string()),
+        }
+    }
+    if wanted.is_empty() {
+        eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if wanted.iter().any(|w| w == "all") {
+        // `all` covers the paper's tables/figures and the section 4.8
+        // ablations; the epoch-length ablation is extra and opt-in.
+        wanted = EXPERIMENTS[..EXPERIMENTS.len() - 2]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+    }
+    for w in &wanted {
+        if !EXPERIMENTS.contains(&w.as_str()) {
+            eprintln!("unknown experiment {w:?}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    let session = Session::new(scale);
+    for name in &wanted {
+        let started = std::time::Instant::now();
+        let report = run_one(&session, name).expect("validated above");
+        println!("{report}");
+        eprintln!("[{name} done in {:.1}s]\n", started.elapsed().as_secs_f64());
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,47 @@
+//! # harness — regenerating every table and figure of the paper
+//!
+//! The evaluation methodology of §4.1, reproduced end to end:
+//!
+//! * [`cases`] — enumerating the 90 kernel pairs and 60 trios, the QoS-goal
+//!   sweeps, and the policies under comparison,
+//! * [`scale`] — run scales (cycles per case, case subsampling): `Paper`
+//!   matches the 2 M-cycle methodology; `Quick` and `Smoke` trade fidelity
+//!   for wall-clock time,
+//! * [`runner`] — isolated-IPC measurement (cached) and parallel case
+//!   execution,
+//! * [`metrics`] — `QoSreach`, normalized throughput, miss-distance
+//!   buckets, energy efficiency,
+//! * [`experiments`] — one entry point per table/figure (`fig5` … `fig14`,
+//!   `table1`, `table2`, ablations),
+//! * [`report`] — plain-text table rendering shared by the `repro` binary
+//!   and the Criterion benches,
+//! * [`export`] — CSV serialization of raw case results for external
+//!   plotting.
+//!
+//! # Example
+//!
+//! ```no_run
+//! use harness::{cases::Policy, experiments, scale::RunScale};
+//!
+//! // Regenerate Fig. 6a at reduced scale and print it.
+//! let report = experiments::fig6a(RunScale::Smoke);
+//! println!("{report}");
+//! assert!(report.contains("Rollover"));
+//! let _ = Policy::Spart;
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+pub mod cases;
+pub mod experiments;
+pub mod export;
+pub mod metrics;
+pub mod report;
+pub mod runner;
+pub mod scale;
+
+pub use cases::{CaseSpec, ConfigKind, Policy};
+pub use metrics::CaseResult;
+pub use runner::{run_cases, IsolatedCache};
+pub use scale::RunScale;

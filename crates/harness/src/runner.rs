@@ -1,0 +1,269 @@
+//! Case execution: isolated-IPC caching and a parallel case runner.
+
+use std::collections::HashMap;
+
+use gpu_sim::{Controller, Gpu, GpuConfig, KernelId, NullController};
+use parking_lot::RwLock;
+use qos_core::{QosManager, QosSpec, SpartController};
+
+use crate::cases::{Ablations, CaseSpec, ConfigKind, Policy};
+use crate::metrics::CaseResult;
+
+/// Shared cache of isolated-IPC measurements, keyed by
+/// `(benchmark, config, cycles)`.
+///
+/// Every QoS goal in the evaluation is a fraction of the kernel's isolated
+/// IPC, so each benchmark is first run alone on the same configuration and
+/// cycle budget. The cache makes that a once-per-sweep cost.
+#[derive(Debug, Default)]
+pub struct IsolatedCache {
+    map: RwLock<HashMap<(String, ConfigKind, u64), f64>>,
+}
+
+impl IsolatedCache {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        IsolatedCache::default()
+    }
+
+    /// Isolated IPC of `name` under `config` over `cycles`, measuring on a
+    /// cache miss.
+    pub fn ipc(&self, name: &str, config: ConfigKind, cycles: u64) -> f64 {
+        let key = (name.to_string(), config, cycles);
+        if let Some(&v) = self.map.read().get(&key) {
+            return v;
+        }
+        let v = measure_isolated(name, config, cycles);
+        self.map.write().insert(key, v);
+        v
+    }
+
+    /// Number of cached measurements.
+    pub fn len(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.read().is_empty()
+    }
+}
+
+fn measure_isolated(name: &str, config: ConfigKind, cycles: u64) -> f64 {
+    let mut gpu = Gpu::new(config.build());
+    let desc = workloads::by_name(name)
+        .unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+    let k = gpu.launch(desc);
+    gpu.run(cycles, &mut NullController);
+    gpu.stats().ipc(k)
+}
+
+fn apply_ablations(cfg: &mut GpuConfig, ab: &Ablations) {
+    if ab.free_preemption {
+        cfg.preempt.context_bytes_per_cycle = u32::MAX;
+        cfg.preempt.drain_cycles = 0;
+    }
+}
+
+/// Runs one case and computes its result.
+pub fn run_case(spec: &CaseSpec, iso: &IsolatedCache) -> CaseResult {
+    let mut cfg = spec.config.build();
+    apply_ablations(&mut cfg, &spec.ablations);
+    if let Some(epoch) = spec.epoch_cycles {
+        cfg.epoch_cycles = epoch;
+        cfg.samples_per_epoch = cfg.samples_per_epoch.min(epoch as u32);
+    }
+    let mut gpu = Gpu::new(cfg);
+
+    let mut kids = Vec::new();
+    let mut goal_ipc = Vec::new();
+    let mut isolated = Vec::new();
+    for (slot, name) in spec.kernels.iter().enumerate() {
+        let desc = workloads::by_name(name)
+            .unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+        // Decorrelate co-runners of the same benchmark.
+        let desc = desc.with_seed(desc.seed() ^ (slot as u64).wrapping_mul(0x9e37_79b9));
+        kids.push(gpu.launch(desc));
+        let iso_ipc = iso.ipc(name, spec.config, spec.cycles);
+        isolated.push(iso_ipc);
+        goal_ipc.push(spec.goal_fracs[slot].map(|f| f * iso_ipc));
+    }
+
+    let mut ctrl = build_controller(spec, &kids, &goal_ipc);
+    gpu.run(spec.cycles, ctrl.as_mut());
+
+    let stats = gpu.stats();
+    CaseResult {
+        ipc: kids.iter().map(|&k| stats.ipc(k)).collect(),
+        isolated_ipc: isolated,
+        goal_ipc,
+        insts_per_energy: gpu_sim::power::insts_per_energy(&gpu),
+        preemption_saves: gpu.preempt_stats().saves,
+        spec: spec.clone(),
+    }
+}
+
+fn build_controller(
+    spec: &CaseSpec,
+    kids: &[KernelId],
+    goal_ipc: &[Option<f64>],
+) -> Box<dyn Controller> {
+    let spec_of = |k: usize| match goal_ipc[k] {
+        Some(g) => QosSpec::qos(g),
+        None => QosSpec::best_effort(),
+    };
+    match spec.policy {
+        Policy::Spart => {
+            let mut ctrl = SpartController::new();
+            for (i, &kid) in kids.iter().enumerate() {
+                ctrl = ctrl.with_kernel(kid, spec_of(i));
+            }
+            Box::new(ctrl)
+        }
+        Policy::Quota(scheme) => {
+            let mut mgr =
+                QosManager::new(scheme).with_static_adjust(spec.ablations.static_adjust);
+            if let Some(h) = spec.ablations.history_adjust {
+                mgr = mgr.with_history_adjust(h);
+            }
+            for (i, &kid) in kids.iter().enumerate() {
+                mgr = mgr.with_kernel(kid, spec_of(i));
+            }
+            Box::new(mgr)
+        }
+    }
+}
+
+/// Runs `specs` in parallel across all cores, preserving input order.
+///
+/// Isolated IPCs are measured first (deduplicated), also in parallel.
+pub fn run_cases(specs: &[CaseSpec], iso: &IsolatedCache) -> Vec<CaseResult> {
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+
+    // Warm the isolated cache in parallel (unique keys only).
+    let unique: Vec<(String, ConfigKind, u64)> = {
+        let mut set = std::collections::HashSet::new();
+        specs
+            .iter()
+            .flat_map(|s| {
+                s.kernels
+                    .iter()
+                    .map(move |k| (k.clone(), s.config, s.cycles))
+            })
+            .filter(|key| set.insert(key.clone()))
+            .collect()
+    };
+    parallel_for_each(&unique, threads, |(name, config, cycles)| {
+        iso.ipc(name, *config, *cycles);
+    });
+
+    let results: Vec<RwLock<Option<CaseResult>>> =
+        specs.iter().map(|_| RwLock::new(None)).collect();
+    let indices: Vec<usize> = (0..specs.len()).collect();
+    parallel_for_each(&indices, threads, |&i| {
+        let r = run_case(&specs[i], iso);
+        *results[i].write() = Some(r);
+    });
+    results
+        .into_iter()
+        .map(|cell| cell.into_inner().expect("every case ran"))
+        .collect()
+}
+
+/// Simple work-stealing-free parallel for-each over a slice.
+fn parallel_for_each<T: Sync, F: Fn(&T) + Sync>(items: &[T], threads: usize, f: F) {
+    if items.is_empty() {
+        return;
+    }
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers = threads.min(items.len()).max(1);
+    crossbeam::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= items.len() {
+                    break;
+                }
+                f(&items[i]);
+            });
+        }
+    })
+    .expect("worker threads must not panic");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_core::QuotaScheme;
+
+    #[test]
+    fn isolated_cache_measures_once() {
+        let cache = IsolatedCache::new();
+        let a = cache.ipc("sgemm", ConfigKind::Table1, 20_000);
+        let b = cache.ipc("sgemm", ConfigKind::Table1, 20_000);
+        assert_eq!(a, b);
+        assert_eq!(cache.len(), 1);
+        assert!(a > 100.0, "sgemm isolated IPC {a} looks wrong");
+    }
+
+    #[test]
+    fn run_case_produces_consistent_result() {
+        let cache = IsolatedCache::new();
+        let spec = CaseSpec::new(
+            &["sgemm", "lbm"],
+            &[Some(0.5), None],
+            Policy::Quota(QuotaScheme::Rollover),
+            40_000,
+        );
+        let r = run_case(&spec, &cache);
+        assert_eq!(r.ipc.len(), 2);
+        assert!(r.ipc[0] > 0.0);
+        assert_eq!(r.goal_ipc[1], None);
+        let goal = r.goal_ipc[0].expect("QoS kernel has a goal");
+        assert!((goal - 0.5 * r.isolated_ipc[0]).abs() < 1e-9);
+        assert!(r.insts_per_energy > 0.0);
+    }
+
+    #[test]
+    fn run_cases_preserves_order_and_parallelism_is_deterministic() {
+        let cache = IsolatedCache::new();
+        let specs: Vec<CaseSpec> = [("sgemm", "lbm"), ("lbm", "sgemm"), ("sgemm", "spmv")]
+            .iter()
+            .map(|(q, b)| {
+                CaseSpec::new(
+                    &[q, b],
+                    &[Some(0.5), None],
+                    Policy::Quota(QuotaScheme::Rollover),
+                    30_000,
+                )
+            })
+            .collect();
+        let first = run_cases(&specs, &cache);
+        let second = run_cases(&specs, &cache);
+        assert_eq!(first.len(), 3);
+        for (a, b) in first.iter().zip(&second) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.ipc, b.ipc, "parallel execution must stay deterministic");
+        }
+        assert_eq!(first[0].spec.kernels[0], "sgemm");
+        assert_eq!(first[1].spec.kernels[0], "lbm");
+    }
+
+    #[test]
+    fn spart_policy_builds_and_runs() {
+        let cache = IsolatedCache::new();
+        let spec = CaseSpec::new(&["sgemm", "lbm"], &[Some(0.5), None], Policy::Spart, 30_000);
+        let r = run_case(&spec, &cache);
+        assert!(r.ipc[0] > 0.0 && r.ipc[1] > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown benchmark")]
+    fn unknown_benchmark_panics() {
+        let cache = IsolatedCache::new();
+        let spec = CaseSpec::new(&["nope", "lbm"], &[Some(0.5), None], Policy::Spart, 1_000);
+        let _ = run_case(&spec, &cache);
+    }
+}

@@ -1,0 +1,76 @@
+//! Diagnostic: per-epoch view of a QoS pair under a chosen scheme.
+//!
+//! `cargo run --release -p qos-core --example debug_pair -- sgemm lbm 0.7 rollover`
+
+use gpu_sim::{Controller, Gpu, GpuConfig, KernelId, NullController, SmId};
+use qos_core::{QosManager, QosSpec, QuotaScheme};
+
+struct Tracer {
+    inner: QosManager,
+    q: KernelId,
+    b: KernelId,
+}
+
+impl Controller for Tracer {
+    fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64) {
+        self.inner.on_epoch(gpu, epoch);
+        let snap = gpu.epoch_snapshot();
+        let sm0 = SmId::new(0);
+        println!(
+            "ep {:>3} | q: ipc {:>7.1} hist {:>7.1} a {:>4.2} tgt {:>2} host {:>2} quota {:>8} idle {:>5.1} | b: ipc {:>7.1} tgt {:>2} host {:>2} quota {:>8} | csw {} pre {}",
+            epoch,
+            snap.ipc(self.q),
+            self.inner.history_ipc(self.q),
+            self.inner.alpha_of(self.q),
+            gpu.tb_target(sm0, self.q),
+            gpu.sms()[0].hosted_tbs(self.q),
+            gpu.sms()[0].quota(self.q),
+            gpu.sms()[0].idle_warp_avg(self.q),
+            snap.ipc(self.b),
+            gpu.tb_target(sm0, self.b),
+            gpu.sms()[0].hosted_tbs(self.b),
+            gpu.sms()[0].quota(self.b),
+            gpu.context_switch_in_flight(),
+            gpu.preempt_stats().saves,
+        );
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let qname = args.get(1).map(String::as_str).unwrap_or("sgemm");
+    let bname = args.get(2).map(String::as_str).unwrap_or("lbm");
+    let frac: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.7);
+    let scheme = match args.get(4).map(String::as_str).unwrap_or("rollover") {
+        "naive" => QuotaScheme::Naive,
+        "history" => QuotaScheme::NaiveHistory,
+        "elastic" => QuotaScheme::Elastic,
+        "rtime" => QuotaScheme::RolloverTime,
+        _ => QuotaScheme::Rollover,
+    };
+    let cycles: u64 = args.get(5).and_then(|s| s.parse().ok()).unwrap_or(60_000);
+
+    let mut iso = Gpu::new(GpuConfig::paper_table1());
+    let ki = iso.launch(workloads::by_name(qname).expect("known"));
+    iso.run(cycles, &mut NullController);
+    let iso_ipc = iso.stats().ipc(ki);
+    let goal = frac * iso_ipc;
+    println!("{qname} isolated {iso_ipc:.1}, goal {goal:.1} ({frac}), scheme {scheme:?}\n");
+
+    let mut gpu = Gpu::new(GpuConfig::paper_table1());
+    let q = gpu.launch(workloads::by_name(qname).expect("known"));
+    let b = gpu.launch(workloads::by_name(bname).expect("known"));
+    let mgr = QosManager::new(scheme)
+        .with_kernel(q, QosSpec::qos(goal))
+        .with_kernel(b, QosSpec::best_effort());
+    let mut tracer = Tracer { inner: mgr, q, b };
+    gpu.run(cycles, &mut tracer);
+    let s = gpu.stats();
+    println!(
+        "\nfinal: q ipc {:.1} ({:.1}% of goal), b ipc {:.1}, saves {}",
+        s.ipc(q),
+        100.0 * s.ipc(q) / goal,
+        s.ipc(b),
+        gpu.preempt_stats().saves
+    );
+}

@@ -1,0 +1,257 @@
+//! SMK-style fairness management (the policy the paper's QoS design is
+//! "compatible with", §3.3).
+//!
+//! Fairness — unlike QoS — *equalizes* a metric across all sharers: each
+//! kernel should suffer the same relative slowdown versus running alone.
+//! The controller reuses the exact quota machinery of the QoS manager: every
+//! kernel is capped at `s × IPC_isolated` thread-instructions per epoch,
+//! where the common scale `s` adapts multiplicatively — up while everyone
+//! keeps pace (the GPU has headroom), down toward the worst laggard's
+//! achieved slowdown otherwise. Idle issue slots are still scavenged, so the
+//! cap never wastes cycles. Switching a `Gpu` between [`FairnessController`]
+//! and [`crate::QosManager`] is exactly the firmware policy swap the paper
+//! describes.
+
+use gpu_sim::sm::QuotaCarry;
+use gpu_sim::{Controller, Gpu, KernelId, SmId};
+
+use crate::scheme::{distribute_quota, epoch_quota};
+use crate::static_alloc::initial_plan;
+
+/// Multiplicative-increase / measured-decrease fairness controller.
+#[derive(Debug, Clone)]
+pub struct FairnessController {
+    isolated_ipc: Vec<f64>,
+    scale: f64,
+    initialized: bool,
+    cum_insts: Vec<u64>,
+    cum_cycles: u64,
+}
+
+/// How fast the common slowdown scale grows while all kernels keep pace.
+const SCALE_GROWTH: f64 = 1.10;
+
+impl FairnessController {
+    /// Creates a controller; `isolated_ipc[k]` must be kernel `k`'s measured
+    /// isolated IPC (the normalization baseline).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any baseline is not finite and positive.
+    pub fn new(isolated_ipc: Vec<f64>) -> Self {
+        assert!(
+            isolated_ipc.iter().all(|v| v.is_finite() && *v > 0.0),
+            "isolated IPC baselines must be finite and positive"
+        );
+        FairnessController {
+            isolated_ipc,
+            scale: 0.5,
+            initialized: false,
+            cum_insts: Vec::new(),
+            cum_cycles: 0,
+        }
+    }
+
+    /// The current common slowdown scale `s` (every kernel is held near
+    /// `s × isolated IPC`).
+    pub fn scale(&self) -> f64 {
+        self.scale
+    }
+
+    /// Kernel `k`'s cumulative normalized progress (shared IPC / isolated).
+    pub fn normalized_progress(&self, k: KernelId) -> f64 {
+        if self.cum_cycles == 0 {
+            return 0.0;
+        }
+        let ipc = self.cum_insts[k.index()] as f64 / self.cum_cycles as f64;
+        ipc / self.isolated_ipc[k.index()]
+    }
+
+    fn init(&mut self, gpu: &mut Gpu) {
+        let nk = gpu.num_kernels();
+        assert_eq!(
+            self.isolated_ipc.len(),
+            nk,
+            "one isolated-IPC baseline per launched kernel"
+        );
+        self.cum_insts = vec![0; nk];
+        gpu.set_sharing_mode(gpu_sim::SharingMode::Smk);
+        // Everybody is "best effort" under fairness: symmetric placement.
+        let specs = vec![crate::QosSpec::best_effort(); nk];
+        initial_plan(gpu, &specs).apply(gpu);
+        for sm in gpu.sm_ids().collect::<Vec<_>>() {
+            for k in 0..nk {
+                let kid = KernelId::new(k);
+                let sm_ref = gpu.sm_mut(sm);
+                sm_ref.set_gated(kid, true);
+                // Non-QoS classification enables slack scavenging, keeping
+                // the fairness caps work-conserving.
+                sm_ref.set_qos_kernel(kid, false);
+            }
+        }
+        self.initialized = true;
+    }
+
+    fn adapt_scale(&mut self, gpu: &Gpu) {
+        let nk = gpu.num_kernels();
+        let snap = gpu.epoch_snapshot();
+        if snap.cycles == 0 {
+            return;
+        }
+        // Worst per-epoch normalized progress across kernels.
+        let worst = (0..nk)
+            .map(|k| snap.ipc(KernelId::new(k)) / self.isolated_ipc[k])
+            .fold(f64::INFINITY, f64::min);
+        if worst >= self.scale * 0.95 {
+            // Everyone kept pace with the cap: the machine has headroom.
+            self.scale = (self.scale * SCALE_GROWTH).min(1.0);
+        } else {
+            // Someone fell behind: pull the cap toward what is achievable so
+            // the faster kernels stop outrunning the laggard.
+            self.scale = (self.scale * 0.5 + worst * 0.5).max(0.01);
+        }
+    }
+
+    fn assign_quotas(&self, gpu: &mut Gpu) {
+        let nk = gpu.num_kernels();
+        let epoch_cycles = gpu.config().epoch_cycles;
+        for k in 0..nk {
+            let kid = KernelId::new(k);
+            let quota = epoch_quota(self.scale * self.isolated_ipc[k], 1.0, epoch_cycles);
+            let shares: Vec<u32> = gpu
+                .sm_ids()
+                .map(|sm| {
+                    let hosted = gpu.sms()[sm.index()].hosted_tbs(kid);
+                    if hosted > 0 {
+                        hosted
+                    } else {
+                        u32::from(gpu.tb_target(sm, kid))
+                    }
+                })
+                .collect();
+            let parts = distribute_quota(quota, &shares);
+            for (i, part) in parts.into_iter().enumerate() {
+                let part = part as i64;
+                gpu.sm_mut(SmId::new(i)).set_epoch_quota(kid, part, QuotaCarry::Reset, part);
+            }
+        }
+    }
+}
+
+impl Controller for FairnessController {
+    fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64) {
+        if !self.initialized {
+            self.init(gpu);
+        }
+        if epoch > 0 {
+            let snap = gpu.epoch_snapshot();
+            self.cum_cycles += snap.cycles;
+            for (k, cum) in self.cum_insts.iter_mut().enumerate() {
+                *cum += snap.thread_insts[k];
+            }
+            self.adapt_scale(gpu);
+        }
+        self.assign_quotas(gpu);
+    }
+}
+
+/// Jain's fairness index over per-kernel normalized progress:
+/// `(Σx)² / (n·Σx²)`, 1.0 = perfectly fair.
+pub fn jain_index(normalized: &[f64]) -> f64 {
+    if normalized.is_empty() {
+        return 1.0;
+    }
+    let sum: f64 = normalized.iter().sum();
+    let sq: f64 = normalized.iter().map(|x| x * x).sum();
+    if sq <= 0.0 {
+        1.0
+    } else {
+        sum * sum / (normalized.len() as f64 * sq)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{GpuConfig, NullController, SharingMode};
+
+    fn isolated(name: &str, cycles: u64) -> f64 {
+        let mut gpu = Gpu::new(GpuConfig::paper_table1());
+        let k = gpu.launch(workloads::by_name(name).expect("known"));
+        gpu.run(cycles, &mut NullController);
+        gpu.stats().ipc(k)
+    }
+
+    #[test]
+    fn jain_index_math() {
+        assert!((jain_index(&[0.5, 0.5, 0.5]) - 1.0).abs() < 1e-12);
+        let skewed = jain_index(&[0.9, 0.1]);
+        assert!(skewed < 0.7, "skewed allocation must score poorly: {skewed}");
+        assert_eq!(jain_index(&[]), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn rejects_bad_baselines() {
+        let _ = FairnessController::new(vec![100.0, 0.0]);
+    }
+
+    #[test]
+    fn fairness_beats_unmanaged_sharing_on_jain_index() {
+        let cycles = 120_000;
+        let names = ["mri-q", "sad"];
+        let iso: Vec<f64> = names.iter().map(|n| isolated(n, cycles)).collect();
+
+        // Unmanaged SMK with the asymmetric residency a first-come
+        // dispatcher produces: the early kernel hogs the SMs and the late
+        // one crawls — the unfairness SMK's management addresses.
+        let mut gpu = Gpu::new(GpuConfig::paper_table1());
+        let kids: Vec<KernelId> =
+            names.iter().map(|n| gpu.launch(workloads::by_name(n).expect("known"))).collect();
+        gpu.set_sharing_mode(SharingMode::Smk);
+        for sm in gpu.sm_ids().collect::<Vec<_>>() {
+            gpu.set_tb_target(sm, kids[0], 6);
+            gpu.set_tb_target(sm, kids[1], 1);
+        }
+        gpu.run(cycles, &mut NullController);
+        let unmanaged: Vec<f64> = kids
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| gpu.stats().ipc(k) / iso[i])
+            .collect();
+
+        // Managed fairness.
+        let mut gpu = Gpu::new(GpuConfig::paper_table1());
+        let kids: Vec<KernelId> =
+            names.iter().map(|n| gpu.launch(workloads::by_name(n).expect("known"))).collect();
+        let mut ctrl = FairnessController::new(iso.clone());
+        gpu.run(cycles, &mut ctrl);
+        let managed: Vec<f64> = kids
+            .iter()
+            .enumerate()
+            .map(|(i, &k)| gpu.stats().ipc(k) / iso[i])
+            .collect();
+
+        let (ju, jm) = (jain_index(&unmanaged), jain_index(&managed));
+        assert!(
+            jm > ju,
+            "fairness control must improve Jain index: managed {jm:.3} \
+             (progress {managed:?}) vs unmanaged {ju:.3} (progress {unmanaged:?})"
+        );
+    }
+
+    #[test]
+    fn scale_converges_into_unit_interval() {
+        let cycles = 60_000;
+        let iso: Vec<f64> = ["sad", "spmv"].iter().map(|n| isolated(n, cycles)).collect();
+        let mut gpu = Gpu::new(GpuConfig::paper_table1());
+        for n in ["sad", "spmv"] {
+            gpu.launch(workloads::by_name(n).expect("known"));
+        }
+        let mut ctrl = FairnessController::new(iso);
+        gpu.run(cycles, &mut ctrl);
+        let s = ctrl.scale();
+        assert!((0.01..=1.0).contains(&s), "scale {s} out of range");
+        assert!(ctrl.normalized_progress(KernelId::new(0)) > 0.0);
+    }
+}

@@ -1,0 +1,211 @@
+//! Translating application-level QoS goals into architectural IPC goals.
+//!
+//! QoS requirements arrive as frame rates, data rates or deadlines. The
+//! paper's OS-resident kernel scheduler subtracts non-kernel latencies
+//! (PCIe transfers, queueing) from the end-to-end budget and converts the
+//! remaining *pure kernel execution time* into an IPC target (§3.2):
+//!
+//! ```text
+//! IPC = instructions_of_kernel / (frequency × kernel_execution_time)
+//! ```
+//!
+//! The evaluation then expresses goals as a percentage of the kernel's
+//! isolated IPC, which [`GoalTranslation`] reproduces.
+
+use serde::{Deserialize, Serialize};
+
+/// Per-kernel QoS specification handed to a [`crate::QosManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct QosSpec {
+    goal_ipc: Option<f64>,
+}
+
+impl QosSpec {
+    /// A QoS kernel that must sustain `goal_ipc` thread-level IPC.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `goal_ipc` is not finite and positive.
+    pub fn qos(goal_ipc: f64) -> Self {
+        assert!(
+            goal_ipc.is_finite() && goal_ipc > 0.0,
+            "IPC goal must be finite and positive"
+        );
+        QosSpec { goal_ipc: Some(goal_ipc) }
+    }
+
+    /// A best-effort (non-QoS) kernel: no guarantee, maximize throughput
+    /// with whatever the QoS kernels leave.
+    pub fn best_effort() -> Self {
+        QosSpec { goal_ipc: None }
+    }
+
+    /// The IPC goal, or `None` for best-effort kernels.
+    pub fn goal_ipc(&self) -> Option<f64> {
+        self.goal_ipc
+    }
+
+    /// Whether this is a QoS kernel.
+    pub fn is_qos(&self) -> bool {
+        self.goal_ipc.is_some()
+    }
+}
+
+impl Default for QosSpec {
+    fn default() -> Self {
+        QosSpec::best_effort()
+    }
+}
+
+/// End-to-end goal translation (§3.2).
+///
+/// Captures the OS-level accounting that precedes architectural QoS
+/// management: the application's deadline minus data-transfer and queueing
+/// time gives the kernel-execution budget, which together with the predicted
+/// instruction count yields the IPC goal.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GoalTranslation {
+    /// GPU core clock in MHz.
+    pub core_mhz: u32,
+    /// Predicted total (thread-level) instructions of the kernel. In data
+    /// centres this is stable and predictable across invocations (§3.2).
+    pub kernel_instructions: u64,
+    /// Bytes transferred over PCIe per invocation (0 for unified memory).
+    pub transfer_bytes: u64,
+    /// PCIe bandwidth in bytes per microsecond (≈ GB/s × 1000 / 1e6).
+    pub pcie_bytes_per_us: f64,
+    /// Fixed PCIe/queueing latency per invocation, in microseconds.
+    pub fixed_latency_us: f64,
+}
+
+impl GoalTranslation {
+    /// Translation for a unified-memory system (no transfer cost).
+    pub fn unified(core_mhz: u32, kernel_instructions: u64) -> Self {
+        GoalTranslation {
+            core_mhz,
+            kernel_instructions,
+            transfer_bytes: 0,
+            pcie_bytes_per_us: 0.0,
+            fixed_latency_us: 0.0,
+        }
+    }
+
+    /// Non-kernel overhead (transfer + fixed latency) in microseconds.
+    pub fn overhead_us(&self) -> f64 {
+        let transfer = if self.transfer_bytes == 0 || self.pcie_bytes_per_us <= 0.0 {
+            0.0
+        } else {
+            self.transfer_bytes as f64 / self.pcie_bytes_per_us
+        };
+        transfer + self.fixed_latency_us
+    }
+
+    /// IPC goal needed to finish each invocation within `deadline_us`
+    /// (e.g. 16 667 µs for 60 fps frame processing).
+    ///
+    /// Returns `None` if the overhead alone exceeds the deadline — no
+    /// architectural policy can meet such a goal.
+    pub fn ipc_goal_for_deadline(&self, deadline_us: f64) -> Option<f64> {
+        let budget_us = deadline_us - self.overhead_us();
+        if budget_us <= 0.0 {
+            return None;
+        }
+        let budget_cycles = budget_us * f64::from(self.core_mhz);
+        Some(self.kernel_instructions as f64 / budget_cycles)
+    }
+
+    /// IPC goal for a sustained rate of `per_second` kernel invocations
+    /// (frame rate or request rate).
+    pub fn ipc_goal_for_rate(&self, per_second: f64) -> Option<f64> {
+        if per_second <= 0.0 {
+            return None;
+        }
+        self.ipc_goal_for_deadline(1e6 / per_second)
+    }
+}
+
+/// Builds the paper's goal sweep: fractions of isolated IPC from 50% to 95%
+/// in 5% steps (§4.1).
+pub fn paper_goal_fractions() -> Vec<f64> {
+    (10..=19).map(|i| f64::from(i) * 0.05).collect()
+}
+
+/// The two-QoS-kernel sweep: (25%, 25%) … (70%, 70%) in 5% steps (§4.1).
+pub fn paper_dual_goal_fractions() -> Vec<f64> {
+    (5..=14).map(|i| f64::from(i) * 0.05).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spec_accessors() {
+        let q = QosSpec::qos(100.0);
+        assert!(q.is_qos());
+        assert_eq!(q.goal_ipc(), Some(100.0));
+        let b = QosSpec::best_effort();
+        assert!(!b.is_qos());
+        assert_eq!(b.goal_ipc(), None);
+        assert_eq!(QosSpec::default(), b);
+    }
+
+    #[test]
+    #[should_panic(expected = "finite and positive")]
+    fn spec_rejects_nonpositive_goal() {
+        let _ = QosSpec::qos(0.0);
+    }
+
+    #[test]
+    fn unified_memory_has_no_overhead() {
+        let t = GoalTranslation::unified(1216, 1_000_000);
+        assert_eq!(t.overhead_us(), 0.0);
+    }
+
+    #[test]
+    fn deadline_translation_matches_formula() {
+        // 1216 MHz, 1e9 instructions, 16.667 ms budget -> IPC = 1e9 / (16667 * 1216)
+        let t = GoalTranslation::unified(1216, 1_000_000_000);
+        let ipc = t.ipc_goal_for_deadline(16_667.0).expect("feasible deadline");
+        let expect = 1e9 / (16_667.0 * 1216.0);
+        assert!((ipc - expect).abs() < 1e-9);
+    }
+
+    #[test]
+    fn rate_is_deadline_reciprocal() {
+        let t = GoalTranslation::unified(1216, 1_000_000_000);
+        let by_rate = t.ipc_goal_for_rate(60.0).expect("feasible rate");
+        let by_deadline = t.ipc_goal_for_deadline(1e6 / 60.0).expect("feasible deadline");
+        assert!((by_rate - by_deadline).abs() < 1e-9);
+    }
+
+    #[test]
+    fn transfer_overhead_shrinks_budget() {
+        let mut t = GoalTranslation::unified(1216, 1_000_000_000);
+        let base = t.ipc_goal_for_deadline(10_000.0).expect("feasible");
+        t.transfer_bytes = 100 << 20; // 100 MiB
+        t.pcie_bytes_per_us = 16_000.0; // ~16 GB/s
+        let with_copy = t.ipc_goal_for_deadline(10_000.0).expect("still feasible");
+        assert!(with_copy > base, "less time for the kernel => higher IPC needed");
+    }
+
+    #[test]
+    fn infeasible_deadline_is_none() {
+        let mut t = GoalTranslation::unified(1216, 1_000);
+        t.fixed_latency_us = 50.0;
+        assert_eq!(t.ipc_goal_for_deadline(40.0), None);
+        assert_eq!(t.ipc_goal_for_rate(0.0), None);
+    }
+
+    #[test]
+    fn paper_sweeps_match_methodology() {
+        let single = paper_goal_fractions();
+        assert_eq!(single.len(), 10);
+        assert!((single[0] - 0.50).abs() < 1e-12);
+        assert!((single[9] - 0.95).abs() < 1e-12);
+        let dual = paper_dual_goal_fractions();
+        assert_eq!(dual.len(), 10);
+        assert!((dual[0] - 0.25).abs() < 1e-12);
+        assert!((dual[9] - 0.70).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,110 @@
+//! Quota search for non-QoS kernels (§3.5).
+//!
+//! Non-QoS kernels have no requirement of their own, but starving them
+//! degenerates into time multiplexing while over-feeding them threatens the
+//! QoS kernels. The paper sets each non-QoS kernel an *artificial* goal that
+//! tracks how comfortably the QoS kernels are meeting theirs:
+//!
+//! ```text
+//! IPC_goal = IPC_epoch × Π_{k ∈ QoS} IPC_epoch(k) / (α_k × IPC_goal(k))
+//! ```
+//!
+//! If every QoS kernel overshoots, the product exceeds 1 and the non-QoS
+//! goal grows; if any QoS kernel lags, the product shrinks below 1 and the
+//! non-QoS kernel is reined in on the next epoch.
+
+/// One QoS kernel's standing for the non-QoS goal computation.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QosStanding {
+    /// The kernel's IPC over the previous epoch.
+    pub epoch_ipc: f64,
+    /// The kernel's (history-adjusted) quota multiplier α.
+    pub alpha: f64,
+    /// The kernel's IPC goal.
+    pub goal_ipc: f64,
+}
+
+/// Bounds applied to the per-epoch scaling factor so a single noisy epoch
+/// cannot collapse or explode the non-QoS allocation.
+const FACTOR_MIN: f64 = 0.25;
+const FACTOR_MAX: f64 = 4.0;
+
+/// The paper's initial non-QoS epoch IPC ("conservatively small"): 1.
+pub const INITIAL_NONQOS_IPC: f64 = 1.0;
+
+/// Computes the next artificial IPC goal for a non-QoS kernel.
+///
+/// `prev_epoch_ipc` is the non-QoS kernel's own IPC over the last epoch
+/// (use [`INITIAL_NONQOS_IPC`] before the first one); `qos` describes every
+/// QoS kernel's standing.
+pub fn artificial_goal(prev_epoch_ipc: f64, qos: &[QosStanding]) -> f64 {
+    let base = prev_epoch_ipc.max(INITIAL_NONQOS_IPC);
+    let mut factor = 1.0;
+    for s in qos {
+        let denom = s.alpha * s.goal_ipc;
+        if denom > 0.0 {
+            factor *= s.epoch_ipc / denom;
+        }
+    }
+    base * factor.clamp(FACTOR_MIN, FACTOR_MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn standing(epoch: f64, alpha: f64, goal: f64) -> QosStanding {
+        QosStanding { epoch_ipc: epoch, alpha, goal_ipc: goal }
+    }
+
+    #[test]
+    fn comfortable_qos_grows_nonqos() {
+        // QoS kernel 30% above goal, α = 1 -> non-QoS scales up by 1.3.
+        let next = artificial_goal(100.0, &[standing(130.0, 1.0, 100.0)]);
+        assert!((next - 130.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lagging_qos_shrinks_nonqos() {
+        let next = artificial_goal(100.0, &[standing(80.0, 1.0, 100.0)]);
+        assert!((next - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn alpha_discounts_apparent_success() {
+        // Meeting the goal only because α pumped the quota is not headroom:
+        // ipc == goal but α = 1.25 -> factor 0.8 < 1.
+        let next = artificial_goal(100.0, &[standing(100.0, 1.25, 100.0)]);
+        assert!((next - 80.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_qos_kernels_multiply() {
+        let next = artificial_goal(
+            100.0,
+            &[standing(120.0, 1.0, 100.0), standing(90.0, 1.0, 100.0)],
+        );
+        assert!((next - 100.0 * 1.2 * 0.9).abs() < 1e-9);
+    }
+
+    #[test]
+    fn initial_ipc_floor_applies() {
+        // A starved non-QoS kernel (epoch IPC 0) still gets the initial floor.
+        let next = artificial_goal(0.0, &[standing(150.0, 1.0, 100.0)]);
+        assert!(next >= INITIAL_NONQOS_IPC, "must be able to bootstrap");
+    }
+
+    #[test]
+    fn factor_is_clamped() {
+        let boom = artificial_goal(100.0, &[standing(10_000.0, 1.0, 1.0)]);
+        assert!((boom - 400.0).abs() < 1e-9, "upper clamp");
+        let bust = artificial_goal(100.0, &[standing(0.0001, 1.0, 1_000.0)]);
+        assert!((bust - 25.0).abs() < 1e-9, "lower clamp");
+    }
+
+    #[test]
+    fn no_qos_kernels_means_keep_pace() {
+        let next = artificial_goal(123.0, &[]);
+        assert!((next - 123.0).abs() < 1e-9);
+    }
+}

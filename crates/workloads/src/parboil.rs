@@ -1,0 +1,353 @@
+//! Synthetic models of the ten Parboil benchmarks used in the paper.
+//!
+//! Classification into compute-intensive ("C") and memory-intensive ("M")
+//! follows the standard Parboil characterisation the paper's Fig. 7 relies
+//! on: `cutcp`, `mri-q`, `sad`, `sgemm`, `tpacf` are compute-bound;
+//! `histo`, `lbm`, `mri-gm`, `spmv`, `stencil` are memory-bound.
+
+use gpu_sim::{AccessPattern, KernelDesc, Op};
+
+/// KiB shorthand for footprints.
+const KIB: u64 = 1024;
+/// MiB shorthand for footprints.
+const MIB: u64 = 1024 * 1024;
+
+/// The benchmark names, in the order of the paper's Fig. 7.
+pub const NAMES: [&str; 10] = [
+    "cutcp", "histo", "lbm", "mri-gm", "mri-q", "sad", "sgemm", "spmv", "stencil", "tpacf",
+];
+
+/// Builds all ten benchmark kernels.
+pub fn all() -> Vec<KernelDesc> {
+    NAMES.iter().map(|n| by_name(n).expect("listed benchmark exists")).collect()
+}
+
+/// Builds one benchmark kernel by name; `None` for unknown names.
+pub fn by_name(name: &str) -> Option<KernelDesc> {
+    Some(match name {
+        "cutcp" => cutcp(),
+        "histo" => histo(),
+        "lbm" => lbm(),
+        "mri-gm" => mri_gm(),
+        "mri-q" => mri_q(),
+        "sad" => sad(),
+        "sgemm" => sgemm(),
+        "spmv" => spmv(),
+        "stencil" => stencil(),
+        "tpacf" => tpacf(),
+        _ => return None,
+    })
+}
+
+/// Cut-off Coulombic potential: compute-bound lattice sums with a shared-
+/// memory atom tile and transcendental math.
+pub fn cutcp() -> KernelDesc {
+    KernelDesc::builder("cutcp")
+        .threads_per_tb(128)
+        .regs_per_thread(40)
+        .smem_per_tb(8 * KIB)
+        .grid_tbs(1024)
+        .iterations(20)
+        .seed(0xC07C_0001)
+        .body(vec![
+            Op::mem_load(AccessPattern::tile(2 * KIB)),
+            Op::smem(),
+            Op::alu(4, 18),
+            Op::sfu(16, 2),
+            Op::alu(4, 10),
+            Op::Bar,
+            Op::alu(4, 4),
+        ])
+        .build()
+}
+
+/// Histogramming: short-running kernels with randomized, poorly coalesced
+/// bin updates. The short grid models the paper's observation that `histo`'s
+/// kernels finish too quickly for epoch-grained QoS to act on.
+pub fn histo() -> KernelDesc {
+    KernelDesc::builder("histo")
+        .threads_per_tb(256)
+        .regs_per_thread(24)
+        .smem_per_tb(4 * KIB)
+        .grid_tbs(96)
+        .iterations(6)
+        .seed(0xC07C_0002)
+        .memory_intensive(true)
+        .body(vec![
+            Op::mem_load(AccessPattern::stream()),
+            Op::alu(4, 2),
+            Op::Mem {
+                space: gpu_sim::MemSpace::Global,
+                store: true,
+                pattern: AccessPattern::random(2 * MIB, 16),
+                active_lanes: 32,
+            },
+            Op::alu(4, 1),
+        ])
+        .build()
+}
+
+/// Lattice-Boltzmann method: the classic bandwidth-bound streaming kernel —
+/// large loads and stores, little arithmetic per byte.
+pub fn lbm() -> KernelDesc {
+    KernelDesc::builder("lbm")
+        .threads_per_tb(128)
+        .regs_per_thread(48)
+        .grid_tbs(1024)
+        .iterations(16)
+        .seed(0xC07C_0003)
+        .memory_intensive(true)
+        .body(vec![
+            Op::mem_load(AccessPattern::stream()),
+            Op::mem_load(AccessPattern::stream()),
+            Op::alu(4, 6),
+            Op::mem_store(AccessPattern::stream()),
+            Op::alu(4, 2),
+        ])
+        .build()
+}
+
+/// MRI gridding: scattered sample accumulation — divergent random accesses
+/// with moderate arithmetic.
+pub fn mri_gm() -> KernelDesc {
+    KernelDesc::builder("mri-gm")
+        .threads_per_tb(256)
+        .regs_per_thread(32)
+        .grid_tbs(768)
+        .iterations(8)
+        .seed(0xC07C_0004)
+        .memory_intensive(true)
+        .body(vec![
+            Op::mem_load(AccessPattern::random(32 * MIB, 12)),
+            Op::alu_divergent(4, 6, 24),
+            Op::alu(4, 4),
+            Op::mem_store(AccessPattern::random(32 * MIB, 12)),
+        ])
+        .build()
+}
+
+/// MRI Q-matrix: compute-bound with heavy trigonometric (SFU) work over a
+/// small, cache-resident sample table.
+pub fn mri_q() -> KernelDesc {
+    KernelDesc::builder("mri-q")
+        .threads_per_tb(256)
+        .regs_per_thread(28)
+        .grid_tbs(1024)
+        .iterations(24)
+        .seed(0xC07C_0005)
+        .body(vec![
+            Op::mem_load(AccessPattern::tile(2 * KIB)),
+            Op::alu(4, 10),
+            Op::sfu(16, 4),
+            Op::alu(4, 8),
+        ])
+        .build()
+}
+
+/// Sum of absolute differences (video encoding): streaming reads with dense
+/// short-latency arithmetic.
+pub fn sad() -> KernelDesc {
+    KernelDesc::builder("sad")
+        .threads_per_tb(192)
+        .regs_per_thread(36)
+        .grid_tbs(1024)
+        .iterations(20)
+        .seed(0xC07C_0006)
+        .body(vec![
+            Op::mem_load(AccessPattern::tile(3 * KIB)),
+            Op::alu(2, 24),
+            Op::mem_load(AccessPattern::tile(3 * KIB)),
+            Op::alu(2, 16),
+        ])
+        .build()
+}
+
+/// Dense matrix multiply: shared-memory tiles, barriers, long ALU bursts —
+/// the canonical compute-bound GPU kernel.
+pub fn sgemm() -> KernelDesc {
+    KernelDesc::builder("sgemm")
+        .threads_per_tb(256)
+        .regs_per_thread(48)
+        .smem_per_tb(16 * KIB)
+        .grid_tbs(1024)
+        .iterations(16)
+        .seed(0xC07C_0007)
+        .body(vec![
+            Op::mem_load(AccessPattern::tile(4 * KIB)),
+            Op::Bar,
+            Op::smem(),
+            Op::alu(4, 28),
+            Op::smem(),
+            Op::alu(4, 12),
+            Op::Bar,
+            Op::alu(4, 2),
+        ])
+        .build()
+}
+
+/// Sparse matrix-vector multiply: random gathers through the column index
+/// array; little arithmetic, poor coalescing.
+pub fn spmv() -> KernelDesc {
+    KernelDesc::builder("spmv")
+        .threads_per_tb(128)
+        .regs_per_thread(20)
+        .grid_tbs(1024)
+        .iterations(16)
+        .seed(0xC07C_0008)
+        .memory_intensive(true)
+        .body(vec![
+            Op::mem_load(AccessPattern::stream()),
+            Op::mem_load(AccessPattern::random(64 * MIB, 24)),
+            Op::alu(4, 4),
+        ])
+        .build()
+}
+
+/// 7-point 3-D stencil: neighbourhood loads with cross-TB reuse in L2 and a
+/// streaming store.
+pub fn stencil() -> KernelDesc {
+    KernelDesc::builder("stencil")
+        .threads_per_tb(256)
+        .regs_per_thread(32)
+        .grid_tbs(1024)
+        .iterations(16)
+        .seed(0xC07C_0009)
+        .memory_intensive(true)
+        .body(vec![
+            Op::mem_load(AccessPattern::stencil(48 * MIB)),
+            Op::mem_load(AccessPattern::stencil(48 * MIB)),
+            Op::alu(4, 8),
+            Op::mem_store(AccessPattern::stream()),
+        ])
+        .build()
+}
+
+/// Two-point angular correlation: compute-bound histogramming of angular
+/// separations with divergent control flow.
+pub fn tpacf() -> KernelDesc {
+    KernelDesc::builder("tpacf")
+        .threads_per_tb(256)
+        .regs_per_thread(44)
+        .smem_per_tb(12 * KIB)
+        .grid_tbs(768)
+        .iterations(20)
+        .seed(0xC07C_000A)
+        .body(vec![
+            Op::mem_load(AccessPattern::tile(2 * KIB)),
+            Op::alu(4, 14),
+            Op::sfu(16, 2),
+            Op::alu_divergent(4, 8, 20),
+            Op::smem(),
+            Op::alu(4, 6),
+        ])
+        .build()
+}
+
+/// Names of the compute-intensive ("C") benchmarks.
+pub fn compute_names() -> Vec<&'static str> {
+    NAMES
+        .iter()
+        .copied()
+        .filter(|n| !by_name(n).expect("known").memory_intensive())
+        .collect()
+}
+
+/// Names of the memory-intensive ("M") benchmarks.
+pub fn memory_names() -> Vec<&'static str> {
+    NAMES
+        .iter()
+        .copied()
+        .filter(|n| by_name(n).expect("known").memory_intensive())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{Gpu, GpuConfig, NullController};
+
+    #[test]
+    fn all_ten_build() {
+        let ks = all();
+        assert_eq!(ks.len(), 10);
+        for (k, name) in ks.iter().zip(NAMES) {
+            assert_eq!(k.name(), name);
+        }
+    }
+
+    #[test]
+    fn unknown_name_is_none() {
+        assert!(by_name("bfs").is_none(), "bfs is excluded in the paper");
+        assert!(by_name("nonsense").is_none());
+    }
+
+    #[test]
+    fn class_split_is_five_five() {
+        assert_eq!(compute_names(), vec!["cutcp", "mri-q", "sad", "sgemm", "tpacf"]);
+        assert_eq!(memory_names(), vec!["histo", "lbm", "mri-gm", "spmv", "stencil"]);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let ks = all();
+        let seeds: std::collections::HashSet<u64> = ks.iter().map(|k| k.seed()).collect();
+        assert_eq!(seeds.len(), ks.len());
+    }
+
+    #[test]
+    fn every_kernel_fits_at_least_two_tbs_per_sm() {
+        let gpu = Gpu::new(GpuConfig::paper_table1());
+        drop(gpu);
+        let cfg = GpuConfig::paper_table1();
+        for k in all() {
+            let mut gpu = Gpu::new(cfg.clone());
+            let kid = gpu.launch(k.clone());
+            let max = gpu.max_resident_tbs(kid);
+            assert!(
+                (2..=32).contains(&max),
+                "{} occupancy {} outside sane range",
+                k.name(),
+                max
+            );
+        }
+    }
+
+    #[test]
+    fn every_kernel_makes_progress_in_isolation() {
+        for k in all() {
+            let name = k.name().to_string();
+            let mut gpu = Gpu::new(GpuConfig::paper_table1());
+            let kid = gpu.launch(k);
+            gpu.run(20_000, &mut NullController);
+            let ipc = gpu.stats().ipc(kid);
+            assert!(ipc > 1.0, "{name} isolated IPC {ipc} too low");
+        }
+    }
+
+    #[test]
+    fn memory_kernels_have_lower_ipc_than_compute_kernels() {
+        let ipc_of = |name: &str| {
+            let mut gpu = Gpu::new(GpuConfig::paper_table1());
+            let kid = gpu.launch(by_name(name).expect("known"));
+            gpu.run(30_000, &mut NullController);
+            gpu.stats().ipc(kid)
+        };
+        let avg = |names: Vec<&str>| {
+            let sum: f64 = names.iter().map(|n| ipc_of(n)).sum();
+            sum / names.len() as f64
+        };
+        let c = avg(compute_names());
+        let m = avg(memory_names());
+        assert!(c > m, "compute class IPC {c} must exceed memory class IPC {m}");
+    }
+
+    #[test]
+    fn histo_is_short_running() {
+        let histo = histo();
+        let sgemm = sgemm();
+        assert!(
+            histo.grid_tbs() * histo.iterations() < sgemm.grid_tbs() * sgemm.iterations() / 10,
+            "histo must be an order of magnitude shorter"
+        );
+    }
+}

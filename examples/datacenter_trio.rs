@@ -1,0 +1,78 @@
+//! Datacenter consolidation: three tenants on one GPU, two with SLAs.
+//!
+//! The paper's headline scenario (§1, Fig. 6c): the GPU is shared by three
+//! kernels, two of which have QoS goals. Fine-grained quota management
+//! reaches both goals while the best-effort tenant runs on the slack;
+//! compare with the coarse-grained spatial-partitioning baseline, which has
+//! only whole SMs to hand out.
+//!
+//! Run with: `cargo run --release --example datacenter_trio`
+
+use fgqos::{Gpu, GpuConfig, NullController, QosManager, QosSpec, QuotaScheme, SpartController};
+
+fn isolated_ipc(name: &str, cycles: u64) -> f64 {
+    let mut gpu = Gpu::new(GpuConfig::paper_table1());
+    let k = gpu.launch(fgqos::workloads::by_name(name).expect("bundled"));
+    gpu.run(cycles, &mut NullController);
+    gpu.stats().ipc(k)
+}
+
+fn main() {
+    let cycles = 200_000;
+    let tenants = ["mri-q", "stencil", "lbm"];
+    let goal_frac = [Some(0.40), Some(0.40), None];
+
+    let goals: Vec<Option<f64>> = tenants
+        .iter()
+        .zip(goal_frac)
+        .map(|(name, f)| f.map(|f| f * isolated_ipc(name, cycles)))
+        .collect();
+    println!("tenants: {tenants:?}");
+    for (name, goal) in tenants.iter().zip(&goals) {
+        match goal {
+            Some(g) => println!("  {name}: SLA at {g:.1} IPC (40% of isolated)"),
+            None => println!("  {name}: best effort"),
+        }
+    }
+
+    for fine_grained in [true, false] {
+        let mut gpu = Gpu::new(GpuConfig::paper_table1());
+        let kids: Vec<_> = tenants
+            .iter()
+            .map(|n| gpu.launch(fgqos::workloads::by_name(n).expect("bundled")))
+            .collect();
+        let spec = |i: usize| match goals[i] {
+            Some(g) => QosSpec::qos(g),
+            None => QosSpec::best_effort(),
+        };
+        println!(
+            "\n--- {} ---",
+            if fine_grained { "fine-grained QoS (Rollover)" } else { "Spart baseline" }
+        );
+        if fine_grained {
+            let mut mgr = QosManager::new(QuotaScheme::Rollover);
+            for (i, &k) in kids.iter().enumerate() {
+                mgr = mgr.with_kernel(k, spec(i));
+            }
+            gpu.run(cycles, &mut mgr);
+        } else {
+            let mut ctrl = SpartController::new();
+            for (i, &k) in kids.iter().enumerate() {
+                ctrl = ctrl.with_kernel(k, spec(i));
+            }
+            gpu.run(cycles, &mut ctrl);
+        }
+        let stats = gpu.stats();
+        for (i, (&k, name)) in kids.iter().zip(tenants).enumerate() {
+            let ipc = stats.ipc(k);
+            match goals[i] {
+                Some(g) => println!(
+                    "  {name:<8} {ipc:>8.1} IPC  ({:>5.1}% of SLA) {}",
+                    100.0 * ipc / g,
+                    if ipc >= g { "MET" } else { "VIOLATED" }
+                ),
+                None => println!("  {name:<8} {ipc:>8.1} IPC  (best effort)"),
+            }
+        }
+    }
+}

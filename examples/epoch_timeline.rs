@@ -1,0 +1,55 @@
+//! Epoch timeline: watch the QoS manager converge, epoch by epoch.
+//!
+//! Wraps the manager in a [`fgqos::sim::Tracer`] and prints the per-epoch
+//! IPC / residency / quota series for both kernels — the dynamics behind
+//! Fig. 4's quota schemes and §3.6's TB adjustment.
+//!
+//! Run with: `cargo run --release --example epoch_timeline`
+
+use fgqos::sim::Tracer;
+use fgqos::{Gpu, GpuConfig, NullController, QosManager, QosSpec, QuotaScheme};
+
+fn main() {
+    let cycles = 150_000;
+    let mut solo = Gpu::new(GpuConfig::paper_table1());
+    let k = solo.launch(fgqos::workloads::by_name("tpacf").expect("bundled"));
+    solo.run(cycles, &mut NullController);
+    let goal = 0.65 * solo.stats().ipc(k);
+
+    let mut gpu = Gpu::new(GpuConfig::paper_table1());
+    let q = gpu.launch(fgqos::workloads::by_name("tpacf").expect("bundled"));
+    let b = gpu.launch(fgqos::workloads::by_name("stencil").expect("bundled"));
+    let manager = QosManager::new(QuotaScheme::Rollover)
+        .with_kernel(q, QosSpec::qos(goal))
+        .with_kernel(b, QosSpec::best_effort());
+    let mut tracer = Tracer::new(manager);
+    gpu.run(cycles, &mut tracer);
+
+    println!("tpacf QoS goal: {goal:.1} IPC; stencil best-effort\n");
+    println!(
+        "{:>5} {:>10} {:>8} {:>10} {:>10} {:>8} {:>8}",
+        "epoch", "qos IPC", "qos TBs", "qos quota", "be IPC", "be TBs", "saves"
+    );
+    for r in tracer.records() {
+        let qs = &r.kernels[q.index()];
+        let bs = &r.kernels[b.index()];
+        println!(
+            "{:>5} {:>10.1} {:>8} {:>10} {:>10.1} {:>8} {:>8}",
+            r.epoch,
+            qs.epoch_ipc,
+            qs.hosted_tbs,
+            qs.quota_total,
+            bs.epoch_ipc,
+            bs.hosted_tbs,
+            r.preemption_saves
+        );
+    }
+    let (manager, records) = tracer.into_parts();
+    let reached = manager.history_ipc(q) >= goal;
+    println!(
+        "\nfinal: goal {} after {} epochs (tracked history {:.1})",
+        if reached { "REACHED" } else { "MISSED" },
+        records.len(),
+        manager.history_ipc(q),
+    );
+}

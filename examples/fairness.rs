@@ -1,0 +1,60 @@
+//! Fairness mode: equalize relative slowdown across sharers (the SMK-style
+//! policy the paper's firmware can swap in for QoS management, §3.3).
+//!
+//! Run with: `cargo run --release --example fairness`
+
+use fgqos::qos::fairness::{jain_index, FairnessController};
+use fgqos::sim::SharingMode;
+use fgqos::{Gpu, GpuConfig, KernelId, NullController};
+
+fn isolated(name: &str, cycles: u64) -> f64 {
+    let mut gpu = Gpu::new(GpuConfig::paper_table1());
+    let k = gpu.launch(fgqos::workloads::by_name(name).expect("bundled"));
+    gpu.run(cycles, &mut NullController);
+    gpu.stats().ipc(k)
+}
+
+fn main() {
+    let cycles = 200_000;
+    let names = ["cutcp", "stencil", "spmv"];
+    let iso: Vec<f64> = names.iter().map(|n| isolated(n, cycles)).collect();
+    println!("tenants: {names:?} (no SLAs — equalize slowdown)\n");
+
+    // Unmanaged: first-come dispatch monopolizes SM capacity.
+    let mut gpu = Gpu::new(GpuConfig::paper_table1());
+    let kids: Vec<KernelId> = names
+        .iter()
+        .map(|n| gpu.launch(fgqos::workloads::by_name(n).expect("bundled")))
+        .collect();
+    gpu.set_sharing_mode(SharingMode::Smk);
+    gpu.run(cycles, &mut NullController);
+    let unmanaged: Vec<f64> =
+        kids.iter().zip(&iso).map(|(&k, &i)| gpu.stats().ipc(k) / i).collect();
+
+    // Managed fairness.
+    let mut gpu = Gpu::new(GpuConfig::paper_table1());
+    let kids: Vec<KernelId> = names
+        .iter()
+        .map(|n| gpu.launch(fgqos::workloads::by_name(n).expect("bundled")))
+        .collect();
+    let mut ctrl = FairnessController::new(iso.clone());
+    gpu.run(cycles, &mut ctrl);
+    let managed: Vec<f64> =
+        kids.iter().zip(&iso).map(|(&k, &i)| gpu.stats().ipc(k) / i).collect();
+
+    println!("{:<10} {:>12} {:>12}", "kernel", "unmanaged", "fair quotas");
+    for (i, name) in names.iter().enumerate() {
+        println!(
+            "{:<10} {:>11.1}% {:>11.1}%",
+            name,
+            100.0 * unmanaged[i],
+            100.0 * managed[i]
+        );
+    }
+    println!(
+        "\nJain fairness index: unmanaged {:.3} -> managed {:.3} (1.0 = perfectly fair)",
+        jain_index(&unmanaged),
+        jain_index(&managed)
+    );
+    println!("converged slowdown scale: {:.2}", ctrl.scale());
+}

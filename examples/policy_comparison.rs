@@ -1,0 +1,67 @@
+//! Policy comparison: run one pair under every quota scheme plus the
+//! baselines and print a side-by-side table (a one-pair slice of Fig. 6a /
+//! Fig. 10 / Fig. 11).
+//!
+//! Run with:
+//! `cargo run --release --example policy_comparison -- [qos] [besteffort] [goal_frac]`
+
+use fgqos::{Gpu, GpuConfig, NullController, QosManager, QosSpec, QuotaScheme, SpartController};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let qos_name = args.get(1).cloned().unwrap_or_else(|| "tpacf".into());
+    let be_name = args.get(2).cloned().unwrap_or_else(|| "stencil".into());
+    let frac: f64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0.75);
+    let cycles = 200_000;
+
+    let mut solo = Gpu::new(GpuConfig::paper_table1());
+    let k = solo.launch(fgqos::workloads::by_name(&qos_name).expect("known benchmark"));
+    solo.run(cycles, &mut NullController);
+    let goal = frac * solo.stats().ipc(k);
+    println!(
+        "QoS kernel {qos_name} (goal {goal:.1} IPC = {:.0}% of isolated) \
+         + best-effort {be_name}\n",
+        frac * 100.0
+    );
+    println!(
+        "{:<16} {:>10} {:>8} {:>8} {:>10} {:>8}",
+        "policy", "QoS IPC", "of goal", "met?", "BE IPC", "saves"
+    );
+
+    let run = |label: &str, use_spart: bool, scheme: Option<QuotaScheme>| {
+        let mut gpu = Gpu::new(GpuConfig::paper_table1());
+        let q = gpu.launch(fgqos::workloads::by_name(&qos_name).expect("known"));
+        let b = gpu.launch(fgqos::workloads::by_name(&be_name).expect("known"));
+        if use_spart {
+            let mut ctrl = SpartController::new()
+                .with_kernel(q, QosSpec::qos(goal))
+                .with_kernel(b, QosSpec::best_effort());
+            gpu.run(cycles, &mut ctrl);
+        } else {
+            let mut mgr = QosManager::new(scheme.expect("quota policy has a scheme"))
+                .with_kernel(q, QosSpec::qos(goal))
+                .with_kernel(b, QosSpec::best_effort());
+            gpu.run(cycles, &mut mgr);
+        }
+        let s = gpu.stats();
+        println!(
+            "{:<16} {:>10.1} {:>7.1}% {:>8} {:>10.1} {:>8}",
+            label,
+            s.ipc(q),
+            100.0 * s.ipc(q) / goal,
+            if s.ipc(q) >= goal { "yes" } else { "NO" },
+            s.ipc(b),
+            gpu.preempt_stats().saves,
+        );
+    };
+
+    run("Spart", true, None);
+    for scheme in QuotaScheme::ALL {
+        run(scheme.label(), false, Some(scheme));
+    }
+    println!(
+        "\nExpected shape (paper): Rollover meets the goal with the best \
+         best-effort throughput;\nNaive undershoots; Rollover-Time meets the \
+         goal but strangles the best-effort kernel."
+    );
+}

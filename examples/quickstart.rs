@@ -1,0 +1,42 @@
+//! Quickstart: share a GPU between a latency-sensitive kernel and a batch
+//! kernel, with a QoS guarantee on the former.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use fgqos::{Gpu, GpuConfig, NullController, QosManager, QosSpec, QuotaScheme};
+
+fn main() {
+    // 1. Measure the latency-sensitive kernel's isolated IPC — QoS goals are
+    //    expressed relative to it (paper §3.2).
+    let cycles = 150_000;
+    let mut solo = Gpu::new(GpuConfig::paper_table1());
+    let k = solo.launch(fgqos::workloads::by_name("sgemm").expect("bundled benchmark"));
+    solo.run(cycles, &mut NullController);
+    let isolated_ipc = solo.stats().ipc(k);
+    let goal = 0.7 * isolated_ipc;
+    println!("sgemm isolated IPC: {isolated_ipc:.1}; QoS goal: {goal:.1} (70%)");
+
+    // 2. Co-run it with a bandwidth-hungry batch kernel under the paper's
+    //    best scheme (Rollover quotas + static TB adjustment).
+    let mut gpu = Gpu::new(GpuConfig::paper_table1());
+    let qos_kernel = gpu.launch(fgqos::workloads::by_name("sgemm").expect("bundled"));
+    let batch_kernel = gpu.launch(fgqos::workloads::by_name("lbm").expect("bundled"));
+    let mut manager = QosManager::new(QuotaScheme::Rollover)
+        .with_kernel(qos_kernel, QosSpec::qos(goal))
+        .with_kernel(batch_kernel, QosSpec::best_effort());
+    gpu.run(cycles, &mut manager);
+
+    // 3. Report.
+    let stats = gpu.stats();
+    let achieved = stats.ipc(qos_kernel);
+    println!(
+        "shared GPU: sgemm {achieved:.1} IPC ({:.1}% of goal) — goal {}",
+        100.0 * achieved / goal,
+        if achieved >= goal { "REACHED" } else { "MISSED" },
+    );
+    println!(
+        "             lbm  {:.1} IPC on leftover resources ({} TB context switches)",
+        stats.ipc(batch_kernel),
+        gpu.preempt_stats().saves,
+    );
+}

@@ -1,0 +1,217 @@
+//! Property-based tests over the core data structures and invariants.
+
+use fgqos::sim::cache::{AccessOutcome, Cache};
+use fgqos::sim::dram::ServiceQueue;
+use fgqos::{Gpu, GpuConfig, KernelDesc, NullController};
+use gpu_sim::{AccessPattern, Op};
+use proptest::prelude::*;
+use qos_core::scheme::{alpha, distribute_quota, epoch_quota};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    // ------------------------------------------------------------------
+    // Cache invariants
+    // ------------------------------------------------------------------
+
+    /// The most recently accessed line is always resident afterwards.
+    #[test]
+    fn cache_access_makes_line_resident(addrs in prop::collection::vec(0u64..1 << 24, 1..200)) {
+        let mut c = Cache::new(4 * 1024, 4, 32);
+        for &a in &addrs {
+            c.access(a);
+            prop_assert!(c.probe(a), "line {a:#x} must be resident right after access");
+        }
+    }
+
+    /// hits + misses == number of accesses, and the hit rate is in [0, 1].
+    #[test]
+    fn cache_stats_conserve_accesses(addrs in prop::collection::vec(0u64..1 << 16, 0..300)) {
+        let mut c = Cache::new(2 * 1024, 2, 32);
+        for &a in &addrs {
+            c.access(a);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses(), addrs.len() as u64);
+        prop_assert!((0.0..=1.0).contains(&s.hit_rate()));
+    }
+
+    /// A working set no larger than one way-set-worth of distinct lines per
+    /// set never misses after the first pass (LRU guarantees inclusion).
+    #[test]
+    fn cache_small_working_set_stays_resident(seed in 0u64..1000) {
+        let mut c = Cache::new(1024, 2, 32); // 16 sets x 2 ways? no: 16 sets
+        // Choose distinct lines all mapping to different sets (stride = line).
+        let lines: Vec<u64> = (0..16u64).map(|i| (seed % 7 + 1) * 32 * 1024 + i * 32).collect();
+        for &a in &lines {
+            c.access(a);
+        }
+        for &a in &lines {
+            prop_assert_eq!(c.access(a), AccessOutcome::Hit);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Service queue invariants
+    // ------------------------------------------------------------------
+
+    /// Completions are monotonically non-decreasing for ordered arrivals and
+    /// never precede arrival + service time.
+    #[test]
+    fn queue_completions_are_causal(
+        arrivals in prop::collection::vec(0u64..10_000, 1..100),
+        service in 1u32..16,
+    ) {
+        let mut sorted = arrivals.clone();
+        sorted.sort_unstable();
+        let mut q = ServiceQueue::new(service, 100_000);
+        let mut last_done = 0;
+        for &t in &sorted {
+            let done = q.serve(t);
+            prop_assert!(done >= t + u64::from(service));
+            prop_assert!(done >= last_done, "completions must be ordered");
+            last_done = done;
+        }
+        prop_assert_eq!(q.served(), sorted.len() as u64);
+    }
+
+    // ------------------------------------------------------------------
+    // Quota arithmetic
+    // ------------------------------------------------------------------
+
+    /// Distribution conserves the quota exactly and is zero where no TBs are.
+    #[test]
+    fn quota_distribution_conserves(
+        quota in 0u64..10_000_000,
+        tbs in prop::collection::vec(0u32..64, 1..64),
+    ) {
+        let parts = distribute_quota(quota, &tbs);
+        prop_assert_eq!(parts.len(), tbs.len());
+        let total_tbs: u64 = tbs.iter().map(|&t| u64::from(t)).sum();
+        if total_tbs == 0 {
+            prop_assert!(parts.iter().all(|&p| p == 0));
+        } else {
+            prop_assert_eq!(parts.iter().sum::<u64>(), quota, "no quota created or lost");
+            for (part, &t) in parts.iter().zip(&tbs) {
+                if t == 0 {
+                    prop_assert_eq!(*part, 0, "no quota for SMs hosting nothing");
+                }
+            }
+        }
+    }
+
+    /// α is always in [1, cap] and scales the quota monotonically.
+    #[test]
+    fn alpha_bounds_and_monotonicity(
+        goal in 1.0f64..3000.0,
+        history in 0.0f64..3000.0,
+        cap in 1.0f64..16.0,
+    ) {
+        let a = alpha(goal, history, cap);
+        prop_assert!(a >= 1.0 && a <= cap, "alpha {a} out of [1, {cap}]");
+        let q1 = epoch_quota(goal, 1.0, 10_000);
+        let q2 = epoch_quota(goal, a, 10_000);
+        prop_assert!(q2 >= q1, "history adjustment never shrinks the quota");
+    }
+
+    // ------------------------------------------------------------------
+    // Kernel-description arithmetic
+    // ------------------------------------------------------------------
+
+    /// Instruction accounting is consistent across aggregation levels.
+    #[test]
+    fn kernel_instruction_accounting(
+        warps_per_tb in 1u32..8,
+        iters in 1u32..64,
+        alu_repeat in 1u16..32,
+    ) {
+        let k = KernelDesc::builder("p")
+            .threads_per_tb(warps_per_tb * 32)
+            .iterations(iters)
+            .body(vec![Op::alu(2, alu_repeat), Op::mem_load(AccessPattern::stream())])
+            .build();
+        let per_warp = (u64::from(alu_repeat) * 32 + 32) * u64::from(iters);
+        prop_assert_eq!(k.thread_insts_per_warp(), per_warp);
+        prop_assert_eq!(k.thread_insts_per_tb(), per_warp * u64::from(warps_per_tb));
+    }
+
+    // ------------------------------------------------------------------
+    // Whole-simulator fuzz: random small kernels never wedge the machine
+    // ------------------------------------------------------------------
+
+    /// Any well-formed kernel makes forward progress, replays
+    /// deterministically, and retires the exact per-TB instruction count.
+    #[test]
+    fn simulator_runs_arbitrary_kernels(
+        alu_lat in 1u16..12,
+        alu_repeat in 1u16..16,
+        trans in 1u8..16,
+        lanes in 1u8..32,
+        use_barrier in any::<bool>(),
+        iters in 1u32..8,
+        seed in 0u64..1000,
+    ) {
+        let mut body = vec![
+            Op::alu_divergent(alu_lat, alu_repeat, lanes),
+            Op::mem_load(AccessPattern::random(1 << 20, trans)),
+        ];
+        if use_barrier {
+            body.push(Op::Bar);
+            body.push(Op::alu(1, 1));
+        }
+        let kernel = KernelDesc::builder("fuzz")
+            .threads_per_tb(64)
+            .regs_per_thread(16)
+            .grid_tbs(4)
+            .iterations(iters)
+            .seed(seed)
+            .body(body)
+            .build();
+
+        let run = || {
+            let mut gpu = Gpu::new(GpuConfig::tiny());
+            let k = gpu.launch(kernel.clone());
+            gpu.run(30_000, &mut NullController);
+            let s = gpu.stats();
+            (s.kernel(k).thread_insts, s.kernel(k).tbs_completed)
+        };
+        let (insts, tbs) = run();
+        prop_assert!(insts > 0, "kernel must make progress");
+        prop_assert_eq!(run(), (insts, tbs), "replay must be deterministic");
+        if tbs > 0 {
+            // Completed TBs retire exactly the statically known instruction
+            // count; the remainder belongs to still-resident TBs.
+            prop_assert!(insts >= tbs * kernel.thread_insts_per_tb());
+        }
+    }
+}
+
+#[test]
+fn simulator_invariants_hold_under_qos_management() {
+    // A controller that checks occupancy invariants at every epoch while the
+    // QoS manager reshuffles TBs underneath it.
+    use fgqos::{Controller, QosManager, QosSpec, QuotaScheme};
+
+    struct Checked {
+        inner: QosManager,
+    }
+    impl Controller for Checked {
+        fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64) {
+            self.inner.on_epoch(gpu, epoch);
+            let max_threads = gpu.config().sm.max_threads;
+            for sm in gpu.sms() {
+                assert!(sm.used_threads() <= max_threads, "thread occupancy exceeded");
+                assert!(sm.free_threads() <= max_threads);
+            }
+        }
+    }
+
+    let mut gpu = Gpu::new(GpuConfig::paper_table1());
+    let q = gpu.launch(workloads::by_name("sgemm").expect("known"));
+    let b = gpu.launch(workloads::by_name("lbm").expect("known"));
+    let inner = QosManager::new(QuotaScheme::Rollover)
+        .with_kernel(q, QosSpec::qos(900.0))
+        .with_kernel(b, QosSpec::best_effort());
+    gpu.run(60_000, &mut Checked { inner });
+    assert!(gpu.stats().ipc(q) > 0.0);
+}
