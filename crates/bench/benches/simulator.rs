@@ -78,7 +78,7 @@ fn preemption_churn(c: &mut Criterion) {
             struct Flipper;
             impl gpu_sim::Controller for Flipper {
                 fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64) {
-                    let (a, b) = if epoch % 2 == 0 { (6, 2) } else { (2, 6) };
+                    let (a, b) = if epoch.is_multiple_of(2) { (6, 2) } else { (2, 6) };
                     for sm in gpu.sm_ids().collect::<Vec<_>>() {
                         gpu.set_tb_target(sm, gpu_sim::KernelId::new(0), a);
                         gpu.set_tb_target(sm, gpu_sim::KernelId::new(1), b);

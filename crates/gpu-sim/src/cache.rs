@@ -75,7 +75,7 @@ impl Cache {
         assert!(line_bytes.is_power_of_two(), "line size must be a power of two");
         let set_bytes = u64::from(ways) * u64::from(line_bytes);
         assert!(
-            total_bytes % set_bytes == 0,
+            total_bytes.is_multiple_of(set_bytes),
             "capacity must divide into ways * line_bytes sets"
         );
         let sets = (total_bytes / set_bytes) as usize;

@@ -9,6 +9,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::health::{FaultPlan, HealthConfig};
 use crate::warp_sched::SchedPolicy;
 
 /// Error returned by [`GpuConfig::validate`] describing the first violated
@@ -200,6 +201,11 @@ pub struct GpuConfig {
     pub epoch_cycles: u64,
     /// Idle-warp sampling points per epoch (paper §4.1: 100).
     pub samples_per_epoch: u32,
+    /// Health layer: forward-progress watchdog and epoch-boundary invariant
+    /// audits. Disabled by default (zero overhead, identical behavior).
+    pub health: HealthConfig,
+    /// Deterministic fault-injection schedule. Empty by default.
+    pub faults: FaultPlan,
 }
 
 impl Default for GpuConfig {
@@ -221,6 +227,8 @@ impl GpuConfig {
             preempt: PreemptConfig::default(),
             epoch_cycles: 10_000,
             samples_per_epoch: 100,
+            health: HealthConfig::default(),
+            faults: FaultPlan::default(),
         }
     }
 
@@ -263,7 +271,7 @@ impl GpuConfig {
         if !self.mem.line_bytes.is_power_of_two() {
             return fail("line_bytes must be a power of two");
         }
-        if self.sm.max_threads % crate::WARP_SIZE != 0 {
+        if !self.sm.max_threads.is_multiple_of(crate::WARP_SIZE) {
             return fail("max_threads must be a multiple of the warp size");
         }
         if self.sm.warp_schedulers == 0 {
@@ -275,11 +283,18 @@ impl GpuConfig {
         if self.samples_per_epoch == 0 || u64::from(self.samples_per_epoch) > self.epoch_cycles {
             return fail("samples_per_epoch must be in 1..=epoch_cycles");
         }
-        if self.mem.l1_bytes % u64::from(self.mem.line_bytes * self.mem.l1_ways) != 0 {
+        if !self.mem.l1_bytes.is_multiple_of(u64::from(self.mem.line_bytes * self.mem.l1_ways)) {
             return fail("l1_bytes must be divisible by line_bytes * l1_ways");
         }
-        if self.mem.l2_bytes % u64::from(self.mem.line_bytes * self.mem.l2_ways) != 0 {
+        if !self.mem.l2_bytes.is_multiple_of(u64::from(self.mem.line_bytes * self.mem.l2_ways)) {
             return fail("l2_bytes must be divisible by line_bytes * l2_ways");
+        }
+        for fault in &self.faults.faults {
+            if let crate::health::FaultKind::FreezeScheduler { sm } = fault.kind {
+                if sm >= self.num_sms as usize {
+                    return fail("fault plan freezes a nonexistent SM");
+                }
+            }
         }
         Ok(())
     }
@@ -336,6 +351,23 @@ mod tests {
         let mut cfg = GpuConfig::paper_table1();
         cfg.mem.line_bytes = 48;
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn health_layer_is_off_by_default() {
+        let cfg = GpuConfig::paper_table1();
+        assert_eq!(cfg.health, HealthConfig::default());
+        assert!(cfg.faults.is_empty());
+    }
+
+    #[test]
+    fn validate_rejects_fault_on_missing_sm() {
+        use crate::health::FaultKind;
+        let mut cfg = GpuConfig::tiny();
+        cfg.faults = FaultPlan::one(100, FaultKind::FreezeScheduler { sm: 99 });
+        assert!(cfg.validate().is_err());
+        cfg.faults = FaultPlan::one(100, FaultKind::FreezeScheduler { sm: 1 });
+        cfg.validate().expect("sm 1 exists in the tiny config");
     }
 
     #[test]

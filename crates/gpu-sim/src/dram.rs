@@ -121,12 +121,10 @@ mod tests {
     #[test]
     fn throughput_matches_service_rate() {
         let mut q = ServiceQueue::new(4, 1_000);
-        let mut now = 0;
         let mut completions = Vec::new();
-        for _ in 0..10 {
-            let done = q.serve(now);
-            completions.push(done);
-            now += 1; // arrivals faster than service
+        // One arrival per cycle: faster than the 4-cycle service rate.
+        for now in 0..10 {
+            completions.push(q.serve(now));
         }
         // Steady-state completions are exactly 4 cycles apart.
         for w in completions.windows(2) {

@@ -4,6 +4,9 @@
 use std::sync::Arc;
 
 use crate::config::GpuConfig;
+use crate::health::{
+    AuditKind, AuditViolation, FaultKind, HealthReport, KernelHealth, SimError, SmHealth,
+};
 use crate::kernel::KernelDesc;
 use crate::memsys::MemSystem;
 use crate::preempt::PreemptStats;
@@ -48,6 +51,7 @@ pub struct Gpu {
     last_epoch_cycle: Cycle,
     epoch_index: u64,
     sample_interval: Cycle,
+    fault_cursor: usize,
 }
 
 impl Gpu {
@@ -56,8 +60,10 @@ impl Gpu {
     /// # Panics
     ///
     /// Panics if the configuration fails [`GpuConfig::validate`].
-    pub fn new(cfg: GpuConfig) -> Self {
+    pub fn new(mut cfg: GpuConfig) -> Self {
         cfg.validate().expect("invalid GPU configuration");
+        // Faults are applied by a cursor walking the plan in cycle order.
+        cfg.faults.faults.sort_by_key(|f| f.at_cycle);
         let sms = (0..cfg.num_sms as usize)
             .map(|i| Sm::new(SmId::new(i), &cfg))
             .collect();
@@ -73,6 +79,7 @@ impl Gpu {
             last_epoch_cycle: 0,
             epoch_index: 0,
             sample_interval,
+            fault_cursor: 0,
             cycle: 0,
             cfg,
         }
@@ -100,30 +107,209 @@ impl Gpu {
     }
 
     /// Runs the simulation for `cycles` cycles under `ctrl`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the health layer reports a [`SimError`] — impossible with
+    /// the default configuration, which disables the watchdog and audits —
+    /// or when the fault plan injects [`FaultKind::Panic`]. Callers that
+    /// enable the health layer should use [`Gpu::try_run`] instead.
     pub fn run(&mut self, cycles: Cycle, ctrl: &mut dyn Controller) {
+        if let Err(err) = self.try_run(cycles, ctrl) {
+            panic!("simulator health failure: {err}");
+        }
+    }
+
+    /// Runs the simulation for `cycles` cycles under `ctrl`, returning a
+    /// typed error instead of spinning when the machine stops making
+    /// forward progress (watchdog) or an invariant audit fails.
+    ///
+    /// With the default [`crate::HealthConfig`] (watchdog and audits
+    /// disabled) and an empty fault plan this never returns `Err` and is
+    /// cycle-for-cycle identical to the unchecked loop.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::Watchdog`] when no instruction issues machine-wide for a
+    /// full watchdog window while kernels are resident;
+    /// [`SimError::Audit`] when audit mode finds a violated invariant at an
+    /// epoch boundary. On error `self` is left at the failing cycle so the
+    /// state can be inspected.
+    pub fn try_run(
+        &mut self,
+        cycles: Cycle,
+        ctrl: &mut dyn Controller,
+    ) -> Result<(), SimError> {
         let end = self.cycle + cycles;
+        let window = self.cfg.health.watchdog_window;
+        let mut last_progress_cycle = self.cycle;
+        let mut last_issued = self.total_issued();
+        // checked_div: window == 0 disables the watchdog entirely.
+        let mut next_check = match self.cycle.checked_div(window) {
+            Some(windows_elapsed) => (windows_elapsed + 1) * window,
+            None => Cycle::MAX,
+        };
         while self.cycle < end {
             let now = self.cycle;
-            if now % self.cfg.epoch_cycles == 0 {
+            if self.fault_cursor < self.cfg.faults.faults.len() {
+                self.apply_faults(now);
+            }
+            if now.is_multiple_of(self.cfg.epoch_cycles) {
                 self.finish_epoch(now);
+                if self.cfg.health.audit {
+                    self.audit_epoch(now)?;
+                }
                 ctrl.on_epoch(self, self.epoch_index);
                 self.epoch_index += 1;
                 for sm in &mut self.sms {
                     sm.reset_idle_sampling();
                 }
                 self.service(now);
-            } else if now % DISPATCH_INTERVAL == 0 {
+            } else if now.is_multiple_of(DISPATCH_INTERVAL) {
                 self.service(now);
             }
             for sm in &mut self.sms {
                 sm.tick(now, &mut self.mem);
             }
-            if now % self.sample_interval == 0 {
+            if now.is_multiple_of(self.sample_interval) {
                 for sm in &mut self.sms {
                     sm.sample_idle_warps(now);
                 }
             }
+            if now >= next_check {
+                let issued = self.total_issued();
+                if issued > last_issued {
+                    last_issued = issued;
+                    last_progress_cycle = now;
+                } else if !self.kernels.is_empty() {
+                    let mut report = self.health_report();
+                    report.window = window;
+                    report.last_progress_cycle = last_progress_cycle;
+                    return Err(SimError::Watchdog(Box::new(report)));
+                }
+                next_check += window;
+            }
             self.cycle += 1;
+        }
+        Ok(())
+    }
+
+    /// Applies every scheduled fault whose cycle has arrived.
+    fn apply_faults(&mut self, now: Cycle) {
+        while self.fault_cursor < self.cfg.faults.faults.len()
+            && self.cfg.faults.faults[self.fault_cursor].at_cycle <= now
+        {
+            let fault = self.cfg.faults.faults[self.fault_cursor];
+            self.fault_cursor += 1;
+            match fault.kind {
+                FaultKind::StarveQuota => {
+                    for sm in &mut self.sms {
+                        sm.freeze_all_quota();
+                    }
+                }
+                FaultKind::FreezeScheduler { sm } => self.sms[sm].freeze_schedulers(),
+                FaultKind::StallPreemption => {
+                    for sm in &mut self.sms {
+                        sm.stall_preemption();
+                    }
+                }
+                FaultKind::Panic => panic!(
+                    "injected fault: panic at cycle {now} (scheduled at {})",
+                    fault.at_cycle
+                ),
+            }
+        }
+    }
+
+    fn total_issued(&self) -> u64 {
+        self.sms.iter().map(Sm::issued_total).sum()
+    }
+
+    /// Checks machine-wide and per-SM invariants; called at epoch
+    /// boundaries when [`crate::HealthConfig::audit`] is set.
+    fn audit_epoch(&self, now: Cycle) -> Result<(), SimError> {
+        let snap = &self.epoch_snapshot;
+        let bound = snap.cycles
+            * u64::from(self.cfg.num_sms)
+            * u64::from(self.cfg.sm.warp_schedulers)
+            * u64::from(crate::WARP_SIZE);
+        let issued: u64 = snap.thread_insts.iter().sum();
+        if issued > bound {
+            return Err(SimError::Audit(AuditViolation {
+                cycle: now,
+                sm: None,
+                kind: AuditKind::IssueBound,
+                detail: format!(
+                    "epoch {} retired {issued} thread insts, hardware bound is {bound}",
+                    snap.epoch
+                ),
+            }));
+        }
+        for sm in &self.sms {
+            if let Err((kind, detail)) = sm.audit_invariants() {
+                return Err(SimError::Audit(AuditViolation {
+                    cycle: now,
+                    sm: Some(sm.id().index()),
+                    kind,
+                    detail,
+                }));
+            }
+        }
+        Ok(())
+    }
+
+    /// Structured snapshot of machine health: per-kernel residency and
+    /// quota state, per-SM warp stall census. This is what the watchdog
+    /// attaches to [`SimError::Watchdog`]; it can also be taken on demand.
+    pub fn health_report(&self) -> HealthReport {
+        let now = self.cycle;
+        let totals = self.kernel_totals();
+        let kernels = (0..self.kernels.len())
+            .map(|k| {
+                let kid = KernelId::new(k);
+                let mut resident_tbs = 0u32;
+                let mut quota = 0i64;
+                let mut gated_sms = 0u32;
+                let mut exhausted_sms = 0u32;
+                for sm in &self.sms {
+                    resident_tbs += sm.hosted_tbs(kid);
+                    quota += sm.quota(kid);
+                    if sm.is_gated(kid) {
+                        gated_sms += 1;
+                        if sm.quota(kid) <= 0 {
+                            exhausted_sms += 1;
+                        }
+                    }
+                }
+                KernelHealth {
+                    kernel: k,
+                    name: self.kernels[k].desc.name().to_string(),
+                    resident_tbs,
+                    preempted_tbs: self.kernels[k].preempted_len(),
+                    quota,
+                    gated_sms,
+                    exhausted_sms,
+                    thread_insts: totals[k],
+                }
+            })
+            .collect();
+        let sms = self
+            .sms
+            .iter()
+            .map(|sm| SmHealth {
+                sm: sm.id().index(),
+                resident_tbs: sm.resident_tbs(),
+                warps: sm.warp_stall_counts(now),
+                transfer_in_flight: sm.context_switch_in_flight(),
+            })
+            .collect();
+        HealthReport {
+            cycle: now,
+            window: self.cfg.health.watchdog_window,
+            last_progress_cycle: now,
+            total_issued: self.total_issued(),
+            kernels,
+            sms,
         }
     }
 
@@ -142,8 +328,8 @@ impl Gpu {
         let mut snap = EpochSnapshot::empty();
         snap.epoch = self.epoch_index;
         snap.cycles = now - self.last_epoch_cycle;
-        for k in 0..crate::MAX_KERNELS {
-            snap.thread_insts[k] = totals[k] - self.last_totals[k];
+        for (k, &total) in totals.iter().enumerate() {
+            snap.thread_insts[k] = total - self.last_totals[k];
         }
         self.last_totals = totals;
         self.last_epoch_cycle = now;
@@ -502,5 +688,176 @@ mod tests {
         let end = gpu.stats().kernel(k).thread_insts;
         assert!(end > mid);
         assert_eq!(gpu.cycle(), 10_000);
+    }
+
+    use crate::health::{FaultKind, FaultPlan, SimError};
+
+    #[test]
+    fn watchdog_stays_silent_while_progressing() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.health.watchdog_window = 1_000;
+        let mut gpu = Gpu::new(cfg);
+        gpu.launch(compute_kernel("c"));
+        gpu.try_run(20_000, &mut NullController).expect("healthy run must not trip");
+        assert_eq!(gpu.cycle(), 20_000);
+    }
+
+    #[test]
+    fn watchdog_observation_does_not_perturb_results() {
+        let run = |window: Cycle| {
+            let mut cfg = GpuConfig::tiny();
+            cfg.health.watchdog_window = window;
+            let mut gpu = Gpu::new(cfg);
+            let a = gpu.launch(compute_kernel("a"));
+            let b = gpu.launch(memory_kernel("b"));
+            gpu.set_sharing_mode(SharingMode::Smk);
+            gpu.try_run(15_000, &mut NullController).expect("healthy");
+            (gpu.stats().kernel(a).thread_insts, gpu.stats().kernel(b).thread_insts)
+        };
+        assert_eq!(run(0), run(500), "the watchdog is observation-only");
+    }
+
+    #[test]
+    fn watchdog_trips_on_starved_quota_livelock_and_names_the_kernel() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.health.watchdog_window = 2_000;
+        cfg.faults = FaultPlan::one(3_000, FaultKind::StarveQuota);
+        let mut gpu = Gpu::new(cfg);
+        gpu.launch(compute_kernel("victim"));
+        gpu.launch(memory_kernel("other"));
+        let err = gpu
+            .try_run(50_000, &mut NullController)
+            .expect_err("all-gated livelock must trip the watchdog");
+        assert!(
+            gpu.cycle() < 50_000,
+            "the watchdog must fire instead of spinning out the budget (cycle {})",
+            gpu.cycle()
+        );
+        let SimError::Watchdog(report) = err else {
+            panic!("expected a watchdog trip, got {err}");
+        };
+        let starved: Vec<&str> = report.starved_kernels().map(|k| k.name.as_str()).collect();
+        assert!(
+            starved.contains(&"victim") && starved.contains(&"other"),
+            "report must name the quota-starved kernels, got {starved:?}"
+        );
+        assert!(report.summary().contains("victim"), "{}", report.summary());
+        assert!(report.total_issued > 0, "progress happened before the fault");
+    }
+
+    #[test]
+    fn frozen_scheduler_halts_only_that_sm() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.faults = FaultPlan::one(0, FaultKind::FreezeScheduler { sm: 0 });
+        let mut gpu = Gpu::new(cfg);
+        gpu.launch(compute_kernel("c"));
+        gpu.run(10_000, &mut NullController);
+        assert_eq!(gpu.sms()[0].issued_total(), 0, "frozen SM must not issue");
+        assert!(gpu.sms()[1].issued_total() > 0, "the other SM keeps running");
+    }
+
+    #[test]
+    fn stalled_preemption_engine_refuses_saves() {
+        let run = |stalled: bool| {
+            let mut cfg = GpuConfig::tiny();
+            if stalled {
+                cfg.faults = FaultPlan::one(0, FaultKind::StallPreemption);
+            }
+            let mut gpu = Gpu::new(cfg);
+            let k = gpu.launch(compute_kernel("c"));
+            gpu.set_sharing_mode(SharingMode::Smk);
+            for sm in gpu.sm_ids().collect::<Vec<_>>() {
+                gpu.set_tb_target(sm, k, 4);
+            }
+            gpu.run(3_000, &mut NullController);
+            // Shrink the target: the TB scheduler now wants to preempt.
+            for sm in gpu.sm_ids().collect::<Vec<_>>() {
+                gpu.set_tb_target(sm, k, 1);
+            }
+            gpu.run(10_000, &mut NullController);
+            gpu.preempt_stats().saves
+        };
+        assert_eq!(run(true), 0, "a stalled engine must refuse every save");
+        assert!(run(false) > 0, "the healthy engine preempts down to the target");
+    }
+
+    #[test]
+    fn panic_fault_panics_inside_run() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.faults = FaultPlan::one(1_000, FaultKind::Panic);
+        let mut gpu = Gpu::new(cfg);
+        gpu.launch(compute_kernel("c"));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            gpu.run(5_000, &mut NullController);
+        }));
+        let payload = result.expect_err("the injected panic must surface");
+        let msg = payload.downcast_ref::<String>().expect("panic carries a message");
+        assert!(msg.contains("injected fault"), "{msg}");
+    }
+
+    #[test]
+    fn audit_passes_on_clean_smk_run_with_quota_gating() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.health.audit = true;
+        let mut gpu = Gpu::new(cfg);
+        let a = gpu.launch(compute_kernel("a"));
+        let b = gpu.launch(memory_kernel("b"));
+        gpu.set_sharing_mode(SharingMode::Smk);
+        for sm in gpu.sm_ids().collect::<Vec<_>>() {
+            gpu.set_tb_target(sm, a, 4);
+            gpu.set_tb_target(sm, b, 4);
+        }
+
+        struct Gate;
+        impl Controller for Gate {
+            fn on_epoch(&mut self, gpu: &mut Gpu, _epoch: u64) {
+                for sm in gpu.sm_ids().collect::<Vec<_>>() {
+                    let sm = gpu.sm_mut(sm);
+                    sm.set_gated(KernelId::new(0), true);
+                    sm.set_qos_kernel(KernelId::new(0), true);
+                    sm.set_epoch_quota(
+                        KernelId::new(0),
+                        2_000,
+                        crate::sm::QuotaCarry::Full,
+                        0,
+                    );
+                }
+            }
+        }
+        gpu.try_run(25_000, &mut Gate).expect("a clean run must pass every audit");
+    }
+
+    #[test]
+    fn audit_catches_quota_ledger_corruption() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.health.audit = true;
+        let mut gpu = Gpu::new(cfg);
+        let k = gpu.launch(compute_kernel("c"));
+        gpu.run(5_000, &mut NullController);
+        gpu.sm_mut(SmId::new(0)).corrupt_quota_for_test(k, 7);
+        let err = gpu
+            .try_run(5_000, &mut NullController)
+            .expect_err("a stray quota mutation must fail the ledger audit");
+        match err {
+            SimError::Audit(v) => {
+                assert_eq!(v.kind, crate::health::AuditKind::QuotaLedger, "{v}");
+                assert_eq!(v.sm, Some(0));
+            }
+            other => panic!("expected an audit violation, got {other}"),
+        }
+    }
+
+    #[test]
+    fn health_report_on_demand_reflects_residency() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        gpu.launch(compute_kernel("c"));
+        gpu.run(5_000, &mut NullController);
+        let report = gpu.health_report();
+        assert_eq!(report.cycle, 5_000);
+        assert_eq!(report.kernels.len(), 1);
+        assert_eq!(report.sms.len(), 2);
+        assert!(report.kernels[0].resident_tbs > 0);
+        assert!(report.total_issued > 0);
+        assert!(report.sms.iter().any(|s| s.warps.total() > 0));
     }
 }

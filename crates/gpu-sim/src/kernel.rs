@@ -396,7 +396,7 @@ impl KernelDescBuilder {
         assert!(d.iterations > 0, "iterations must be positive");
         assert!(d.grid_tbs > 0, "grid must contain at least one TB");
         assert!(
-            d.threads_per_tb > 0 && d.threads_per_tb % crate::WARP_SIZE == 0,
+            d.threads_per_tb > 0 && d.threads_per_tb.is_multiple_of(crate::WARP_SIZE),
             "threads_per_tb must be a positive multiple of {}",
             crate::WARP_SIZE
         );

@@ -49,6 +49,7 @@ pub mod cache;
 pub mod config;
 pub mod dram;
 pub mod gpu;
+pub mod health;
 pub mod kernel;
 pub mod memsys;
 pub mod power;
@@ -65,6 +66,10 @@ pub mod warp_sched;
 
 pub use config::{GpuConfig, InvalidConfig, MemConfig, PowerConfig, SmConfig};
 pub use gpu::{Controller, Gpu, NullController};
+pub use health::{
+    AuditKind, AuditViolation, FaultKind, FaultPlan, FaultSpec, HealthConfig, HealthReport,
+    KernelHealth, SimError, SmHealth, WarpStallCounts,
+};
 pub use kernel::{AccessPattern, KernelDesc, KernelDescBuilder, MemSpace, Op};
 pub use stats::{EpochSnapshot, GpuStats, KernelStats};
 pub use tb_sched::SharingMode;

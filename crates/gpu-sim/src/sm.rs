@@ -12,6 +12,7 @@ use std::sync::Arc;
 
 use crate::cache::Cache;
 use crate::config::GpuConfig;
+use crate::health::{AuditKind, WarpStallCounts};
 use crate::kernel::{KernelDesc, MemSpace, Op};
 use crate::memsys::MemSystem;
 use crate::preempt::{PreemptStats, SavedTb};
@@ -85,6 +86,19 @@ pub struct Sm {
     elastic: bool,
     priority_block: bool,
 
+    // --- quota double-entry ledger (audit mode) ---
+    // Every change to `quota` flows through exactly two channels: credits
+    // (epoch grants, mid-epoch refills) and debits (issued lanes while
+    // gated). `quota[k] == quota_credit[k] - quota_debit[k]` is then a
+    // conservation law any stray mutation breaks.
+    quota_credit: PerKernel<i64>,
+    quota_debit: PerKernel<i64>,
+
+    // --- injected faults ---
+    quota_frozen: bool,
+    sched_frozen: bool,
+    preempt_stalled: bool,
+
     // --- statistics ---
     hosted: PerKernel<u16>,
     counters: PerKernel<SmKernelCounters>,
@@ -137,6 +151,11 @@ impl Sm {
             is_qos: per_kernel(|_| false),
             elastic: false,
             priority_block: false,
+            quota_credit: per_kernel(|_| 0),
+            quota_debit: per_kernel(|_| 0),
+            quota_frozen: false,
+            sched_frozen: false,
+            preempt_stalled: false,
             hosted: per_kernel(|_| 0),
             counters: per_kernel(|_| SmKernelCounters::default()),
             alu_thread_insts: per_kernel(|_| 0),
@@ -278,6 +297,9 @@ impl Sm {
     /// dispatched active one). Returns `false` if no active TB of `k` is
     /// resident.
     pub(crate) fn start_preempt(&mut self, k: KernelId, now: Cycle, save_cost: Cycle) -> bool {
+        if self.preempt_stalled {
+            return false;
+        }
         let victim = self
             .tbs
             .iter()
@@ -314,6 +336,9 @@ impl Sm {
 
     /// Enables or disables quota gating for kernel `k` on this SM.
     pub fn set_gated(&mut self, k: KernelId, gated: bool) {
+        if self.quota_frozen {
+            return;
+        }
         self.gated[k.index()] = gated;
     }
 
@@ -322,12 +347,17 @@ impl Sm {
     /// `carry` selects the paper's carry-over semantics, and `refill` is the
     /// amount added by mid-epoch refills (non-QoS top-ups, elastic restarts).
     pub fn set_epoch_quota(&mut self, k: KernelId, alloc: i64, carry: QuotaCarry, refill: i64) {
+        if self.quota_frozen {
+            return;
+        }
         let i = k.index();
+        let old = self.quota[i];
         self.quota[i] = match carry {
-            QuotaCarry::DiscardSurplus => alloc + self.quota[i].min(0),
-            QuotaCarry::Full => alloc + self.quota[i].min(alloc),
+            QuotaCarry::DiscardSurplus => alloc + old.min(0),
+            QuotaCarry::Full => alloc + old.min(alloc),
             QuotaCarry::Reset => alloc,
         };
+        self.quota_credit[i] += self.quota[i] - old;
         self.refill[i] = refill;
     }
 
@@ -345,6 +375,9 @@ impl Sm {
     /// Enables elastic-epoch mid-epoch restarts (all gated kernels are
     /// replenished when every one of them is exhausted).
     pub fn set_elastic(&mut self, on: bool) {
+        if self.quota_frozen {
+            return;
+        }
         self.elastic = on;
     }
 
@@ -366,6 +399,11 @@ impl Sm {
 
     /// Quota admission check with lazy mid-epoch refills.
     fn quota_allows(&mut self, k: usize) -> bool {
+        if self.quota_frozen {
+            // Injected StarveQuota fault: every kernel is gated at zero and
+            // no refill channel may revive it.
+            return !self.gated[k];
+        }
         if self.priority_block && !self.is_qos[k] && self.any_qos_quota_positive() {
             return false;
         }
@@ -382,6 +420,7 @@ impl Sm {
                 for i in 0..MAX_KERNELS {
                     if self.gated[i] {
                         self.quota[i] += self.refill[i];
+                        self.quota_credit[i] += self.refill[i];
                     }
                 }
                 return self.quota[k] > 0;
@@ -392,6 +431,7 @@ impl Sm {
             // Naïve/Rollover mid-epoch rule: once every QoS kernel reached
             // its per-epoch goal, non-QoS kernels keep running (§3.4.1).
             self.quota[k] += self.refill[k];
+            self.quota_credit[k] += self.refill[k];
             return self.quota[k] > 0;
         }
         false
@@ -416,7 +456,7 @@ impl Sm {
         if !self.transitioning.is_empty() {
             self.process_transitions(now);
         }
-        if self.used_threads == 0 {
+        if self.sched_frozen || self.used_threads == 0 {
             return;
         }
         self.busy_cycles += 1;
@@ -460,6 +500,9 @@ impl Sm {
     /// exhausted quota; `None` under the Rollover-Time priority gate while
     /// QoS quota remains (strict time multiplexing is that scheme's point).
     fn scavenge(&self, sid: u16, now: Cycle) -> Option<u16> {
+        if self.quota_frozen {
+            return None;
+        }
         if self.priority_block && self.any_qos_quota_positive() {
             return None;
         }
@@ -610,6 +653,7 @@ impl Sm {
         self.counters[k].warp_insts += 1;
         if self.gated[k] {
             self.quota[k] -= i64::from(lanes);
+            self.quota_debit[k] += i64::from(lanes);
         }
 
         if arrived_barrier {
@@ -656,6 +700,173 @@ impl Sm {
             self.free_tbs.push(tb_slot);
             self.completed.push((tb.kernel, tb.tb_index));
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Fault injection, audits, and health introspection
+    // ------------------------------------------------------------------
+
+    /// Injected `StarveQuota` fault: gates every kernel at zero quota and
+    /// freezes all quota writes and refill channels, so no controller can
+    /// revive issue on this SM.
+    pub(crate) fn freeze_all_quota(&mut self) {
+        for i in 0..MAX_KERNELS {
+            self.gated[i] = true;
+            let old = self.quota[i];
+            self.quota[i] = old.min(0);
+            self.quota_credit[i] += self.quota[i] - old;
+            self.refill[i] = 0;
+        }
+        self.elastic = false;
+        self.quota_frozen = true;
+    }
+
+    /// Injected `FreezeScheduler` fault: the SM stops issuing forever
+    /// (in-flight context transfers still retire).
+    pub(crate) fn freeze_schedulers(&mut self) {
+        self.sched_frozen = true;
+    }
+
+    /// Injected `StallPreemption` fault: `start_preempt` refuses new saves.
+    pub(crate) fn stall_preemption(&mut self) {
+        self.preempt_stalled = true;
+    }
+
+    /// Whether kernel `k` is quota-gated on this SM.
+    pub fn is_gated(&self, k: KernelId) -> bool {
+        self.gated[k.index()]
+    }
+
+    /// Warp instructions issued by this SM since construction.
+    pub fn issued_total(&self) -> u64 {
+        self.issued_total
+    }
+
+    /// TBs resident on this SM (all kernels, including transitioning ones).
+    pub fn resident_tbs(&self) -> u32 {
+        (self.max_tbs as usize - self.free_tbs.len()) as u32
+    }
+
+    /// Census of resident warps by stall state at cycle `now`.
+    pub fn warp_stall_counts(&self, now: Cycle) -> WarpStallCounts {
+        let mut counts = WarpStallCounts::default();
+        for w in self.warps.iter().flatten() {
+            if w.done {
+                counts.done += 1;
+            } else if w.at_barrier {
+                counts.at_barrier += 1;
+            } else if w.ready_at > now {
+                counts.waiting += 1;
+            } else {
+                counts.ready += 1;
+            }
+        }
+        counts
+    }
+
+    /// Re-derives this SM's bookkeeping from its resident TBs and checks it
+    /// against the incrementally maintained state. Returns the first
+    /// violated invariant. Called at epoch boundaries in audit mode.
+    pub fn audit_invariants(&self) -> Result<(), (AuditKind, String)> {
+        let mut threads = 0u32;
+        let mut regs = 0u64;
+        let mut smem = 0u64;
+        let mut hosted = [0u16; MAX_KERNELS];
+        let mut live_tbs = 0usize;
+        for (slot, tb) in self.tbs.iter().enumerate() {
+            let Some(tb) = tb.as_ref() else { continue };
+            let k = tb.kernel.index();
+            let Some(desc) = self.descs[k].as_ref() else {
+                return Err((
+                    AuditKind::SlotAccounting,
+                    format!("TB slot {slot} hosts unregistered kernel {k}"),
+                ));
+            };
+            threads += desc.threads_per_tb();
+            regs += desc.regfile_bytes_per_tb();
+            smem += desc.smem_per_tb();
+            hosted[k] += 1;
+            live_tbs += 1;
+            for &ws in &tb.warp_slots {
+                let ok = self.warps[ws as usize]
+                    .as_ref()
+                    .is_some_and(|w| w.kernel == tb.kernel && w.tb_slot == slot as u16);
+                if !ok {
+                    return Err((
+                        AuditKind::SlotAccounting,
+                        format!("TB slot {slot} claims warp slot {ws} it does not own"),
+                    ));
+                }
+            }
+        }
+        if threads > self.max_threads || regs > self.regfile_bytes || smem > self.smem_bytes {
+            return Err((
+                AuditKind::Occupancy,
+                format!(
+                    "resident TBs need {threads} threads / {regs} reg bytes / {smem} smem \
+                     bytes, limits are {} / {} / {}",
+                    self.max_threads, self.regfile_bytes, self.smem_bytes
+                ),
+            ));
+        }
+        if threads != self.used_threads || regs != self.used_regs || smem != self.used_smem {
+            return Err((
+                AuditKind::Occupancy,
+                format!(
+                    "tracked occupancy {}t/{}r/{}s != recomputed {threads}t/{regs}r/{smem}s",
+                    self.used_threads, self.used_regs, self.used_smem
+                ),
+            ));
+        }
+        for (k, &count) in hosted.iter().enumerate() {
+            if count != self.hosted[k] {
+                return Err((
+                    AuditKind::SlotAccounting,
+                    format!("kernel {k}: hosted counter {} != {count} resident TBs", self.hosted[k]),
+                ));
+            }
+        }
+        if self.free_tbs.len() + live_tbs != self.max_tbs as usize {
+            return Err((
+                AuditKind::SlotAccounting,
+                format!(
+                    "{} free + {live_tbs} live TB slots != {} total",
+                    self.free_tbs.len(),
+                    self.max_tbs
+                ),
+            ));
+        }
+        let live_warps = self.warps.iter().filter(|w| w.is_some()).count();
+        if self.free_warps.len() + live_warps != self.max_warps as usize {
+            return Err((
+                AuditKind::SlotAccounting,
+                format!(
+                    "{} free + {live_warps} live warp slots != {} total",
+                    self.free_warps.len(),
+                    self.max_warps
+                ),
+            ));
+        }
+        for k in 0..MAX_KERNELS {
+            let expected = self.quota_credit[k] - self.quota_debit[k];
+            if self.quota[k] != expected {
+                return Err((
+                    AuditKind::QuotaLedger,
+                    format!(
+                        "kernel {k}: quota {} != credits {} - debits {}",
+                        self.quota[k], self.quota_credit[k], self.quota_debit[k]
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Test-only backdoor: mutates the quota counter *without* going
+    /// through a ledger channel, to prove the audit catches stray writes.
+    #[cfg(test)]
+    pub(crate) fn corrupt_quota_for_test(&mut self, k: KernelId, delta: i64) {
+        self.quota[k.index()] += delta;
     }
 
     // ------------------------------------------------------------------

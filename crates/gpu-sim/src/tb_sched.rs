@@ -225,7 +225,7 @@ impl TbScheduler {
             && sm.free_regs() >= d.regfile_bytes_per_tb() + r_regs
             && sm.free_smem() >= d.smem_per_tb() + r_smem
             && u64::from(sm.free_warp_slots()) >= u64::from(d.warps_per_tb()) + r_warps
-            && u64::from(sm.free_tb_slots()) >= 1 + r_tbs
+            && u64::from(sm.free_tb_slots()) > r_tbs
     }
 
     /// Drains SM notifications, enforces targets via preemption, and
@@ -258,10 +258,10 @@ impl TbScheduler {
             // 2. Enforce targets: over-subscribed kernels lose one TB at a
             //    time per SM (bounding concurrent context-switch traffic).
             if !sm.context_switch_in_flight() {
-                for k in 0..nk {
+                for (k, kernel) in kernels.iter().enumerate().take(nk) {
                     let kid = KernelId::new(k);
                     if sm.hosted_tbs(kid) > u32::from(self.allowed(si, k, nk)) {
-                        let desc = &kernels[k].desc;
+                        let desc = &kernel.desc;
                         let cost = save_cycles(desc, pcfg);
                         if sm.start_preempt(kid, now, cost) {
                             mem.inject_context_traffic(kid, desc.context_bytes_per_tb(), now);

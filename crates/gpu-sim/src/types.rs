@@ -80,8 +80,8 @@ impl fmt::Display for TbIndex {
 pub type PerKernel<T> = [T; crate::MAX_KERNELS];
 
 /// Builds a `PerKernel` array by calling `f` for each slot.
-pub fn per_kernel<T, F: FnMut(usize) -> T>(mut f: F) -> PerKernel<T> {
-    std::array::from_fn(|i| f(i))
+pub fn per_kernel<T, F: FnMut(usize) -> T>(f: F) -> PerKernel<T> {
+    std::array::from_fn(f)
 }
 
 #[cfg(test)]

@@ -196,7 +196,7 @@ mod tests {
         let n = w.gen_lines(&p, 1 << 30, 32, 0, &mut buf);
         assert_eq!(n, 32);
         for &a in &buf[..n] {
-            assert!(a >= 1 << 30 && a < (1 << 30) + (1 << 20));
+            assert!((1 << 30..(1 << 30) + (1 << 20)).contains(&a));
         }
         let distinct: std::collections::HashSet<u64> = buf[..n].iter().copied().collect();
         assert!(distinct.len() > 16, "random pattern should rarely repeat lines");

@@ -127,5 +127,12 @@ fn main() -> ExitCode {
         println!("{report}");
         eprintln!("[{name} done in {:.1}s]\n", started.elapsed().as_secs_f64());
     }
-    ExitCode::SUCCESS
+    // Every run ends with the failure digest: either the all-clear line or
+    // one line per failed case (label, error kind, health summary).
+    println!("{}", session.failure_digest());
+    if session.failures().is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }

@@ -86,6 +86,10 @@ pub struct CaseSpec {
     pub epoch_cycles: Option<u64>,
     /// Ablation switches.
     pub ablations: Ablations,
+    /// Deterministic fault-injection schedule forwarded to the simulator.
+    /// Empty for every real experiment; robustness tests use it to wedge or
+    /// crash selected cases.
+    pub faults: gpu_sim::FaultPlan,
 }
 
 impl CaseSpec {
@@ -105,12 +109,28 @@ impl CaseSpec {
             cycles,
             epoch_cycles: None,
             ablations: Ablations::default(),
+            faults: gpu_sim::FaultPlan::default(),
         }
     }
 
     /// Number of QoS kernels in the case.
     pub fn num_qos(&self) -> usize {
         self.goal_fracs.iter().filter(|g| g.is_some()).count()
+    }
+
+    /// Compact case identifier for digests and logs, e.g.
+    /// `sgemm@0.50+lbm Rollover/Table1`.
+    pub fn label(&self) -> String {
+        let kernels: Vec<String> = self
+            .kernels
+            .iter()
+            .zip(&self.goal_fracs)
+            .map(|(name, goal)| match goal {
+                Some(f) => format!("{name}@{f:.2}"),
+                None => name.clone(),
+            })
+            .collect();
+        format!("{} {}/{:?}", kernels.join("+"), self.policy.label(), self.config)
     }
 }
 
@@ -267,5 +287,17 @@ mod tests {
     fn policy_labels() {
         assert_eq!(Policy::Spart.label(), "Spart");
         assert_eq!(Policy::Quota(QuotaScheme::Rollover).label(), "Rollover");
+    }
+
+    #[test]
+    fn case_labels_identify_kernels_goals_and_policy() {
+        let spec = CaseSpec::new(
+            &["sgemm", "lbm"],
+            &[Some(0.5), None],
+            Policy::Quota(QuotaScheme::Rollover),
+            1_000,
+        );
+        assert_eq!(spec.label(), "sgemm@0.50+lbm Rollover/Table1");
+        assert!(spec.faults.is_empty(), "real cases never inject faults");
     }
 }

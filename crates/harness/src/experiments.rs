@@ -6,13 +6,13 @@
 //! published values sit side by side; `EXPERIMENTS.md` records a full run.
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
-use parking_lot::Mutex;
 use qos_core::goals::{paper_dual_goal_fractions, paper_goal_fractions};
 use qos_core::QuotaScheme;
 
-use crate::cases::{pair_sweep, trio_sweep, Ablations, ConfigKind, Policy};
+use crate::cases::{pair_sweep, trio_sweep, Ablations, CaseSpec, ConfigKind, Policy};
+use crate::error::{CaseError, FailedCase};
 use crate::metrics::{mean, miss_bucket, qos_reach, CaseResult, MISS_BUCKETS};
 use crate::report::{goal_label, pct, preamble, ratio, Table};
 use crate::runner::{run_cases, IsolatedCache};
@@ -28,12 +28,17 @@ struct SweepKey {
 
 /// An experiment session: shared isolated-IPC cache and memoized sweeps so
 /// `repro all` never simulates the same case twice.
+///
+/// Failed cases never abort a sweep: each sweep keeps its surviving results
+/// and the failures accumulate here for the end-of-run
+/// [`failure digest`](Session::failure_digest).
 #[derive(Debug)]
 pub struct Session {
     scale: RunScale,
     iso: IsolatedCache,
     pair_cache: Mutex<HashMap<SweepKey, Arc<Vec<CaseResult>>>>,
     trio_cache: Mutex<HashMap<usize, Arc<Vec<CaseResult>>>>,
+    failures: Mutex<Vec<FailedCase>>,
 }
 
 impl Session {
@@ -44,12 +49,47 @@ impl Session {
             iso: IsolatedCache::new(),
             pair_cache: Mutex::new(HashMap::new()),
             trio_cache: Mutex::new(HashMap::new()),
+            failures: Mutex::new(Vec::new()),
         }
     }
 
     /// The session's scale.
     pub fn scale(&self) -> RunScale {
         self.scale
+    }
+
+    /// Runs a sweep, keeping the surviving results and logging every failed
+    /// case (with its position and spec) for the failure digest.
+    fn run_sweep(&self, specs: &[CaseSpec]) -> Vec<CaseResult> {
+        let outcomes = run_cases(specs, &self.iso);
+        self.collect(specs, outcomes)
+    }
+
+    fn collect(
+        &self,
+        specs: &[CaseSpec],
+        outcomes: Vec<Result<CaseResult, CaseError>>,
+    ) -> Vec<CaseResult> {
+        let mut ok = Vec::with_capacity(outcomes.len());
+        let mut failures = self.failures.lock().expect("failure log lock");
+        for (index, (outcome, spec)) in outcomes.into_iter().zip(specs).enumerate() {
+            match outcome {
+                Ok(r) => ok.push(r),
+                Err(error) => failures.push(FailedCase { index, spec: spec.clone(), error }),
+            }
+        }
+        ok
+    }
+
+    /// The cases that failed so far in this session.
+    pub fn failures(&self) -> Vec<FailedCase> {
+        self.failures.lock().expect("failure log lock").clone()
+    }
+
+    /// Renders the end-of-run failure digest for every case that failed in
+    /// this session (or an all-clear line).
+    pub fn failure_digest(&self) -> String {
+        crate::error::failure_digest(&self.failures.lock().expect("failure log lock"))
     }
 
     fn goals(&self) -> Vec<f64> {
@@ -69,7 +109,7 @@ impl Session {
     /// Runs (or returns the memoized) trio sweep for Spart + Rollover with
     /// `num_qos` QoS kernels.
     fn trio_results(&self, num_qos: usize, goals: &[f64]) -> Arc<Vec<CaseResult>> {
-        if let Some(hit) = self.trio_cache.lock().get(&num_qos) {
+        if let Some(hit) = self.trio_cache.lock().expect("trio cache lock").get(&num_qos) {
             return hit.clone();
         }
         let policies = [Policy::Spart, Policy::Quota(QuotaScheme::Rollover)];
@@ -80,8 +120,11 @@ impl Session {
             self.scale.cycles(),
             self.scale.case_stride(),
         );
-        let results = Arc::new(run_cases(&specs, &self.iso));
-        self.trio_cache.lock().insert(num_qos, results.clone());
+        let results = Arc::new(self.run_sweep(&specs));
+        self.trio_cache
+            .lock()
+            .expect("trio cache lock")
+            .insert(num_qos, results.clone());
         results
     }
 
@@ -98,7 +141,7 @@ impl Session {
         extra_stride: usize,
     ) -> Arc<Vec<CaseResult>> {
         let key = SweepKey { policy, ablations, config };
-        if let Some(hit) = self.pair_cache.lock().get(&key) {
+        if let Some(hit) = self.pair_cache.lock().expect("pair cache lock").get(&key) {
             return hit.clone();
         }
         let mut specs = pair_sweep(
@@ -111,8 +154,11 @@ impl Session {
             s.ablations = ablations;
             s.config = config;
         }
-        let results = Arc::new(run_cases(&specs, &self.iso));
-        self.pair_cache.lock().insert(key, results.clone());
+        let results = Arc::new(self.run_sweep(&specs));
+        self.pair_cache
+            .lock()
+            .expect("pair cache lock")
+            .insert(key, results.clone());
         results
     }
 
@@ -641,7 +687,7 @@ impl Session {
             for s in &mut specs {
                 s.epoch_cycles = Some(epoch_cycles);
             }
-            let results = run_cases(&specs, &self.iso);
+            let results = self.run_sweep(&specs);
             let ok: Vec<&CaseResult> = results.iter().filter(|r| r.success()).collect();
             t.row([
                 epoch_cycles.to_string(),
@@ -786,5 +832,19 @@ mod tests {
         let a = session.pairs(Policy::Quota(QuotaScheme::Rollover));
         let b = session.pairs(Policy::Quota(QuotaScheme::Rollover));
         assert!(Arc::ptr_eq(&a, &b), "second fetch must hit the memo");
+    }
+
+    #[test]
+    fn sessions_log_failures_for_the_digest() {
+        let session = tiny_session();
+        assert!(session.failure_digest().contains("all cases completed"));
+        let specs =
+            vec![CaseSpec::new(&["nope", "lbm"], &[Some(0.5), None], Policy::Spart, 1_000)];
+        let results = session.run_sweep(&specs);
+        assert!(results.is_empty(), "the failing case yields no result");
+        let digest = session.failure_digest();
+        assert!(digest.contains("[unknown-benchmark]"), "{digest}");
+        assert!(digest.contains("nope"), "{digest}");
+        assert_eq!(session.failures().len(), 1);
     }
 }

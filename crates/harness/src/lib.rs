@@ -7,8 +7,10 @@
 //! * [`scale`] — run scales (cycles per case, case subsampling): `Paper`
 //!   matches the 2 M-cycle methodology; `Quick` and `Smoke` trade fidelity
 //!   for wall-clock time,
-//! * [`runner`] — isolated-IPC measurement (cached) and parallel case
-//!   execution,
+//! * [`runner`] — isolated-IPC measurement (cached, with per-key in-flight
+//!   dedup) and parallel, panic-isolated case execution,
+//! * [`error`] — typed per-case failures ([`error::CaseError`]) and the
+//!   end-of-run failure digest,
 //! * [`metrics`] — `QoSreach`, normalized throughput, miss-distance
 //!   buckets, energy efficiency,
 //! * [`experiments`] — one entry point per table/figure (`fig5` … `fig14`,
@@ -34,6 +36,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cases;
+pub mod error;
 pub mod experiments;
 pub mod export;
 pub mod metrics;
@@ -42,6 +45,7 @@ pub mod runner;
 pub mod scale;
 
 pub use cases::{CaseSpec, ConfigKind, Policy};
+pub use error::{failure_digest, CaseError, FailedCase};
 pub use metrics::CaseResult;
-pub use runner::{run_cases, IsolatedCache};
+pub use runner::{run_case, run_case_isolated, run_cases, IsolatedCache};
 pub use scale::RunScale;

@@ -1,24 +1,48 @@
-//! Case execution: isolated-IPC caching and a parallel case runner.
+//! Case execution: isolated-IPC caching and a fault-tolerant parallel case
+//! runner.
+//!
+//! Every case runs with the simulator's forward-progress watchdog enabled
+//! (the watchdog is observation-only, so results are bit-identical to an
+//! unwatched run) and inside a `catch_unwind` boundary with one bounded
+//! retry, so a single wedged or crashing case cannot take down a sweep.
 
 use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use gpu_sim::{Controller, Gpu, GpuConfig, KernelId, NullController};
-use parking_lot::RwLock;
 use qos_core::{QosManager, QosSpec, SpartController};
 
 use crate::cases::{Ablations, CaseSpec, ConfigKind, Policy};
+use crate::error::CaseError;
 use crate::metrics::CaseResult;
+
+/// Watchdog window used for every harness-driven simulation, in epochs: a
+/// wedged case is detected after at most two controller epochs with zero
+/// machine-wide progress, instead of burning the rest of its cycle budget.
+const WATCHDOG_EPOCHS: u64 = 2;
 
 /// Shared cache of isolated-IPC measurements, keyed by
 /// `(benchmark, config, cycles)`.
 ///
 /// Every QoS goal in the evaluation is a fraction of the kernel's isolated
 /// IPC, so each benchmark is first run alone on the same configuration and
-/// cycle budget. The cache makes that a once-per-sweep cost.
+/// cycle budget. The cache makes that a once-per-sweep cost: concurrent
+/// misses on the same key are deduplicated through a per-key `OnceLock`, so
+/// the measurement runs exactly once and other threads block on it instead
+/// of racing to redo it. Failed measurements (e.g. an unknown benchmark)
+/// are cached too, as errors.
 #[derive(Debug, Default)]
 pub struct IsolatedCache {
-    map: RwLock<HashMap<(String, ConfigKind, u64), f64>>,
+    map: Mutex<HashMap<IsoKey, IsoCell>>,
+    misses: AtomicUsize,
 }
+
+/// Cache key: `(benchmark, config, cycles)`.
+type IsoKey = (String, ConfigKind, u64);
+/// Per-key measurement slot; concurrent misses block on the same cell.
+type IsoCell = Arc<OnceLock<Result<f64, CaseError>>>;
 
 impl IsolatedCache {
     /// Creates an empty cache.
@@ -28,34 +52,48 @@ impl IsolatedCache {
 
     /// Isolated IPC of `name` under `config` over `cycles`, measuring on a
     /// cache miss.
-    pub fn ipc(&self, name: &str, config: ConfigKind, cycles: u64) -> f64 {
+    ///
+    /// # Errors
+    ///
+    /// Returns the (cached) [`CaseError`] when the measurement failed.
+    pub fn ipc(&self, name: &str, config: ConfigKind, cycles: u64) -> Result<f64, CaseError> {
         let key = (name.to_string(), config, cycles);
-        if let Some(&v) = self.map.read().get(&key) {
-            return v;
-        }
-        let v = measure_isolated(name, config, cycles);
-        self.map.write().insert(key, v);
-        v
+        let cell = {
+            let mut map = self.map.lock().expect("isolated cache lock");
+            map.entry(key).or_default().clone()
+        };
+        cell.get_or_init(|| {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            measure_isolated(name, config, cycles)
+        })
+        .clone()
+    }
+
+    /// Number of cache misses (actual measurements performed).
+    pub fn misses(&self) -> usize {
+        self.misses.load(Ordering::Relaxed)
     }
 
     /// Number of cached measurements.
     pub fn len(&self) -> usize {
-        self.map.read().len()
+        self.map.lock().expect("isolated cache lock").len()
     }
 
     /// Whether the cache is empty.
     pub fn is_empty(&self) -> bool {
-        self.map.read().is_empty()
+        self.len() == 0
     }
 }
 
-fn measure_isolated(name: &str, config: ConfigKind, cycles: u64) -> f64 {
-    let mut gpu = Gpu::new(config.build());
+fn measure_isolated(name: &str, config: ConfigKind, cycles: u64) -> Result<f64, CaseError> {
+    let mut cfg = config.build();
+    cfg.health.watchdog_window = WATCHDOG_EPOCHS * cfg.epoch_cycles;
+    let mut gpu = Gpu::new(cfg);
     let desc = workloads::by_name(name)
-        .unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+        .ok_or_else(|| CaseError::UnknownBenchmark { name: name.to_string() })?;
     let k = gpu.launch(desc);
-    gpu.run(cycles, &mut NullController);
-    gpu.stats().ipc(k)
+    gpu.try_run(cycles, &mut NullController)?;
+    Ok(gpu.stats().ipc(k))
 }
 
 fn apply_ablations(cfg: &mut GpuConfig, ab: &Ablations) {
@@ -66,13 +104,22 @@ fn apply_ablations(cfg: &mut GpuConfig, ab: &Ablations) {
 }
 
 /// Runs one case and computes its result.
-pub fn run_case(spec: &CaseSpec, iso: &IsolatedCache) -> CaseResult {
+///
+/// # Errors
+///
+/// [`CaseError::UnknownBenchmark`] when the spec names a benchmark the
+/// workload table does not know; [`CaseError::Sim`] when the watchdog trips
+/// (e.g. under an injected livelock) or an audit fails. Panics are *not*
+/// caught here — [`run_cases`] adds the `catch_unwind` + retry boundary.
+pub fn run_case(spec: &CaseSpec, iso: &IsolatedCache) -> Result<CaseResult, CaseError> {
     let mut cfg = spec.config.build();
     apply_ablations(&mut cfg, &spec.ablations);
     if let Some(epoch) = spec.epoch_cycles {
         cfg.epoch_cycles = epoch;
         cfg.samples_per_epoch = cfg.samples_per_epoch.min(epoch as u32);
     }
+    cfg.health.watchdog_window = WATCHDOG_EPOCHS * cfg.epoch_cycles;
+    cfg.faults = spec.faults.clone();
     let mut gpu = Gpu::new(cfg);
 
     let mut kids = Vec::new();
@@ -80,27 +127,27 @@ pub fn run_case(spec: &CaseSpec, iso: &IsolatedCache) -> CaseResult {
     let mut isolated = Vec::new();
     for (slot, name) in spec.kernels.iter().enumerate() {
         let desc = workloads::by_name(name)
-            .unwrap_or_else(|| panic!("unknown benchmark {name:?}"));
+            .ok_or_else(|| CaseError::UnknownBenchmark { name: name.clone() })?;
         // Decorrelate co-runners of the same benchmark.
         let desc = desc.with_seed(desc.seed() ^ (slot as u64).wrapping_mul(0x9e37_79b9));
         kids.push(gpu.launch(desc));
-        let iso_ipc = iso.ipc(name, spec.config, spec.cycles);
+        let iso_ipc = iso.ipc(name, spec.config, spec.cycles)?;
         isolated.push(iso_ipc);
         goal_ipc.push(spec.goal_fracs[slot].map(|f| f * iso_ipc));
     }
 
     let mut ctrl = build_controller(spec, &kids, &goal_ipc);
-    gpu.run(spec.cycles, ctrl.as_mut());
+    gpu.try_run(spec.cycles, ctrl.as_mut())?;
 
     let stats = gpu.stats();
-    CaseResult {
+    Ok(CaseResult {
         ipc: kids.iter().map(|&k| stats.ipc(k)).collect(),
         isolated_ipc: isolated,
         goal_ipc,
         insts_per_energy: gpu_sim::power::insts_per_energy(&gpu),
         preemption_saves: gpu.preempt_stats().saves,
         spec: spec.clone(),
-    }
+    })
 }
 
 fn build_controller(
@@ -134,15 +181,52 @@ fn build_controller(
     }
 }
 
+/// Runs one case inside a panic-isolation boundary with one bounded retry.
+///
+/// A panicking case (a simulator bug, or an injected [`gpu_sim::FaultKind::
+/// Panic`]) is retried once — covering transient environmental failures —
+/// and then reported as [`CaseError::Panicked`] instead of unwinding into
+/// the sweep.
+pub fn run_case_isolated(spec: &CaseSpec, iso: &IsolatedCache) -> Result<CaseResult, CaseError> {
+    let attempt = || catch_unwind(AssertUnwindSafe(|| run_case(spec, iso)));
+    match attempt() {
+        Ok(result) => result,
+        Err(_) => match attempt() {
+            Ok(result) => result,
+            Err(payload) => Err(CaseError::Panicked {
+                payload: panic_message(payload.as_ref()),
+                retries: 1,
+            }),
+        },
+    }
+}
+
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
 /// Runs `specs` in parallel across all cores, preserving input order.
 ///
-/// Isolated IPCs are measured first (deduplicated), also in parallel.
-pub fn run_cases(specs: &[CaseSpec], iso: &IsolatedCache) -> Vec<CaseResult> {
+/// Isolated IPCs are measured first (deduplicated), also in parallel. Each
+/// case is panic-isolated and watchdog-protected, so the sweep always
+/// completes: failed cases come back as `Err` entries in their input
+/// positions while every other case still produces its result.
+pub fn run_cases(
+    specs: &[CaseSpec],
+    iso: &IsolatedCache,
+) -> Vec<Result<CaseResult, CaseError>> {
     let threads = std::thread::available_parallelism()
         .map(|n| n.get())
         .unwrap_or(4);
 
-    // Warm the isolated cache in parallel (unique keys only).
+    // Warm the isolated cache in parallel (unique keys only). Failures are
+    // ignored here; the per-case path observes the cached error.
     let unique: Vec<(String, ConfigKind, u64)> = {
         let mut set = std::collections::HashSet::new();
         specs
@@ -156,19 +240,19 @@ pub fn run_cases(specs: &[CaseSpec], iso: &IsolatedCache) -> Vec<CaseResult> {
             .collect()
     };
     parallel_for_each(&unique, threads, |(name, config, cycles)| {
-        iso.ipc(name, *config, *cycles);
+        let _ = catch_unwind(AssertUnwindSafe(|| iso.ipc(name, *config, *cycles)));
     });
 
-    let results: Vec<RwLock<Option<CaseResult>>> =
-        specs.iter().map(|_| RwLock::new(None)).collect();
+    let results: Vec<Mutex<Option<Result<CaseResult, CaseError>>>> =
+        specs.iter().map(|_| Mutex::new(None)).collect();
     let indices: Vec<usize> = (0..specs.len()).collect();
     parallel_for_each(&indices, threads, |&i| {
-        let r = run_case(&specs[i], iso);
-        *results[i].write() = Some(r);
+        let r = run_case_isolated(&specs[i], iso);
+        *results[i].lock().expect("result slot lock") = Some(r);
     });
     results
         .into_iter()
-        .map(|cell| cell.into_inner().expect("every case ran"))
+        .map(|cell| cell.into_inner().expect("result slot lock").expect("every case ran"))
         .collect()
 }
 
@@ -177,35 +261,50 @@ fn parallel_for_each<T: Sync, F: Fn(&T) + Sync>(items: &[T], threads: usize, f: 
     if items.is_empty() {
         return;
     }
-    let next = std::sync::atomic::AtomicUsize::new(0);
+    let next = AtomicUsize::new(0);
     let workers = threads.min(items.len()).max(1);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
                 if i >= items.len() {
                     break;
                 }
                 f(&items[i]);
             });
         }
-    })
-    .expect("worker threads must not panic");
+    });
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use gpu_sim::{FaultKind, FaultPlan};
     use qos_core::QuotaScheme;
 
     #[test]
     fn isolated_cache_measures_once() {
         let cache = IsolatedCache::new();
-        let a = cache.ipc("sgemm", ConfigKind::Table1, 20_000);
-        let b = cache.ipc("sgemm", ConfigKind::Table1, 20_000);
+        let a = cache.ipc("sgemm", ConfigKind::Table1, 20_000).expect("sgemm measures");
+        let b = cache.ipc("sgemm", ConfigKind::Table1, 20_000).expect("cached");
         assert_eq!(a, b);
         assert_eq!(cache.len(), 1);
+        assert_eq!(cache.misses(), 1);
         assert!(a > 100.0, "sgemm isolated IPC {a} looks wrong");
+    }
+
+    #[test]
+    fn concurrent_misses_on_one_key_measure_exactly_once() {
+        let cache = IsolatedCache::new();
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    cache.ipc("sgemm", ConfigKind::Table1, 20_000).expect("measures");
+                });
+            }
+        });
+        assert_eq!(cache.misses(), 1, "in-flight dedup must collapse concurrent misses");
+        assert_eq!(cache.len(), 1);
     }
 
     #[test]
@@ -217,7 +316,7 @@ mod tests {
             Policy::Quota(QuotaScheme::Rollover),
             40_000,
         );
-        let r = run_case(&spec, &cache);
+        let r = run_case(&spec, &cache).expect("healthy case");
         assert_eq!(r.ipc.len(), 2);
         assert!(r.ipc[0] > 0.0);
         assert_eq!(r.goal_ipc[1], None);
@@ -244,26 +343,70 @@ mod tests {
         let second = run_cases(&specs, &cache);
         assert_eq!(first.len(), 3);
         for (a, b) in first.iter().zip(&second) {
+            let (a, b) = (a.as_ref().expect("ok"), b.as_ref().expect("ok"));
             assert_eq!(a.spec, b.spec);
             assert_eq!(a.ipc, b.ipc, "parallel execution must stay deterministic");
         }
-        assert_eq!(first[0].spec.kernels[0], "sgemm");
-        assert_eq!(first[1].spec.kernels[0], "lbm");
+        assert_eq!(first[0].as_ref().expect("ok").spec.kernels[0], "sgemm");
+        assert_eq!(first[1].as_ref().expect("ok").spec.kernels[0], "lbm");
     }
 
     #[test]
     fn spart_policy_builds_and_runs() {
         let cache = IsolatedCache::new();
         let spec = CaseSpec::new(&["sgemm", "lbm"], &[Some(0.5), None], Policy::Spart, 30_000);
-        let r = run_case(&spec, &cache);
+        let r = run_case(&spec, &cache).expect("healthy case");
         assert!(r.ipc[0] > 0.0 && r.ipc[1] > 0.0);
     }
 
     #[test]
-    #[should_panic(expected = "unknown benchmark")]
-    fn unknown_benchmark_panics() {
+    fn unknown_benchmark_is_a_typed_error_not_a_panic() {
         let cache = IsolatedCache::new();
         let spec = CaseSpec::new(&["nope", "lbm"], &[Some(0.5), None], Policy::Spart, 1_000);
-        let _ = run_case(&spec, &cache);
+        let err = run_case(&spec, &cache).expect_err("unknown benchmark must fail");
+        assert_eq!(err.kind(), "unknown-benchmark");
+        match err {
+            CaseError::UnknownBenchmark { name } => assert_eq!(name, "nope"),
+            other => panic!("expected UnknownBenchmark, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_panic_is_isolated_and_reported() {
+        let cache = IsolatedCache::new();
+        let mut spec = CaseSpec::new(
+            &["sgemm", "lbm"],
+            &[Some(0.5), None],
+            Policy::Quota(QuotaScheme::Rollover),
+            30_000,
+        );
+        spec.faults = FaultPlan::one(5_000, FaultKind::Panic);
+        let err = run_case_isolated(&spec, &cache).expect_err("injected panic must surface");
+        match err {
+            CaseError::Panicked { payload, retries } => {
+                assert_eq!(retries, 1, "the policy allows exactly one retry");
+                assert!(payload.contains("injected fault"), "{payload}");
+            }
+            other => panic!("expected Panicked, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_livelock_trips_the_watchdog_within_the_case() {
+        let cache = IsolatedCache::new();
+        let mut spec = CaseSpec::new(
+            &["sgemm", "lbm"],
+            &[Some(0.5), None],
+            Policy::Quota(QuotaScheme::Rollover),
+            100_000,
+        );
+        spec.faults = FaultPlan::one(15_000, FaultKind::StarveQuota);
+        let err = run_case(&spec, &cache).expect_err("livelock must be detected");
+        assert_eq!(err.kind(), "watchdog");
+        let CaseError::Sim(gpu_sim::SimError::Watchdog(report)) = err else {
+            panic!("expected a watchdog report");
+        };
+        assert!(report.cycle < 100_000, "watchdog saves the rest of the budget");
+        assert!(report.starved_kernels().count() > 0, "report names the culprits");
     }
 }

@@ -159,7 +159,7 @@ impl QosManager {
 
         // 1. α and quotas for QoS kernels.
         let mut standings = Vec::new();
-        for k in 0..nk {
+        for (k, &epoch_ipc) in snap_ipc.iter().enumerate() {
             let Some(goal) = self.specs[k].goal_ipc() else { continue };
             let kid = KernelId::new(k);
             let a = if history_on && epoch > 0 {
@@ -168,20 +168,20 @@ impl QosManager {
                 1.0
             };
             self.alphas[k] = a;
-            standings.push(QosStanding { epoch_ipc: snap_ipc[k], alpha: a, goal_ipc: goal });
+            standings.push(QosStanding { epoch_ipc, alpha: a, goal_ipc: goal });
             let quota = epoch_quota(goal, a, epoch_cycles);
             let refill = self.scheme.elastic();
             self.spread_quota(gpu, kid, quota, self.scheme.qos_carry(), refill);
         }
 
         // 2. Artificial goals and quotas for non-QoS kernels (§3.5).
-        for k in 0..nk {
+        for (k, &epoch_ipc) in snap_ipc.iter().enumerate() {
             if self.specs[k].is_qos() {
                 continue;
             }
             let kid = KernelId::new(k);
             let goal = artificial_goal(self.nonqos_prev_ipc[k], &standings);
-            self.nonqos_prev_ipc[k] = snap_ipc[k];
+            self.nonqos_prev_ipc[k] = epoch_ipc;
             let quota = epoch_quota(goal, 1.0, epoch_cycles);
             self.spread_quota(gpu, kid, quota, QuotaCarry::Reset, true);
         }

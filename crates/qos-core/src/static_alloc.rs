@@ -160,13 +160,13 @@ impl VictimCandidate {
             return false;
         }
         if !self.is_qos {
-            return self.idle_tbs >= needed + 1;
+            return self.idle_tbs > needed;
         }
         self.has_slack(needed)
     }
 
     fn has_slack(&self, needed: u32) -> bool {
-        if self.idle_tbs >= needed + 1 {
+        if self.idle_tbs > needed {
             return true;
         }
         match self.goal_ipc {

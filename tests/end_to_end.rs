@@ -98,7 +98,10 @@ fn rollover_reaches_goals_at_least_as_often_as_naive() {
             }
         }
     }
-    let results = run_cases(&specs, &iso);
+    let results: Vec<_> = run_cases(&specs, &iso)
+        .into_iter()
+        .map(|r| r.expect("healthy cases"))
+        .collect();
     let reach = |p: Policy| {
         qos_reach(results.iter().filter(|r| r.spec.policy == p))
     };
@@ -108,6 +111,25 @@ fn rollover_reaches_goals_at_least_as_often_as_naive() {
         rollover >= naive,
         "Rollover QoSreach ({rollover}) must be >= Naive ({naive})"
     );
+}
+
+#[test]
+fn audit_mode_stays_clean_on_a_managed_pair() {
+    // The invariant audit (DESIGN.md §10) must never fire on a healthy
+    // quota-managed run: occupancy, slot accounting and the quota ledger
+    // all stay conserved across epochs of gating and preemption.
+    let goal = 0.6 * isolated_ipc("sgemm");
+    let mut cfg = GpuConfig::paper_table1();
+    cfg.health.audit = true;
+    cfg.health.watchdog_window = 2 * cfg.epoch_cycles;
+    let mut gpu = Gpu::new(cfg);
+    let q = gpu.launch(workloads::by_name("sgemm").expect("known"));
+    let b = gpu.launch(workloads::by_name("spmv").expect("known"));
+    let mut mgr = QosManager::new(QuotaScheme::Rollover)
+        .with_kernel(q, QosSpec::qos(goal))
+        .with_kernel(b, QosSpec::best_effort());
+    gpu.try_run(CYCLES, &mut mgr).expect("healthy managed run must pass every audit");
+    assert!(gpu.stats().ipc(q) > 0.0);
 }
 
 #[test]
@@ -140,7 +162,7 @@ fn two_qos_kernels_can_both_be_held_at_goals() {
         Policy::Quota(QuotaScheme::Rollover),
         120_000,
     );
-    let r = run_case(&spec, &iso);
+    let r = run_case(&spec, &iso).expect("healthy case");
     assert!(
         r.success(),
         "both 35% goals should be reachable: ipc {:?} goals {:?}",
@@ -161,9 +183,9 @@ fn preemption_cost_is_modest() {
         Policy::Quota(QuotaScheme::Rollover),
         100_000,
     );
-    let real = run_case(&spec, &iso);
+    let real = run_case(&spec, &iso).expect("healthy case");
     spec.ablations.free_preemption = true;
-    let free = run_case(&spec, &iso);
+    let free = run_case(&spec, &iso).expect("healthy case");
     let degradation = 1.0 - real.ipc[1] / free.ipc[1].max(1e-9);
     assert!(
         degradation < 0.25,

@@ -1,0 +1,154 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! This build environment has no network access, so the real `criterion`
+//! cannot be downloaded. The stub keeps `cargo bench` compiling and useful:
+//! every registered benchmark runs its body once (after one untimed warm-up
+//! call) and prints the wall-clock time, plus derived throughput when the
+//! group declared one. There is no statistical sampling or HTML report.
+
+use std::time::{Duration, Instant};
+
+/// Opaque black box preventing the optimizer from deleting a value.
+pub fn black_box<T>(value: T) -> T {
+    std::hint::black_box(value)
+}
+
+/// Measurement throughput declared by a benchmark group.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    /// Elements processed per iteration (e.g. simulated cycles).
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// Stand-in for `criterion::Criterion`. Builder methods are accepted and
+/// ignored; `bench_function` runs the closure immediately.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Accepted and ignored (the stub always runs one iteration).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn warm_up_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Accepted and ignored.
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Run `f` once as a benchmark named `id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(id, None, f);
+        self
+    }
+
+    /// Open a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { _parent: self, name: name.to_string(), throughput: None }
+    }
+}
+
+/// Stand-in for `criterion::BenchmarkGroup`.
+pub struct BenchmarkGroup<'a> {
+    _parent: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declare per-iteration throughput for subsequent benches in the group.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Run `f` once as a benchmark named `group/id`.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&format!("{}/{}", self.name, id), self.throughput, f);
+        self
+    }
+
+    /// Close the group (no-op).
+    pub fn finish(self) {}
+}
+
+/// Stand-in for `criterion::Bencher`: `iter` times one call of the routine.
+pub struct Bencher {
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Call `routine` once untimed (warm-up), then once timed.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        black_box(routine());
+        let start = Instant::now();
+        black_box(routine());
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F>(id: &str, throughput: Option<Throughput>, mut f: F)
+where
+    F: FnMut(&mut Bencher),
+{
+    let mut b = Bencher { elapsed: Duration::ZERO };
+    f(&mut b);
+    let secs = b.elapsed.as_secs_f64();
+    match throughput {
+        Some(Throughput::Elements(n)) if secs > 0.0 => {
+            println!(
+                "bench {id}: {:?} ({:.0} elem/s)",
+                b.elapsed,
+                n as f64 / secs
+            );
+        }
+        Some(Throughput::Bytes(n)) if secs > 0.0 => {
+            println!("bench {id}: {:?} ({:.0} B/s)", b.elapsed, n as f64 / secs);
+        }
+        _ => println!("bench {id}: {:?}", b.elapsed),
+    }
+}
+
+/// Mirror of `criterion::criterion_group!` (both invocation forms).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $cfg;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Mirror of `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,29 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! This build environment has no network access and no vendored registry, so
+//! the real `serde` cannot be downloaded. The workspace only uses serde for
+//! `#[derive(Serialize, Deserialize)]` markers on config/result types — no
+//! code path actually serializes anything (export goes through a hand-rolled
+//! CSV writer). This stub provides the two trait names with blanket
+//! implementations so the derives are zero-cost no-ops; swapping the real
+//! crate back in later is a one-line `Cargo.toml` change.
+
+/// Marker stand-in for `serde::Serialize`. Blanket-implemented for all types.
+pub trait Serialize {}
+impl<T: ?Sized> Serialize for T {}
+
+/// Marker stand-in for `serde::Deserialize`. Blanket-implemented for all types.
+pub trait Deserialize<'de>: Sized {}
+impl<'de, T> Deserialize<'de> for T {}
+
+/// Marker stand-in for `serde::de::DeserializeOwned`.
+pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+impl<T> DeserializeOwned for T {}
+
+/// Mirror of `serde::de` far enough for `use serde::de::DeserializeOwned`.
+pub mod de {
+    pub use crate::DeserializeOwned;
+}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

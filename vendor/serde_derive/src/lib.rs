@@ -1,0 +1,18 @@
+//! No-op `#[derive(Serialize, Deserialize)]` backing the offline serde
+//! stand-in. The stand-in's traits are blanket-implemented for every type, so
+//! the derives have nothing to emit; they exist purely so `#[derive(...)]`
+//! attributes on workspace types keep compiling unchanged.
+
+use proc_macro::TokenStream;
+
+/// Accepts and discards a `#[derive(Serialize)]` invocation.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Accepts and discards a `#[derive(Deserialize)]` invocation.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
