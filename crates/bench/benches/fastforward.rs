@@ -1,0 +1,169 @@
+//! Wall-clock benchmark of the idle-cycle fast-forward (DESIGN.md §3).
+//!
+//! Runs each scenario twice — naive per-cycle stepping vs. fast-forward —
+//! verifies the runs are observably identical, and writes the timings to
+//! `BENCH_fastforward.json` (override the path with the first CLI argument).
+//! CI's bench-smoke job uploads that file so the perf trajectory of the
+//! simulator is tracked from PR to PR; the committed baseline at the repo
+//! root records the speedup this change landed with.
+
+use std::time::Instant;
+
+use gpu_sim::kernel::{AccessPattern, KernelDesc, Op};
+use gpu_sim::{Gpu, GpuConfig, NullController, SharingMode};
+use qos_core::{QosManager, QosSpec, QuotaScheme};
+
+const MIB: u64 = 1 << 20;
+
+const CYCLES: u64 = 80_000;
+/// Timed repetitions per configuration; the minimum is reported.
+const REPS: u32 = 3;
+
+struct Scenario {
+    name: &'static str,
+    run: fn(bool) -> Outcome,
+}
+
+/// Checksum + skip telemetry from one run.
+struct Outcome {
+    total_insts: u64,
+    skipped: u64,
+}
+
+fn finish(gpu: &Gpu) -> Outcome {
+    Outcome {
+        total_insts: gpu.stats().total_thread_insts(),
+        skipped: gpu.skipped_cycles(),
+    }
+}
+
+/// A single-warp-per-TB kernel chasing random addresses through a
+/// cache-defeating footprint: every access rides the full DRAM latency and
+/// each TB holds only one warp, so occupancy stays minimal.
+fn pointer_chase(name: &str, seed: u64) -> KernelDesc {
+    KernelDesc::builder(name)
+        .threads_per_tb(32)
+        .grid_tbs(1024)
+        .iterations(64)
+        .seed(seed)
+        .memory_intensive(true)
+        .body(vec![Op::mem_load(AccessPattern::random(512 * MIB, 1)), Op::alu(1, 1)])
+        .build()
+}
+
+/// The acceptance scenario: a latency-bound SMK pair at minimal occupancy.
+/// With ~2 warps per SM all stalled on ~340-cycle DRAM round trips, wake-ups
+/// are sparse machine-wide and most cycles are idle-skippable.
+fn smk_latency_pair(fast_forward: bool) -> Outcome {
+    let mut cfg = GpuConfig::paper_table1();
+    cfg.fast_forward = fast_forward;
+    let mut gpu = Gpu::new(cfg);
+    let a = gpu.launch(pointer_chase("chase-a", 0xFF01));
+    let b = gpu.launch(pointer_chase("chase-b", 0xFF02));
+    gpu.set_sharing_mode(SharingMode::Smk);
+    for sm in gpu.sm_ids().collect::<Vec<_>>() {
+        gpu.set_tb_target(sm, a, 1);
+        gpu.set_tb_target(sm, b, 1);
+    }
+    gpu.run(CYCLES, &mut NullController);
+    finish(&gpu)
+}
+
+/// A bandwidth-saturated SMK pair: wake-ups are dense (a DRAM channel
+/// completes a transaction every few cycles), so idle windows are short.
+/// Included to show fast-forward does not regress the saturated regime.
+fn smk_memory_pair(fast_forward: bool) -> Outcome {
+    let mut cfg = GpuConfig::paper_table1();
+    cfg.fast_forward = fast_forward;
+    let mut gpu = Gpu::new(cfg);
+    let a = gpu.launch(workloads::by_name("lbm").expect("known"));
+    let b = gpu.launch(workloads::by_name("spmv").expect("known"));
+    gpu.set_sharing_mode(SharingMode::Smk);
+    for sm in gpu.sm_ids().collect::<Vec<_>>() {
+        gpu.set_tb_target(sm, a, 5);
+        gpu.set_tb_target(sm, b, 5);
+    }
+    gpu.run(CYCLES, &mut NullController);
+    finish(&gpu)
+}
+
+/// A quota-managed pair: fast-forward must also pay off when the QoS
+/// manager's gating makes warps quota-inert rather than operand-stalled.
+fn managed_rollover_pair(fast_forward: bool) -> Outcome {
+    let mut cfg = GpuConfig::paper_table1();
+    cfg.fast_forward = fast_forward;
+    let mut gpu = Gpu::new(cfg);
+    let q = gpu.launch(workloads::by_name("mri-q").expect("known"));
+    let be = gpu.launch(workloads::by_name("lbm").expect("known"));
+    let mut mgr = QosManager::new(QuotaScheme::Rollover)
+        .with_kernel(q, QosSpec::qos(600.0))
+        .with_kernel(be, QosSpec::best_effort());
+    gpu.run(CYCLES, &mut mgr);
+    finish(&gpu)
+}
+
+/// Compute-bound isolated run: the worst case for fast-forward (few idle
+/// windows), included to bound the overhead of the horizon scans.
+fn isolated_compute(fast_forward: bool) -> Outcome {
+    let mut cfg = GpuConfig::paper_table1();
+    cfg.fast_forward = fast_forward;
+    let mut gpu = Gpu::new(cfg);
+    gpu.launch(workloads::by_name("sgemm").expect("known"));
+    gpu.run(CYCLES, &mut NullController);
+    finish(&gpu)
+}
+
+fn time_min(f: fn(bool) -> Outcome, fast_forward: bool) -> (f64, Outcome) {
+    let mut best = f64::INFINITY;
+    let mut outcome = Outcome { total_insts: 0, skipped: 0 };
+    for _ in 0..REPS {
+        let t = Instant::now();
+        outcome = f(fast_forward);
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, outcome)
+}
+
+fn main() {
+    // cargo bench forwards harness flags like `--bench`; skip them.
+    let out_path = std::env::args()
+        .skip(1)
+        .find(|a| !a.starts_with('-'))
+        .unwrap_or_else(|| "BENCH_fastforward.json".to_string());
+    let scenarios = [
+        Scenario { name: "smk_latency_pair", run: smk_latency_pair },
+        Scenario { name: "smk_memory_pair", run: smk_memory_pair },
+        Scenario { name: "managed_rollover_pair", run: managed_rollover_pair },
+        Scenario { name: "isolated_compute", run: isolated_compute },
+    ];
+    let mut rows = Vec::new();
+    for s in &scenarios {
+        let (naive_ms, naive) = time_min(s.run, false);
+        let (ff_ms, ff) = time_min(s.run, true);
+        assert_eq!(
+            naive.total_insts, ff.total_insts,
+            "{}: fast-forward diverged from naive stepping",
+            s.name
+        );
+        let speedup = naive_ms / ff_ms;
+        let skipped_pct = 100.0 * ff.skipped as f64 / CYCLES as f64;
+        println!(
+            "{:<24} naive {naive_ms:>8.1} ms   fast-forward {ff_ms:>8.1} ms   \
+             {speedup:.2}x   ({skipped_pct:.1}% cycles skipped)",
+            s.name
+        );
+        rows.push(format!(
+            "    {{\"name\": \"{}\", \"naive_ms\": {naive_ms:.3}, \"fast_forward_ms\": \
+             {ff_ms:.3}, \"speedup\": {speedup:.3}, \"skipped_cycles\": {}, \
+             \"identical\": true}}",
+            s.name, ff.skipped
+        ));
+    }
+    let json = format!(
+        "{{\n  \"bench\": \"fastforward\",\n  \"cycles\": {CYCLES},\n  \"reps\": {REPS},\n  \
+         \"scenarios\": [\n{}\n  ]\n}}\n",
+        rows.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("write benchmark JSON");
+    println!("wrote {out_path}");
+}

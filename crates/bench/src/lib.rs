@@ -7,7 +7,12 @@
 //!   [`harness::RunScale::Bench`] scale and printing the same rows the
 //!   `repro` binary prints at larger scales,
 //! * `simulator` — micro-benchmarks of the simulator substrate (isolated
-//!   kernel runs, SMK co-runs, preemption churn).
+//!   kernel runs, SMK co-runs, preemption churn),
+//! * `fastforward` — naive vs. idle fast-forward stepping (DESIGN.md §3.1)
+//!   over latency-bound, bandwidth-saturated, managed and compute-bound
+//!   scenarios, asserting bit-identical results and writing the timings to
+//!   `BENCH_fastforward.json` (CI uploads it; the repo root holds the
+//!   blessed baseline).
 
 /// Re-exported so the benches share one definition of the bench scale.
 pub use harness::RunScale;

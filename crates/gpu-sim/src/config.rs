@@ -206,6 +206,13 @@ pub struct GpuConfig {
     pub health: HealthConfig,
     /// Deterministic fault-injection schedule. Empty by default.
     pub faults: FaultPlan,
+    /// Idle-cycle fast-forward: when no warp on any SM can issue, the run
+    /// loop jumps to the earliest event horizon instead of ticking every
+    /// cycle (see DESIGN.md §3, "Fast-forward and event horizons"). Results
+    /// are bit-identical to naive stepping; set `false` to force the naive
+    /// per-cycle loop (the differential oracle in `tests/properties.rs`
+    /// compares both paths).
+    pub fast_forward: bool,
 }
 
 impl Default for GpuConfig {
@@ -229,6 +236,7 @@ impl GpuConfig {
             samples_per_epoch: 100,
             health: HealthConfig::default(),
             faults: FaultPlan::default(),
+            fast_forward: true,
         }
     }
 

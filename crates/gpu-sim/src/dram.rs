@@ -69,6 +69,18 @@ impl ServiceQueue {
         self.next_free > now
     }
 
+    /// The cycle at which the queue's current backlog drains, or `None` if it
+    /// is already idle at `now`.
+    ///
+    /// This is a *drain horizon*, not a wake-up: every request's completion
+    /// time was already computed eagerly by [`ServiceQueue::serve`] and folded
+    /// into the issuing warp's `ready_at`, so the queue never needs to be
+    /// ticked. Fast-forward therefore does not clamp to this cycle; it exists
+    /// for introspection and symmetry with the other `next_event` providers.
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        (self.next_free > now).then_some(self.next_free)
+    }
+
     /// Resets counters (the busy horizon is kept).
     pub fn reset_stats(&mut self) {
         self.served = 0;

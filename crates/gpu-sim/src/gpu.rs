@@ -37,6 +37,15 @@ impl Controller for NullController {
     fn on_epoch(&mut self, _gpu: &mut Gpu, _epoch: u64) {}
 }
 
+/// Boxed controllers forward to their inner policy, so dynamically chosen
+/// policies (e.g. the harness's per-case controllers) can be wrapped in
+/// adapters like [`crate::trace::Tracer`].
+impl Controller for Box<dyn Controller + '_> {
+    fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64) {
+        (**self).on_epoch(gpu, epoch);
+    }
+}
+
 /// The simulated GPU.
 #[derive(Debug)]
 pub struct Gpu {
@@ -52,6 +61,7 @@ pub struct Gpu {
     epoch_index: u64,
     sample_interval: Cycle,
     fault_cursor: usize,
+    ff_skipped: Cycle,
 }
 
 impl Gpu {
@@ -80,6 +90,7 @@ impl Gpu {
             epoch_index: 0,
             sample_interval,
             fault_cursor: 0,
+            ff_skipped: 0,
             cycle: 0,
             cfg,
         }
@@ -168,6 +179,7 @@ impl Gpu {
             } else if now.is_multiple_of(DISPATCH_INTERVAL) {
                 self.service(now);
             }
+            let issued_before_tick = self.total_issued();
             for sm in &mut self.sms {
                 sm.tick(now, &mut self.mem);
             }
@@ -190,8 +202,81 @@ impl Gpu {
                 next_check += window;
             }
             self.cycle += 1;
+            // Attempting a jump costs a machine-wide horizon scan, so only
+            // try when this cycle issued nothing — on an issuing cycle some
+            // warp almost certainly remains issuable next cycle. This is
+            // purely an attempt filter: `fast_forward_target` re-proves
+            // idleness itself, so skipping an attempt never affects results.
+            if self.cfg.fast_forward && self.total_issued() == issued_before_tick {
+                if let Some(target) = self.fast_forward_target(end, next_check) {
+                    let skipped = target - self.cycle;
+                    for sm in &mut self.sms {
+                        sm.note_skipped_cycles(skipped);
+                    }
+                    self.ff_skipped += skipped;
+                    self.cycle = target;
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Computes how far the run loop may jump from `self.cycle` without
+    /// changing any observable state, or `None` when the next cycle must be
+    /// simulated.
+    ///
+    /// The jump target is the earliest component horizon ([`Sm::next_event`]
+    /// wake-ups and context-transition completions), clamped so that every
+    /// externally observable event still fires on its exact cycle: epoch
+    /// boundaries, idle-warp sampling ticks, the watchdog's `next_check`,
+    /// the first still-pending `FaultPlan` entry, `DISPATCH_INTERVAL`
+    /// service points whenever a service pass could act
+    /// ([`TbScheduler::service_would_noop`]), and the end of the run. The
+    /// memory system contributes no horizon: transaction completions are
+    /// computed eagerly at access time and carried by warp scoreboards
+    /// (see [`MemSystem::next_event`]).
+    fn fast_forward_target(&self, end: Cycle, next_check: Cycle) -> Option<Cycle> {
+        /// Smallest multiple of `step` at or above `from` — boundary cycles
+        /// themselves are never skipped.
+        fn next_boundary(from: Cycle, step: Cycle) -> Cycle {
+            from.next_multiple_of(step)
+        }
+        let from = self.cycle;
+        if from >= end {
+            return None;
+        }
+        // The busy scan runs first: on most simulated cycles some warp can
+        // issue, and `Sm::next_event` detects that with an early return,
+        // keeping the per-cycle overhead of a failed jump attempt small.
+        let mut target = Cycle::MAX;
+        for sm in &self.sms {
+            match sm.next_event(from) {
+                // A wake at or before `from` means some warp can issue now.
+                Some(busy) if busy <= from => return None,
+                Some(wake) => target = target.min(wake),
+                None => {}
+            }
+        }
+        target = target
+            .min(end)
+            .min(next_boundary(from, self.cfg.epoch_cycles))
+            .min(next_boundary(from, self.sample_interval))
+            .min(next_check);
+        if self.fault_cursor < self.cfg.faults.faults.len() {
+            target = target.min(self.cfg.faults.faults[self.fault_cursor].at_cycle);
+        }
+        if target <= from {
+            return None;
+        }
+        // `service_would_noop` is the costliest predicate; consult it only
+        // when the clamp it guards could actually shorten the jump.
+        let dispatch = next_boundary(from, DISPATCH_INTERVAL);
+        if target > dispatch
+            && !self.tb_sched.service_would_noop(&self.sms, &self.kernels)
+        {
+            target = target.min(dispatch);
+        }
+        (target > from).then_some(target)
     }
 
     /// Applies every scheduled fault whose cycle has arrived.
@@ -358,6 +443,14 @@ impl Gpu {
     /// Current simulation cycle.
     pub fn cycle(&self) -> Cycle {
         self.cycle
+    }
+
+    /// Cycles elided by idle fast-forward so far (always 0 when
+    /// `cfg.fast_forward` is off). Skipped cycles still count toward
+    /// [`Gpu::cycle`] and all per-SM busy accounting; this counter only
+    /// reports how much per-cycle work the jump optimisation avoided.
+    pub fn skipped_cycles(&self) -> Cycle {
+        self.ff_skipped
     }
 
     /// Number of launched kernels.

@@ -451,6 +451,86 @@ impl Sm {
             .is_some_and(|tb| tb.issuable(now))
     }
 
+    /// Whether a warp of kernel `k` that is otherwise issuable is *inert*:
+    /// [`Sm::quota_allows`] would return `false` without mutating any state,
+    /// and [`Sm::scavenge`] can never pick it. Inert warps generate no events,
+    /// so they do not hold fast-forward back.
+    ///
+    /// Every input here (quota counters, gates, QoS flags, elastic mode) only
+    /// changes through issues, epoch-boundary controller writes, or injected
+    /// faults — all of which happen on cycles fast-forward never skips — so
+    /// inertness computed at the start of an idle window holds throughout it.
+    fn quota_inert(&self, k: usize) -> bool {
+        if self.quota_frozen {
+            // StarveQuota freezes refills too: gated kernels stay blocked.
+            return self.gated[k];
+        }
+        if self.priority_block && !self.is_qos[k] && self.any_qos_quota_positive() {
+            return true;
+        }
+        if !self.gated[k] || self.quota[k] > 0 {
+            return false;
+        }
+        if !self.is_qos[k] {
+            // Exhausted non-QoS kernels stay live: scavenging or the §3.4.1
+            // mid-epoch refill may let them issue on any cycle.
+            return false;
+        }
+        // QoS, gated, exhausted: pure-false unless an elastic restart would
+        // refill every gated kernel the moment quota_allows is consulted.
+        !(self.elastic && self.all_gated_exhausted())
+    }
+
+    /// The earliest future cycle at which this SM could change state, or
+    /// `None` if it is fully quiescent.
+    ///
+    /// A returned cycle `<= now` means the SM is busy *right now* (some
+    /// non-inert warp can issue this cycle), so fast-forward must not skip
+    /// anything. Horizons come from two sources: in-flight context
+    /// transitions (whose completion mutates slot state in
+    /// `process_transitions`) and stalled warps' `ready_at` scoreboards.
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        for &slot in &self.transitioning {
+            if let Some(until) =
+                self.tbs[slot as usize].as_ref().and_then(TbState::transition_done_at)
+            {
+                horizon = Some(horizon.map_or(until, |h| h.min(until)));
+            }
+        }
+        if self.sched_frozen || self.used_threads == 0 {
+            // A frozen or empty SM never issues; only transitions can fire.
+            return horizon;
+        }
+        let inert: [bool; MAX_KERNELS] = std::array::from_fn(|k| self.quota_inert(k));
+        for w in self.warps.iter().flatten() {
+            if inert[w.kernel.index()] {
+                continue;
+            }
+            let Some(tb) = self.tbs[w.tb_slot as usize].as_ref() else { continue };
+            if let Some(wake) = w.next_wake(tb.phase) {
+                if wake <= now {
+                    return Some(wake);
+                }
+                horizon = Some(horizon.map_or(wake, |h| h.min(wake)));
+            }
+        }
+        horizon
+    }
+
+    /// Accounts for `skipped` idle cycles jumped over by fast-forward,
+    /// mirroring exactly what per-cycle [`Sm::tick`] calls would have done:
+    /// a hosted, unfrozen SM burns busy cycles and empty issue slots even
+    /// when no warp can issue. Neither condition can change mid-window
+    /// (occupancy and fault state only move on simulated cycles).
+    pub(crate) fn note_skipped_cycles(&mut self, skipped: u64) {
+        if self.sched_frozen || self.used_threads == 0 {
+            return;
+        }
+        self.busy_cycles += skipped;
+        self.issue_slots += skipped * u64::from(self.num_scheds);
+    }
+
     /// Advances the SM by one cycle.
     pub(crate) fn tick(&mut self, now: Cycle, mem: &mut MemSystem) {
         if !self.transitioning.is_empty() {
@@ -976,6 +1056,12 @@ impl Sm {
     /// Free TB slots.
     pub fn free_tb_slots(&self) -> u32 {
         self.free_tbs.len() as u32
+    }
+
+    /// Whether TB completions or finished context saves are waiting for the
+    /// TB scheduler's next service pass.
+    pub(crate) fn has_pending_notifications(&self) -> bool {
+        !self.completed.is_empty() || !self.saved.is_empty()
     }
 
     /// Drains TB-completion notifications for the TB scheduler.

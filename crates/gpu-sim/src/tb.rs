@@ -46,6 +46,15 @@ impl TbState {
             TbPhase::Saving(_) => false,
         }
     }
+
+    /// The cycle at which an in-flight context transition (load or save)
+    /// completes, if one is pending. `None` for TBs in normal execution.
+    pub fn transition_done_at(&self) -> Option<Cycle> {
+        match self.phase {
+            TbPhase::Active => None,
+            TbPhase::Loading(until) | TbPhase::Saving(until) => Some(until),
+        }
+    }
 }
 
 #[cfg(test)]

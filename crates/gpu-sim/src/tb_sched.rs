@@ -228,6 +228,51 @@ impl TbScheduler {
             && u64::from(sm.free_tb_slots()) > r_tbs
     }
 
+    /// Whether a [`TbScheduler::service`] pass would mutate nothing — no
+    /// notifications to drain, no TimeMux rotation due, no kernel over its
+    /// target, and no TB that could be dispatched into free capacity.
+    ///
+    /// Fast-forward uses this to decide whether `DISPATCH_INTERVAL` service
+    /// points inside an idle window must be simulated. Every input read here
+    /// (outboxes, residency, occupancy, targets, mode) only changes on
+    /// cycles that are themselves simulated — issues, transition
+    /// completions, controller writes — so a `true` verdict holds for the
+    /// whole window. The `now`-dependent dispatch rotation in `service` only
+    /// permutes kernel order, which is irrelevant when no kernel can
+    /// dispatch.
+    pub(crate) fn service_would_noop(&self, sms: &[Sm], kernels: &[KernelRuntime]) -> bool {
+        if sms.iter().any(Sm::has_pending_notifications) {
+            return false;
+        }
+        if self.mode == SharingMode::TimeMux && !kernels.is_empty() {
+            if self.active >= kernels.len() {
+                return false;
+            }
+            if kernels[self.active].launches_completed() > self.active_baseline {
+                return false;
+            }
+        }
+        let nk = kernels.len();
+        for (si, sm) in sms.iter().enumerate() {
+            let in_flight = sm.context_switch_in_flight();
+            for (k, kernel) in kernels.iter().enumerate() {
+                let kid = KernelId::new(k);
+                let allowed = u32::from(self.allowed(si, k, nk));
+                let hosted = sm.hosted_tbs(kid);
+                if !in_flight && hosted > allowed {
+                    return false;
+                }
+                if hosted < allowed
+                    && sm.can_host(&kernel.desc)
+                    && self.fits_with_reservations(si, k, sm, kernels)
+                {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
     /// Drains SM notifications, enforces targets via preemption, and
     /// dispatches fresh or resumed TBs into free capacity.
     pub(crate) fn service(

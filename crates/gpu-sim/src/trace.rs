@@ -37,6 +37,35 @@ pub struct EpochRecord {
     pub preemption_saves: u64,
 }
 
+/// A stable 64-bit FNV-1a hash over a full record stream.
+///
+/// Every field is folded in bit-exactly (`f64` samples via `to_bits`), so
+/// two runs hash equal iff their entire epoch telemetry is identical — the
+/// determinism and differential tests compare runs through this.
+pub fn records_hash(records: &[EpochRecord]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    fn fold(h: u64, v: u64) -> u64 {
+        v.to_le_bytes()
+            .iter()
+            .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(PRIME))
+    }
+    let mut h = fold(OFFSET, records.len() as u64);
+    for r in records {
+        h = fold(h, r.epoch);
+        h = fold(h, r.cycle);
+        h = fold(h, r.preemption_saves);
+        h = fold(h, r.kernels.len() as u64);
+        for s in &r.kernels {
+            h = fold(h, s.epoch_ipc.to_bits());
+            h = fold(h, u64::from(s.hosted_tbs));
+            h = fold(h, s.quota_total as u64);
+            h = fold(h, s.preempted as u64);
+        }
+    }
+    h
+}
+
 /// A controller wrapper that records an [`EpochRecord`] per epoch.
 #[derive(Debug)]
 pub struct Tracer<C> {

@@ -2,6 +2,7 @@
 
 use crate::kernel::{AccessPattern, PatternKind};
 use crate::rng::SplitMix64;
+use crate::tb::TbPhase;
 use crate::types::{Addr, Cycle, KernelId};
 
 /// Execution progress of one warp, the unit the paper's quota counters and
@@ -38,6 +39,26 @@ pub struct WarpState {
 }
 
 impl WarpState {
+    /// The earliest cycle at which this warp could next become issuable,
+    /// given the phase of its owning TB, or `None` if only an external event
+    /// (barrier release, context-save completion) can wake it.
+    ///
+    /// Barrier-parked warps return `None` because their release is triggered
+    /// by *another* warp's issue — and some warp of the TB is then not at the
+    /// barrier and carries the wake-up in its own `ready_at`.
+    pub fn next_wake(&self, phase: TbPhase) -> Option<Cycle> {
+        if self.done || self.at_barrier {
+            return None;
+        }
+        match phase {
+            TbPhase::Active => Some(self.ready_at),
+            TbPhase::Loading(until) => Some(self.ready_at.max(until)),
+            // A saving TB's warps are frozen; the save completion itself is
+            // reported by the SM's transition horizon.
+            TbPhase::Saving(_) => None,
+        }
+    }
+
     /// Generates the coalesced line addresses for the warp's next memory
     /// access under `pattern`, appending up to `pattern.transactions` line
     /// addresses into `buf` and returning how many were written.

@@ -37,9 +37,41 @@ const EXPERIMENTS: [&str; 19] = [
 fn usage() -> String {
     format!(
         "usage: repro [--scale bench|smoke|quick|paper] <experiment>...\n\
-         experiments: {}\n",
+         \u{20}      repro golden [--bless]\n\
+         experiments: {}\n\
+         golden: verify the golden-trace corpus (tests/golden/); \
+         --bless regenerates it\n",
         EXPERIMENTS.join(" ")
     )
+}
+
+/// Verifies (or with `bless` regenerates) the golden-trace corpus.
+fn run_golden(bless: bool) -> ExitCode {
+    if bless {
+        if let Err(e) = harness::golden::bless_all() {
+            eprintln!("failed to write golden corpus: {e}");
+            return ExitCode::FAILURE;
+        }
+        for name in harness::golden::SCENARIOS {
+            println!("blessed {}", harness::golden::golden_path(name).display());
+        }
+        return ExitCode::SUCCESS;
+    }
+    let mut ok = true;
+    for name in harness::golden::SCENARIOS {
+        match harness::golden::check(name) {
+            Ok(()) => println!("golden {name}: ok"),
+            Err(e) => {
+                ok = false;
+                eprintln!("golden {name}: FAILED\n{e}");
+            }
+        }
+    }
+    if ok {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
 }
 
 fn run_one(session: &Session, name: &str) -> Option<String> {
@@ -74,9 +106,11 @@ fn run_one(session: &Session, name: &str) -> Option<String> {
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
     let mut scale = RunScale::Quick;
+    let mut bless = false;
     let mut wanted: Vec<String> = Vec::new();
     while let Some(arg) = args.next() {
         match arg.as_str() {
+            "--bless" => bless = true,
             "--scale" | "-s" => {
                 let Some(value) = args.next() else {
                     eprintln!("--scale needs a value\n{}", usage());
@@ -103,6 +137,17 @@ fn main() -> ExitCode {
     }
     if wanted.is_empty() {
         eprintln!("{}", usage());
+        return ExitCode::FAILURE;
+    }
+    if wanted.iter().any(|w| w == "golden") {
+        if wanted.len() > 1 {
+            eprintln!("`golden` cannot be combined with experiments\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+        return run_golden(bless);
+    }
+    if bless {
+        eprintln!("--bless only applies to `golden`\n{}", usage());
         return ExitCode::FAILURE;
     }
     if wanted.iter().any(|w| w == "all") {

@@ -67,6 +67,7 @@ mod tests {
             goal_ipc: vec![Some(700.0), None],
             insts_per_energy: 1.5,
             preemption_saves: 4,
+            trace_hash: 0,
         }
     }
 

@@ -18,7 +18,10 @@
 //! * [`report`] — plain-text table rendering shared by the `repro` binary
 //!   and the Criterion benches,
 //! * [`export`] — CSV serialization of raw case results for external
-//!   plotting.
+//!   plotting,
+//! * [`golden`] — the golden-trace corpus under `tests/golden/`: canonical
+//!   scenarios whose per-epoch telemetry is snapshotted byte-exactly
+//!   (regenerate with `repro golden --bless`).
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@ pub mod cases;
 pub mod error;
 pub mod experiments;
 pub mod export;
+pub mod golden;
 pub mod metrics;
 pub mod report;
 pub mod runner;

@@ -19,6 +19,10 @@ pub struct CaseResult {
     pub insts_per_energy: f64,
     /// Number of TB context saves performed.
     pub preemption_saves: u64,
+    /// [`gpu_sim::trace::records_hash`] over the case's epoch-record stream:
+    /// a bit-exact fingerprint of its entire telemetry, used by the
+    /// determinism tests to prove parallel sweeps reproduce serial ones.
+    pub trace_hash: u64,
 }
 
 impl CaseResult {
@@ -152,6 +156,7 @@ mod tests {
             goal_ipc: goals,
             insts_per_energy: 1.0,
             preemption_saves: 0,
+            trace_hash: 0,
         }
     }
 

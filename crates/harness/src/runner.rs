@@ -11,6 +11,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use gpu_sim::trace::{records_hash, Tracer};
 use gpu_sim::{Controller, Gpu, GpuConfig, KernelId, NullController};
 use qos_core::{QosManager, QosSpec, SpartController};
 
@@ -136,8 +137,11 @@ pub fn run_case(spec: &CaseSpec, iso: &IsolatedCache) -> Result<CaseResult, Case
         goal_ipc.push(spec.goal_fracs[slot].map(|f| f * iso_ipc));
     }
 
-    let mut ctrl = build_controller(spec, &kids, &goal_ipc);
-    gpu.try_run(spec.cycles, ctrl.as_mut())?;
+    // Every case runs under a Tracer so its full epoch telemetry is
+    // fingerprinted; the hash lets sweeps prove run-to-run determinism
+    // without retaining the records themselves.
+    let mut ctrl = Tracer::new(build_controller(spec, &kids, &goal_ipc));
+    gpu.try_run(spec.cycles, &mut ctrl)?;
 
     let stats = gpu.stats();
     Ok(CaseResult {
@@ -146,6 +150,7 @@ pub fn run_case(spec: &CaseSpec, iso: &IsolatedCache) -> Result<CaseResult, Case
         goal_ipc,
         insts_per_energy: gpu_sim::power::insts_per_energy(&gpu),
         preemption_saves: gpu.preempt_stats().saves,
+        trace_hash: records_hash(ctrl.records()),
         spec: spec.clone(),
     })
 }
@@ -346,6 +351,10 @@ mod tests {
             let (a, b) = (a.as_ref().expect("ok"), b.as_ref().expect("ok"));
             assert_eq!(a.spec, b.spec);
             assert_eq!(a.ipc, b.ipc, "parallel execution must stay deterministic");
+            assert_eq!(
+                a.trace_hash, b.trace_hash,
+                "epoch telemetry must be bit-identical across parallel runs"
+            );
         }
         assert_eq!(first[0].as_ref().expect("ok").spec.kernels[0], "sgemm");
         assert_eq!(first[1].as_ref().expect("ok").spec.kernels[0], "lbm");

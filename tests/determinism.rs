@@ -1,0 +1,67 @@
+//! Determinism tests: the simulator is a pure function of its seeded
+//! configuration. The same config run twice — serially, through the
+//! thread-parallel harness, or with idle fast-forward toggled — must produce
+//! a bit-identical epoch-record stream, witnessed by
+//! [`fgqos::sim::trace::records_hash`].
+
+use fgqos::bench::{run_cases, CaseSpec, IsolatedCache, Policy};
+use fgqos::qos::QuotaScheme;
+use fgqos::sim::trace::{records_hash, Tracer};
+use fgqos::{Gpu, GpuConfig, QosManager, QosSpec};
+
+/// A managed pair with preemption and gating active: plenty of state to
+/// diverge if anything in the pipeline were order- or time-dependent.
+fn traced_run(fast_forward: bool) -> u64 {
+    let mut cfg = GpuConfig::tiny();
+    cfg.fast_forward = fast_forward;
+    let mut gpu = Gpu::new(cfg);
+    let q = gpu.launch(fgqos::workloads::by_name("mri-q").expect("known"));
+    let be = gpu.launch(fgqos::workloads::by_name("lbm").expect("known"));
+    let mut ctrl = Tracer::new(
+        QosManager::new(QuotaScheme::Rollover)
+            .with_kernel(q, QosSpec::qos(40.0))
+            .with_kernel(be, QosSpec::best_effort()),
+    );
+    gpu.run(20_000, &mut ctrl);
+    records_hash(ctrl.records())
+}
+
+#[test]
+fn identical_configs_hash_identically() {
+    assert_eq!(traced_run(true), traced_run(true));
+}
+
+#[test]
+fn fast_forward_does_not_change_the_record_stream() {
+    assert_eq!(traced_run(true), traced_run(false));
+}
+
+#[test]
+fn parallel_sweeps_reproduce_their_trace_hashes() {
+    let specs: Vec<CaseSpec> = [("sgemm", "lbm"), ("mri-q", "spmv"), ("sad", "sgemm")]
+        .iter()
+        .map(|(q, be)| {
+            CaseSpec::new(
+                &[q, be],
+                &[Some(0.5), None],
+                Policy::Quota(QuotaScheme::Rollover),
+                30_000,
+            )
+        })
+        .collect();
+    // Separate caches: the second sweep must redo its isolated measurements
+    // and still land on the same hashes.
+    let first = run_cases(&specs, &IsolatedCache::new());
+    let second = run_cases(&specs, &IsolatedCache::new());
+    for (label, (a, b)) in specs.iter().zip(first.iter().zip(&second)) {
+        let a = a.as_ref().expect("case runs");
+        let b = b.as_ref().expect("case runs");
+        assert_ne!(a.trace_hash, 0, "{}: trace hash was never computed", label.label());
+        assert_eq!(
+            a.trace_hash,
+            b.trace_hash,
+            "{}: thread-parallel sweep diverged between runs",
+            label.label()
+        );
+    }
+}

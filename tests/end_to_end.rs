@@ -7,7 +7,11 @@ use harness::cases::{CaseSpec, Policy};
 use harness::metrics::qos_reach;
 use harness::runner::{run_case, run_cases, IsolatedCache};
 
-const CYCLES: u64 = 100_000;
+// 60k cycles (6 paper epochs) is the smallest budget at which every
+// directional claim below still holds with margin; the long sweeps beyond
+// this are `#[ignore]`d by default and run by CI's long-tests job
+// (`cargo test -- --ignored`).
+const CYCLES: u64 = 60_000;
 
 fn isolated_ipc(name: &str) -> f64 {
     let mut gpu = Gpu::new(GpuConfig::paper_table1());
@@ -88,6 +92,7 @@ fn rollover_time_degrades_best_effort_throughput() {
 }
 
 #[test]
+#[ignore = "12-case sweep, ~2 min serial; CI's long-tests job runs it (cargo test -- --ignored)"]
 fn rollover_reaches_goals_at_least_as_often_as_naive() {
     let iso = IsolatedCache::new();
     let mut specs = Vec::new();
@@ -160,7 +165,7 @@ fn two_qos_kernels_can_both_be_held_at_goals() {
         &["mri-q", "sad", "lbm"],
         &[Some(0.35), Some(0.35), None],
         Policy::Quota(QuotaScheme::Rollover),
-        120_000,
+        80_000,
     );
     let r = run_case(&spec, &iso).expect("healthy case");
     assert!(
@@ -181,7 +186,7 @@ fn preemption_cost_is_modest() {
         &["sgemm", "stencil"],
         &[Some(0.6), None],
         Policy::Quota(QuotaScheme::Rollover),
-        100_000,
+        60_000,
     );
     let real = run_case(&spec, &iso).expect("healthy case");
     spec.ablations.free_preemption = true;

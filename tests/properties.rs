@@ -186,6 +186,186 @@ proptest! {
     }
 }
 
+// ----------------------------------------------------------------------
+// Differential oracle: fast-forward vs. naive stepping
+// ----------------------------------------------------------------------
+
+/// Everything observable about one simulation run. Two runs of the same
+/// scenario must compare equal field-for-field regardless of whether the
+/// idle-cycle fast-forward or the naive per-cycle loop executed them.
+#[derive(Debug, Clone, PartialEq)]
+struct RunSummary {
+    outcome: Result<(), fgqos::sim::SimError>,
+    cycle: u64,
+    kernels: Vec<fgqos::sim::KernelStats>,
+    records: Vec<fgqos::sim::trace::EpochRecord>,
+    records_hash: u64,
+    per_sm_busy_issued: Vec<(u64, u64)>,
+    per_sm_l1: Vec<(u64, u64)>,
+    l2: (u64, u64),
+    preempt: fgqos::sim::preempt::PreemptStats,
+    insts_per_energy_bits: u64,
+    traffic: Vec<[u64; 4]>,
+    dram_wait_bits: u64,
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_differential_case(
+    fast_forward: bool,
+    descs: &[KernelDesc],
+    ctrl_sel: usize,
+    goal: f64,
+    watchdog: bool,
+    audit: bool,
+    fault: Option<(u64, fgqos::sim::FaultKind)>,
+    cycles: u64,
+) -> RunSummary {
+    use fgqos::{Controller, QosManager, QosSpec, QuotaScheme, SpartController};
+
+    let mut cfg = GpuConfig::tiny();
+    cfg.fast_forward = fast_forward;
+    cfg.health.audit = audit;
+    cfg.health.watchdog_window = if watchdog { 2 * cfg.epoch_cycles } else { 0 };
+    if let Some((at, kind)) = fault {
+        cfg.faults = fgqos::sim::FaultPlan::one(at, kind);
+    }
+    let mut gpu = Gpu::new(cfg);
+    let kids: Vec<_> = descs.iter().map(|d| gpu.launch(d.clone())).collect();
+    let spec = |slot: usize| {
+        if slot == 0 {
+            QosSpec::qos(goal)
+        } else if slot == 1 && kids.len() == 3 {
+            QosSpec::qos(goal * 0.5)
+        } else {
+            QosSpec::best_effort()
+        }
+    };
+    let ctrl: Box<dyn Controller> = match ctrl_sel {
+        0 => Box::new(NullController),
+        5 => {
+            let mut c = SpartController::new();
+            for (slot, &k) in kids.iter().enumerate() {
+                c = c.with_kernel(k, spec(slot));
+            }
+            Box::new(c)
+        }
+        sel => {
+            let scheme = match sel {
+                1 => QuotaScheme::Naive,
+                2 => QuotaScheme::Rollover,
+                3 => QuotaScheme::RolloverTime,
+                _ => QuotaScheme::Elastic,
+            };
+            let mut m = QosManager::new(scheme);
+            for (slot, &k) in kids.iter().enumerate() {
+                m = m.with_kernel(k, spec(slot));
+            }
+            Box::new(m)
+        }
+    };
+    let mut tracer = fgqos::sim::Tracer::new(ctrl);
+    let outcome = gpu.try_run(cycles, &mut tracer);
+    let stats = gpu.stats();
+    let traffic = gpu.mem().traffic();
+    RunSummary {
+        outcome,
+        cycle: gpu.cycle(),
+        kernels: kids.iter().map(|&k| *stats.kernel(k)).collect(),
+        records_hash: fgqos::sim::trace::records_hash(tracer.records()),
+        records: tracer.records().to_vec(),
+        per_sm_busy_issued: gpu
+            .sms()
+            .iter()
+            .map(|sm| (sm.busy_cycles(), sm.issued_total()))
+            .collect(),
+        per_sm_l1: gpu
+            .sms()
+            .iter()
+            .map(|sm| (sm.l1_stats().hits, sm.l1_stats().misses))
+            .collect(),
+        l2: (gpu.mem().l2_stats().hits, gpu.mem().l2_stats().misses),
+        preempt: gpu.preempt_stats(),
+        insts_per_energy_bits: fgqos::sim::power::insts_per_energy(&gpu).to_bits(),
+        traffic: kids
+            .iter()
+            .map(|&k| {
+                let i = k.index();
+                [
+                    traffic.l1_accesses[i],
+                    traffic.l2_accesses[i],
+                    traffic.dram_accesses[i],
+                    traffic.context_transactions[i],
+                ]
+            })
+            .collect(),
+        dram_wait_bits: gpu.mem().mean_dram_wait().to_bits(),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The tentpole's bit-identity contract: for random kernel mixes, QoS
+    /// goals, schemes, health settings and injected faults, a fast-forward
+    /// run and a naive per-cycle run produce identical `Stats`, `Tracer`
+    /// epoch records, cache/DRAM traffic, preemption counts and health
+    /// outcomes (including watchdog reports and audit verdicts).
+    #[test]
+    fn fast_forward_matches_naive_stepping(
+        nk in 1usize..4,
+        alu_lat in 1u16..12,
+        alu_repeat in 1u16..16,
+        trans in 1u8..16,
+        lanes in 1u8..32,
+        use_barrier in any::<bool>(),
+        iters in 1u32..6,
+        seed in 0u64..10_000,
+        cycles in 3_000u64..10_000,
+        ctrl_sel in 0usize..6,
+        goal_frac in 0.1f64..1.5,
+        watchdog in any::<bool>(),
+        audit in any::<bool>(),
+        fault_sel in 0usize..4,
+        fault_cycle in 500u64..6_000,
+    ) {
+        let descs: Vec<KernelDesc> = (0..nk)
+            .map(|k| {
+                let k16 = k as u16;
+                let mut body = vec![
+                    Op::alu_divergent(alu_lat + k16, alu_repeat, lanes),
+                    Op::mem_load(AccessPattern::random(1 << (18 + k), trans)),
+                ];
+                if use_barrier && k == 0 {
+                    body.push(Op::Bar);
+                    body.push(Op::alu(1, 1));
+                }
+                KernelDesc::builder(format!("diff{k}"))
+                    .threads_per_tb(64)
+                    .regs_per_thread(16)
+                    .grid_tbs(4)
+                    .iterations(iters + k as u32)
+                    .seed(seed.wrapping_mul(k as u64 + 1))
+                    .body(body)
+                    .build()
+            })
+            .collect();
+        let fault = match fault_sel {
+            1 => Some((fault_cycle, fgqos::sim::FaultKind::StarveQuota)),
+            2 => Some((fault_cycle, fgqos::sim::FaultKind::FreezeScheduler { sm: 0 })),
+            3 => Some((fault_cycle, fgqos::sim::FaultKind::StallPreemption)),
+            _ => None,
+        };
+        let goal = goal_frac * 100.0;
+        let fast = run_differential_case(
+            true, &descs, ctrl_sel, goal, watchdog, audit, fault, cycles,
+        );
+        let naive = run_differential_case(
+            false, &descs, ctrl_sel, goal, watchdog, audit, fault, cycles,
+        );
+        prop_assert_eq!(fast, naive);
+    }
+}
+
 #[test]
 fn simulator_invariants_hold_under_qos_management() {
     // A controller that checks occupancy invariants at every epoch while the

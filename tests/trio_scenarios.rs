@@ -3,7 +3,9 @@
 
 use fgqos::{Gpu, GpuConfig, NullController, QosManager, QosSpec, QuotaScheme, SpartController};
 
-const CYCLES: u64 = 100_000;
+// 60k cycles keeps every trio claim intact at a fraction of the suite cost;
+// see tests/end_to_end.rs for the budget-shrinking rationale.
+const CYCLES: u64 = 60_000;
 
 fn isolated_ipc(name: &str) -> f64 {
     let mut gpu = Gpu::new(GpuConfig::paper_table1());
@@ -36,8 +38,17 @@ fn spart_cannot_split_an_sm_between_qos_kernels() {
     // kernel, Spart's SM granularity runs out of knobs: the best-effort
     // kernel's partition collapses far below what fine-grained sharing
     // preserves. (The structural claim behind Fig. 8c.)
-    let goal0 = 0.55 * isolated_ipc("mri-q");
-    let goal1 = 0.55 * isolated_ipc("cutcp");
+    // This claim needs longer convergence than the other trios: at 60k
+    // cycles the warm-up transient still dominates the 0.55 goals.
+    const CYCLES: u64 = 100_000;
+    let iso = |name: &str| {
+        let mut gpu = Gpu::new(GpuConfig::paper_table1());
+        let k = gpu.launch(workloads::by_name(name).expect("known"));
+        gpu.run(CYCLES, &mut NullController);
+        gpu.stats().ipc(k)
+    };
+    let goal0 = 0.55 * iso("mri-q");
+    let goal1 = 0.55 * iso("cutcp");
 
     let run = |fine: bool| {
         let mut gpu = Gpu::new(GpuConfig::paper_table1());
