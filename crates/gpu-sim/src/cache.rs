@@ -162,6 +162,12 @@ impl Cache {
     }
 }
 
+crate::impl_snap_struct!(CacheStats { hits, misses });
+
+crate::impl_snap_struct!(Line { tag, valid, lru });
+
+crate::impl_snap_struct!(Cache { lines, sets, ways, line_shift, clock, stats });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -308,6 +308,58 @@ impl GpuConfig {
     }
 }
 
+crate::impl_snap_struct!(SmConfig {
+    register_file_bytes,
+    shared_mem_bytes,
+    max_threads,
+    max_tbs,
+    warp_schedulers,
+    sched_policy,
+});
+
+crate::impl_snap_struct!(MemConfig {
+    num_mcs,
+    l1_bytes,
+    l1_ways,
+    l2_bytes,
+    l2_ways,
+    line_bytes,
+    l1_hit_latency,
+    xbar_latency,
+    l2_hit_latency,
+    dram_latency,
+    l2_service_cycles,
+    dram_service_cycles,
+    max_queue_backlog,
+});
+
+crate::impl_snap_struct!(PowerConfig {
+    sm_static_per_cycle,
+    sm_idle_per_cycle,
+    alu_per_thread_inst,
+    sfu_per_thread_inst,
+    smem_per_thread_access,
+    l1_per_access,
+    l2_per_access,
+    dram_per_access,
+});
+
+crate::impl_snap_struct!(PreemptConfig { context_bytes_per_cycle, drain_cycles });
+
+crate::impl_snap_struct!(GpuConfig {
+    num_sms,
+    core_mhz,
+    sm,
+    mem,
+    power,
+    preempt,
+    epoch_cycles,
+    samples_per_epoch,
+    health,
+    faults,
+    fast_forward,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -88,6 +88,14 @@ impl ServiceQueue {
     }
 }
 
+crate::impl_snap_struct!(ServiceQueue {
+    next_free,
+    service_cycles,
+    max_backlog,
+    served,
+    total_wait,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,9 +1,11 @@
 //! The top-level GPU: owns SMs, memory system, TB scheduler, and the
 //! epoch-driven controller hook.
 
+use std::fmt;
 use std::sync::Arc;
 
 use crate::config::GpuConfig;
+use crate::snap::{self, Snap, SnapError, SnapReader};
 use crate::health::{
     AuditKind, AuditViolation, FaultKind, HealthReport, KernelHealth, SimError, SmHealth,
 };
@@ -577,6 +579,251 @@ impl Gpu {
     pub fn sm_ids(&self) -> impl Iterator<Item = SmId> + '_ {
         (0..self.sms.len()).map(SmId::new)
     }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Stable 64-bit fingerprint of this GPU's configuration (FNV-1a over
+    /// the encoded [`GpuConfig`]). Snapshots carry it so [`Gpu::restore`]
+    /// can refuse blobs taken under a different configuration.
+    pub fn config_fingerprint(&self) -> u64 {
+        snap::fnv1a(&snap::encode_to_vec(&self.cfg))
+    }
+
+    /// Captures the complete mutable state of the machine into a versioned
+    /// [`SnapshotBlob`].
+    ///
+    /// Snapshots are only legal at **epoch boundaries** (`cycle` a multiple
+    /// of `epoch_cycles`, including cycle 0) — the one point where no
+    /// intra-epoch loop state is implicit in the call stack, so a restored
+    /// machine continues bit-identically to one that never stopped. The
+    /// watchdog and epoch audits also fire only on such cycles (the harness
+    /// sizes the watchdog window as a multiple of the epoch), so failure
+    /// states are snapshot-legal too.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::NotEpochBoundary`] when called mid-epoch.
+    pub fn snapshot(&self) -> Result<SnapshotBlob, SnapshotError> {
+        if !self.cycle.is_multiple_of(self.cfg.epoch_cycles) {
+            return Err(SnapshotError::NotEpochBoundary {
+                cycle: self.cycle,
+                epoch_cycles: self.cfg.epoch_cycles,
+            });
+        }
+        let mut payload = Vec::new();
+        self.cycle.encode(&mut payload);
+        self.sms.encode(&mut payload);
+        self.mem.encode(&mut payload);
+        self.kernels.encode(&mut payload);
+        self.tb_sched.encode(&mut payload);
+        self.epoch_snapshot.encode(&mut payload);
+        self.last_totals.encode(&mut payload);
+        self.last_epoch_cycle.encode(&mut payload);
+        self.epoch_index.encode(&mut payload);
+        self.sample_interval.encode(&mut payload);
+        self.fault_cursor.encode(&mut payload);
+        self.ff_skipped.encode(&mut payload);
+        Ok(SnapshotBlob {
+            version: SNAPSHOT_SCHEMA_VERSION,
+            config_fingerprint: self.config_fingerprint(),
+            payload,
+        })
+    }
+
+    /// Replaces this machine's state with a previously captured snapshot.
+    ///
+    /// The receiver must have been built from the **same configuration**
+    /// that produced the blob (checked via the fingerprint); kernel launch
+    /// state is part of the snapshot, so restoring into a freshly
+    /// constructed `Gpu::new(cfg)` is the intended use. On any error `self`
+    /// is left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::SchemaVersion`] on a version mismatch,
+    /// [`SnapshotError::ConfigFingerprint`] when the blob was taken under a
+    /// different configuration, and [`SnapshotError::Corrupt`] when the
+    /// payload fails to decode.
+    pub fn restore(&mut self, blob: &SnapshotBlob) -> Result<(), SnapshotError> {
+        if blob.version != SNAPSHOT_SCHEMA_VERSION {
+            return Err(SnapshotError::SchemaVersion {
+                found: blob.version,
+                expected: SNAPSHOT_SCHEMA_VERSION,
+            });
+        }
+        let expected = self.config_fingerprint();
+        if blob.config_fingerprint != expected {
+            return Err(SnapshotError::ConfigFingerprint {
+                found: blob.config_fingerprint,
+                expected,
+            });
+        }
+        let mut r = SnapReader::new(&blob.payload);
+        let cycle = Cycle::decode(&mut r)?;
+        let sms = Vec::<Sm>::decode(&mut r)?;
+        let mem = MemSystem::decode(&mut r)?;
+        let kernels = Vec::<KernelRuntime>::decode(&mut r)?;
+        let tb_sched = TbScheduler::decode(&mut r)?;
+        let epoch_snapshot = EpochSnapshot::decode(&mut r)?;
+        let last_totals = PerKernel::<u64>::decode(&mut r)?;
+        let last_epoch_cycle = Cycle::decode(&mut r)?;
+        let epoch_index = u64::decode(&mut r)?;
+        let sample_interval = Cycle::decode(&mut r)?;
+        let fault_cursor = usize::decode(&mut r)?;
+        let ff_skipped = Cycle::decode(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Corrupt(SnapError::Invalid(
+                "trailing bytes in snapshot payload",
+            )));
+        }
+        self.cycle = cycle;
+        self.sms = sms;
+        self.mem = mem;
+        self.kernels = kernels;
+        self.tb_sched = tb_sched;
+        self.epoch_snapshot = epoch_snapshot;
+        self.last_totals = last_totals;
+        self.last_epoch_cycle = last_epoch_cycle;
+        self.epoch_index = epoch_index;
+        self.sample_interval = sample_interval;
+        self.fault_cursor = fault_cursor;
+        self.ff_skipped = ff_skipped;
+        Ok(())
+    }
+}
+
+/// Version of the snapshot payload layout. Bumped whenever the set, order,
+/// or encoding of snapshotted fields changes; [`Gpu::restore`] refuses
+/// blobs from any other version.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+
+/// Leading magic of a serialized [`SnapshotBlob`].
+const SNAPSHOT_MAGIC: [u8; 4] = *b"FGQS";
+
+/// Why a snapshot could not be taken, serialized, or restored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SnapshotError {
+    /// [`Gpu::snapshot`] was called mid-epoch; snapshots are only legal
+    /// when `cycle` is a multiple of `epoch_cycles`.
+    NotEpochBoundary {
+        /// The cycle at which the snapshot was requested.
+        cycle: Cycle,
+        /// The configured epoch length.
+        epoch_cycles: Cycle,
+    },
+    /// The byte stream does not begin with the snapshot magic.
+    BadMagic,
+    /// The blob was written by a different snapshot schema version.
+    SchemaVersion {
+        /// Version found in the blob.
+        found: u32,
+        /// Version this build understands.
+        expected: u32,
+    },
+    /// The blob was taken under a different [`GpuConfig`].
+    ConfigFingerprint {
+        /// Fingerprint carried by the blob.
+        found: u64,
+        /// Fingerprint of the restoring machine's configuration.
+        expected: u64,
+    },
+    /// The payload failed to decode (truncated or corrupted).
+    Corrupt(SnapError),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::NotEpochBoundary { cycle, epoch_cycles } => write!(
+                f,
+                "snapshot requested at cycle {cycle}, which is not an epoch \
+                 boundary (epoch length {epoch_cycles})"
+            ),
+            SnapshotError::BadMagic => f.write_str("not a GPU snapshot (bad magic)"),
+            SnapshotError::SchemaVersion { found, expected } => write!(
+                f,
+                "snapshot schema version {found} is not the supported version {expected}"
+            ),
+            SnapshotError::ConfigFingerprint { found, expected } => write!(
+                f,
+                "snapshot config fingerprint {found:#018x} does not match the \
+                 restoring machine's {expected:#018x}"
+            ),
+            SnapshotError::Corrupt(e) => write!(f, "snapshot payload corrupt: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<SnapError> for SnapshotError {
+    fn from(e: SnapError) -> Self {
+        SnapshotError::Corrupt(e)
+    }
+}
+
+/// A versioned, self-describing capture of a [`Gpu`]'s mutable state.
+///
+/// The blob carries the schema version and a fingerprint of the producing
+/// configuration; [`Gpu::restore`] validates both before touching any
+/// state. [`SnapshotBlob::to_bytes`] / [`SnapshotBlob::from_bytes`] give a
+/// stable on-disk form (magic + version + fingerprint + payload).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SnapshotBlob {
+    version: u32,
+    config_fingerprint: u64,
+    payload: Vec<u8>,
+}
+
+impl SnapshotBlob {
+    /// Schema version the blob was written with.
+    pub fn version(&self) -> u32 {
+        self.version
+    }
+
+    /// Fingerprint of the configuration that produced the blob.
+    pub fn config_fingerprint(&self) -> u64 {
+        self.config_fingerprint
+    }
+
+    /// Size of the encoded state payload in bytes.
+    pub fn payload_len(&self) -> usize {
+        self.payload.len()
+    }
+
+    /// Serializes the blob to its on-disk byte form.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.payload.len() + 24);
+        out.extend_from_slice(&SNAPSHOT_MAGIC);
+        self.version.encode(&mut out);
+        self.config_fingerprint.encode(&mut out);
+        self.payload.encode(&mut out);
+        out
+    }
+
+    /// Parses a blob previously written by [`SnapshotBlob::to_bytes`].
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::BadMagic`] when the stream is not a snapshot, and
+    /// [`SnapshotError::Corrupt`] when the framing fails to decode.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        if bytes.len() < SNAPSHOT_MAGIC.len() || bytes[..SNAPSHOT_MAGIC.len()] != SNAPSHOT_MAGIC {
+            return Err(SnapshotError::BadMagic);
+        }
+        let mut r = SnapReader::new(&bytes[SNAPSHOT_MAGIC.len()..]);
+        let version = u32::decode(&mut r)?;
+        let config_fingerprint = u64::decode(&mut r)?;
+        let payload = Vec::<u8>::decode(&mut r)?;
+        if !r.is_exhausted() {
+            return Err(SnapshotError::Corrupt(SnapError::Invalid(
+                "trailing bytes after snapshot payload",
+            )));
+        }
+        Ok(SnapshotBlob { version, config_fingerprint, payload })
+    }
 }
 
 #[cfg(test)]
@@ -938,6 +1185,112 @@ mod tests {
             }
             other => panic!("expected an audit violation, got {other}"),
         }
+    }
+
+    #[test]
+    fn snapshot_restore_continues_bit_identically() {
+        let cfg = GpuConfig::tiny();
+        // Straight run to 12k cycles.
+        let mut straight = Gpu::new(cfg.clone());
+        let a = straight.launch(compute_kernel("a"));
+        let b = straight.launch(memory_kernel("b"));
+        straight.set_sharing_mode(SharingMode::Smk);
+        for sm in straight.sm_ids().collect::<Vec<_>>() {
+            straight.set_tb_target(sm, a, 4);
+            straight.set_tb_target(sm, b, 4);
+        }
+        straight.run(12_000, &mut NullController);
+
+        // Same run, snapshotted at 5k (an epoch boundary in the tiny config)
+        // and restored into a *fresh* machine that never saw cycles 0..5k.
+        let mut gpu = Gpu::new(cfg.clone());
+        let a2 = gpu.launch(compute_kernel("a"));
+        let b2 = gpu.launch(memory_kernel("b"));
+        gpu.set_sharing_mode(SharingMode::Smk);
+        for sm in gpu.sm_ids().collect::<Vec<_>>() {
+            gpu.set_tb_target(sm, a2, 4);
+            gpu.set_tb_target(sm, b2, 4);
+        }
+        gpu.run(5_000, &mut NullController);
+        let blob = gpu.snapshot().expect("cycle 5000 is an epoch boundary");
+        let mut resumed = Gpu::new(cfg);
+        resumed.restore(&blob).expect("fingerprints match");
+        assert_eq!(resumed.cycle(), 5_000);
+        resumed.run(7_000, &mut NullController);
+
+        assert_eq!(
+            resumed.stats().kernel(a).thread_insts,
+            straight.stats().kernel(a).thread_insts
+        );
+        assert_eq!(
+            resumed.stats().kernel(b).thread_insts,
+            straight.stats().kernel(b).thread_insts
+        );
+        assert_eq!(resumed.preempt_stats(), straight.preempt_stats());
+        assert_eq!(resumed.skipped_cycles(), straight.skipped_cycles());
+    }
+
+    #[test]
+    fn snapshot_refuses_mid_epoch() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        gpu.launch(compute_kernel("c"));
+        gpu.run(500, &mut NullController);
+        match gpu.snapshot() {
+            Err(SnapshotError::NotEpochBoundary { cycle: 500, epoch_cycles: 1_000 }) => {}
+            other => panic!("expected NotEpochBoundary, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn restore_refuses_config_mismatch() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        gpu.launch(compute_kernel("c"));
+        let blob = gpu.snapshot().expect("cycle 0 is a boundary");
+        let mut other_cfg = GpuConfig::tiny();
+        other_cfg.epoch_cycles = 2_000;
+        let mut other = Gpu::new(other_cfg);
+        match other.restore(&blob) {
+            Err(SnapshotError::ConfigFingerprint { .. }) => {}
+            other => panic!("expected ConfigFingerprint, got {other:?}"),
+        }
+        assert_eq!(other.cycle(), 0, "failed restore must leave the machine untouched");
+    }
+
+    #[test]
+    fn blob_bytes_round_trip_and_detect_corruption() {
+        let mut gpu = Gpu::new(GpuConfig::tiny());
+        gpu.launch(compute_kernel("c"));
+        gpu.run(1_000, &mut NullController);
+        let blob = gpu.snapshot().expect("boundary");
+        let bytes = blob.to_bytes();
+        let parsed = SnapshotBlob::from_bytes(&bytes).expect("round trip");
+        assert_eq!(parsed, blob);
+        assert!(matches!(
+            SnapshotBlob::from_bytes(b"nope"),
+            Err(SnapshotError::BadMagic)
+        ));
+        assert!(SnapshotBlob::from_bytes(&bytes[..bytes.len() - 3]).is_err());
+    }
+
+    #[test]
+    fn failure_state_is_snapshot_legal() {
+        // The watchdog trips at a multiple of its window; with the window a
+        // multiple of the epoch length (the harness convention), the failing
+        // machine sits on an epoch boundary and can be snapshotted for
+        // offline inspection.
+        let mut cfg = GpuConfig::tiny();
+        cfg.health.watchdog_window = 2_000;
+        cfg.faults = FaultPlan::one(3_000, FaultKind::StarveQuota);
+        let mut gpu = Gpu::new(cfg.clone());
+        gpu.launch(compute_kernel("victim"));
+        let err = gpu.try_run(50_000, &mut NullController).expect_err("must trip");
+        assert!(matches!(err, SimError::Watchdog(_)));
+        let blob = gpu.snapshot().expect("trip cycle is an epoch boundary");
+        let mut inspect = Gpu::new(cfg);
+        inspect.restore(&blob).expect("restore for inspection");
+        assert_eq!(inspect.cycle(), gpu.cycle());
+        let report = inspect.health_report();
+        assert!(report.kernels[0].quota_starved());
     }
 
     #[test]

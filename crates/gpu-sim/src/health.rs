@@ -349,6 +349,92 @@ impl fmt::Display for SimError {
 
 impl std::error::Error for SimError {}
 
+use crate::snap::{Snap, SnapError, SnapReader};
+
+crate::impl_snap_struct!(HealthConfig { watchdog_window, audit });
+
+impl Snap for FaultKind {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            FaultKind::StarveQuota => out.push(0),
+            FaultKind::FreezeScheduler { sm } => {
+                out.push(1);
+                sm.encode(out);
+            }
+            FaultKind::StallPreemption => out.push(2),
+            FaultKind::Panic => out.push(3),
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match u8::decode(r)? {
+            0 => Ok(FaultKind::StarveQuota),
+            1 => Ok(FaultKind::FreezeScheduler { sm: usize::decode(r)? }),
+            2 => Ok(FaultKind::StallPreemption),
+            3 => Ok(FaultKind::Panic),
+            _ => Err(SnapError::Invalid("FaultKind")),
+        }
+    }
+}
+
+crate::impl_snap_struct!(FaultSpec { at_cycle, kind });
+
+crate::impl_snap_struct!(FaultPlan { faults });
+
+crate::impl_snap_struct!(WarpStallCounts { ready, waiting, at_barrier, done });
+
+crate::impl_snap_struct!(KernelHealth {
+    kernel,
+    name,
+    resident_tbs,
+    preempted_tbs,
+    quota,
+    gated_sms,
+    exhausted_sms,
+    thread_insts,
+});
+
+crate::impl_snap_struct!(SmHealth { sm, resident_tbs, warps, transfer_in_flight });
+
+crate::impl_snap_struct!(HealthReport {
+    cycle,
+    window,
+    last_progress_cycle,
+    total_issued,
+    kernels,
+    sms,
+});
+
+crate::impl_snap_enum!(AuditKind {
+    Occupancy = 0,
+    SlotAccounting = 1,
+    QuotaLedger = 2,
+    IssueBound = 3,
+});
+
+crate::impl_snap_struct!(AuditViolation { cycle, sm, kind, detail });
+
+impl Snap for SimError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            SimError::Watchdog(report) => {
+                out.push(0);
+                (**report).encode(out);
+            }
+            SimError::Audit(v) => {
+                out.push(1);
+                v.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match u8::decode(r)? {
+            0 => Ok(SimError::Watchdog(Box::new(HealthReport::decode(r)?))),
+            1 => Ok(SimError::Audit(AuditViolation::decode(r)?)),
+            _ => Err(SnapError::Invalid("SimError")),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

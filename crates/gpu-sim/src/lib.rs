@@ -56,6 +56,7 @@ pub mod power;
 pub mod preempt;
 pub mod rng;
 pub mod sm;
+pub mod snap;
 pub mod stats;
 pub mod tb;
 pub mod tb_sched;
@@ -65,12 +66,13 @@ pub mod warp;
 pub mod warp_sched;
 
 pub use config::{GpuConfig, InvalidConfig, MemConfig, PowerConfig, SmConfig};
-pub use gpu::{Controller, Gpu, NullController};
+pub use gpu::{Controller, Gpu, NullController, SnapshotBlob, SnapshotError, SNAPSHOT_SCHEMA_VERSION};
 pub use health::{
     AuditKind, AuditViolation, FaultKind, FaultPlan, FaultSpec, HealthConfig, HealthReport,
     KernelHealth, SimError, SmHealth, WarpStallCounts,
 };
 pub use kernel::{AccessPattern, KernelDesc, KernelDescBuilder, MemSpace, Op};
+pub use snap::{Snap, SnapError, SnapReader};
 pub use stats::{EpochSnapshot, GpuStats, KernelStats};
 pub use tb_sched::SharingMode;
 pub use trace::Tracer;

@@ -174,6 +174,15 @@ impl MemSystem {
     }
 }
 
+crate::impl_snap_struct!(MemTraffic {
+    l1_accesses,
+    l2_accesses,
+    dram_accesses,
+    context_transactions,
+});
+
+crate::impl_snap_struct!(MemSystem { cfg, l2, l2_queue, dram_queue, traffic, context_rr });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -44,6 +44,10 @@ pub struct PreemptStats {
     pub transfer_cycles: u64,
 }
 
+crate::impl_snap_struct!(SavedTb { tb_index, warps });
+
+crate::impl_snap_struct!(PreemptStats { saves, resumes, transfer_cycles });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -52,6 +52,8 @@ impl SplitMix64 {
     }
 }
 
+crate::impl_snap_struct!(SplitMix64 { state });
+
 /// Derives a child seed from a parent seed and a stream label.
 ///
 /// Used to give each warp / component an independent deterministic stream.

@@ -1075,6 +1075,57 @@ impl Sm {
     }
 }
 
+crate::impl_snap_struct!(SmKernelCounters { thread_insts, warp_insts });
+
+// `ready_buf` is per-tick scratch, always drained before `tick` returns, so a
+// restored SM starts with an empty (re-growable) buffer.
+crate::impl_snap_struct!(Sm {
+    id,
+    policy,
+    num_scheds,
+    max_warps,
+    max_tbs,
+    max_threads,
+    regfile_bytes,
+    smem_bytes,
+    l1,
+    descs,
+    used_threads,
+    used_regs,
+    used_smem,
+    warps,
+    tbs,
+    free_warps,
+    free_tbs,
+    scheds,
+    next_age,
+    transitioning,
+    quota,
+    gated,
+    refill,
+    is_qos,
+    elastic,
+    priority_block,
+    quota_credit,
+    quota_debit,
+    quota_frozen,
+    sched_frozen,
+    preempt_stalled,
+    hosted,
+    counters,
+    alu_thread_insts,
+    sfu_thread_insts,
+    smem_accesses,
+    busy_cycles,
+    issue_slots,
+    issued_total,
+    idle_warp_acc,
+    idle_samples,
+    preempt_stats,
+    completed,
+    saved,
+} skip { ready_buf });
+
 #[cfg(test)]
 mod tests {
     use super::*;

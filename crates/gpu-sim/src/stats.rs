@@ -100,6 +100,15 @@ impl EpochSnapshot {
     }
 }
 
+crate::impl_snap_struct!(KernelStats {
+    thread_insts,
+    warp_insts,
+    tbs_completed,
+    launches_completed,
+});
+
+crate::impl_snap_struct!(EpochSnapshot { epoch, cycles, thread_insts });
+
 #[cfg(test)]
 mod tests {
     use super::*;

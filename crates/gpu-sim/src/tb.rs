@@ -57,6 +57,41 @@ impl TbState {
     }
 }
 
+use crate::snap::Snap;
+
+impl Snap for TbPhase {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            TbPhase::Loading(until) => {
+                out.push(0);
+                until.encode(out);
+            }
+            TbPhase::Active => out.push(1),
+            TbPhase::Saving(until) => {
+                out.push(2);
+                until.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut crate::snap::SnapReader<'_>) -> Result<Self, crate::snap::SnapError> {
+        match u8::decode(r)? {
+            0 => Ok(TbPhase::Loading(Cycle::decode(r)?)),
+            1 => Ok(TbPhase::Active),
+            2 => Ok(TbPhase::Saving(Cycle::decode(r)?)),
+            _ => Err(crate::snap::SnapError::Invalid("TbPhase")),
+        }
+    }
+}
+
+crate::impl_snap_struct!(TbState {
+    kernel,
+    tb_index,
+    warp_slots,
+    warps_done,
+    barrier_arrived,
+    phase,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -345,6 +345,18 @@ impl TbScheduler {
     }
 }
 
+crate::impl_snap_enum!(SharingMode { Exclusive = 0, Smk = 1, Spatial = 2, TimeMux = 3 });
+
+crate::impl_snap_struct!(KernelRuntime { desc, next_tb, tbs_completed, preempted });
+
+crate::impl_snap_struct!(TbScheduler {
+    mode,
+    targets,
+    owner,
+    active,
+    active_baseline,
+} skip { completed_scratch, saved_scratch });
+
 #[cfg(test)]
 mod tests {
     use super::*;

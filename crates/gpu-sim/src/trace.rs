@@ -94,6 +94,13 @@ impl<C: Controller> Tracer<C> {
         (self.inner, self.records)
     }
 
+    /// Rebuilds a tracer from a controller and previously recorded epochs
+    /// (the inverse of [`Tracer::into_parts`]; used when resuming a
+    /// checkpointed run).
+    pub fn from_parts(inner: C, records: Vec<EpochRecord>) -> Self {
+        Tracer { inner, records }
+    }
+
     /// The per-epoch IPC series of one kernel.
     pub fn ipc_series(&self, k: KernelId) -> Vec<f64> {
         self.records
@@ -132,6 +139,10 @@ impl<C: Controller> Controller for Tracer<C> {
         });
     }
 }
+
+crate::impl_snap_struct!(KernelSample { epoch_ipc, hosted_tbs, quota_total, preempted });
+
+crate::impl_snap_struct!(EpochRecord { epoch, cycle, kernels, preemption_saves });
 
 #[cfg(test)]
 mod tests {

@@ -72,6 +72,12 @@ impl fmt::Display for TbIndex {
     }
 }
 
+crate::impl_snap_struct!(KernelId { 0 });
+
+crate::impl_snap_struct!(SmId { 0 });
+
+crate::impl_snap_struct!(TbIndex { 0 });
+
 /// A per-kernel array sized for the maximum number of resident kernels.
 ///
 /// Hot per-kernel state (quota counters, instruction tallies) lives in these

@@ -151,6 +151,24 @@ impl WarpProgress {
     }
 }
 
+crate::impl_snap_struct!(WarpState {
+    kernel,
+    tb_slot,
+    warp_in_tb,
+    warp_uid,
+    pc,
+    rem,
+    iter,
+    ready_at,
+    at_barrier,
+    done,
+    seq,
+    rng,
+    age,
+});
+
+crate::impl_snap_struct!(WarpProgress { pc, rem, iter, seq, done, rng });
+
 #[cfg(test)]
 mod tests {
     use super::*;

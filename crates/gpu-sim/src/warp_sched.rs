@@ -67,6 +67,10 @@ pub fn choose(policy: SchedPolicy, state: &mut SchedulerState, ready: &[Candidat
     pick
 }
 
+crate::impl_snap_enum!(SchedPolicy { Gto = 0, Lrr = 1 });
+
+crate::impl_snap_struct!(SchedulerState { greedy, rr_cursor });
+
 #[cfg(test)]
 mod tests {
     use super::*;

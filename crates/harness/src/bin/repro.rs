@@ -5,10 +5,25 @@
 //! repro --scale quick all
 //! repro fig6a fig9
 //! repro list
+//! repro run <sweep> --checkpoint-dir DIR [--scale s] [--checkpoint-every N]
+//! repro resume <DIR> [--checkpoint-every N]
+//! repro inspect <failure-snapshot-file>
 //! ```
+//!
+//! `run`/`resume`/`inspect` are the crash-resumable sweep commands: `run`
+//! executes a named sweep with periodic checkpoints, `resume` continues a
+//! killed sweep from its newest loadable checkpoint, and `inspect`
+//! pretty-prints a persisted failure snapshot. The final sweep report is the
+//! only stdout either `run` or `resume` produces (progress and degradation
+//! warnings go to stderr), so a killed-then-resumed sweep's stdout is
+//! byte-identical to an uninterrupted run's.
 
 use std::process::ExitCode;
 
+use harness::checkpoint::{
+    self, load_failure, render_failure_snapshot, resume_sweep, run_sweep_checkpointed,
+    CheckpointDir, DEFAULT_CHECKPOINT_EVERY,
+};
 use harness::experiments::Session;
 use harness::scale::RunScale;
 
@@ -38,11 +53,160 @@ fn usage() -> String {
     format!(
         "usage: repro [--scale bench|smoke|quick|paper] <experiment>...\n\
          \u{20}      repro golden [--bless]\n\
+         \u{20}      repro run <sweep> --checkpoint-dir DIR [--scale s] [--checkpoint-every N]\n\
+         \u{20}      repro resume <DIR> [--checkpoint-every N]\n\
+         \u{20}      repro inspect <failure-snapshot-file>\n\
          experiments: {}\n\
+         sweeps: {}\n\
          golden: verify the golden-trace corpus (tests/golden/); \
-         --bless regenerates it\n",
-        EXPERIMENTS.join(" ")
+         --bless regenerates it\n\
+         run/resume: checkpointed sweep execution; resume continues a killed\n\
+         sweep from the newest loadable checkpoint in DIR\n\
+         inspect: pretty-print a failure-case-*.snap machine snapshot\n",
+        EXPERIMENTS.join(" "),
+        checkpoint::SWEEPS.join(" ")
     )
+}
+
+/// Parses `--checkpoint-every N` / `--scale s` style flags shared by the
+/// `run` and `resume` subcommands. Returns `(positional, scale, every, dir)`.
+#[allow(clippy::type_complexity)]
+fn parse_sweep_args(
+    args: impl Iterator<Item = String>,
+) -> Result<(Vec<String>, RunScale, Option<u64>, Option<String>), String> {
+    let mut args = args.peekable();
+    let mut positional = Vec::new();
+    let mut scale = RunScale::Quick;
+    let mut every = None;
+    let mut dir = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--scale" | "-s" => {
+                let value = args.next().ok_or("--scale needs a value")?;
+                scale = RunScale::parse(&value)
+                    .ok_or_else(|| format!("unknown scale {value:?}"))?;
+            }
+            "--checkpoint-every" => {
+                let value = args.next().ok_or("--checkpoint-every needs a value")?;
+                every = Some(
+                    value
+                        .parse::<u64>()
+                        .ok()
+                        .filter(|&n| n > 0)
+                        .ok_or_else(|| {
+                            format!("--checkpoint-every wants a positive cycle count, got {value:?}")
+                        })?,
+                );
+            }
+            "--checkpoint-dir" => {
+                dir = Some(args.next().ok_or("--checkpoint-dir needs a value")?);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    Ok((positional, scale, every, dir))
+}
+
+fn finish_sweep(outcome: checkpoint::SweepOutcome) -> ExitCode {
+    for w in &outcome.warnings {
+        eprintln!("warning: {w}");
+    }
+    // The report is the only stdout: killed + resumed == uninterrupted.
+    print!("{}", outcome.report());
+    if outcome.outcomes.iter().all(Result::is_ok) {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+/// `repro run <sweep> --checkpoint-dir DIR`: a checkpointed sweep from the
+/// start.
+fn cmd_run(args: impl Iterator<Item = String>) -> ExitCode {
+    let (positional, scale, every, dir) = match parse_sweep_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let [sweep] = positional.as_slice() else {
+        eprintln!("`repro run` wants exactly one sweep name\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let Some(dir) = dir else {
+        eprintln!("`repro run` needs --checkpoint-dir\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let dir = match CheckpointDir::create(&dir) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot open checkpoint dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let every = every.unwrap_or(DEFAULT_CHECKPOINT_EVERY);
+    eprintln!("[sweep {sweep} at {scale:?} scale, checkpointing into {} every ~{every} cycles]", dir.path().display());
+    match run_sweep_checkpointed(sweep, scale, &dir, every) {
+        Ok(outcome) => finish_sweep(outcome),
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro resume <DIR>`: continue a killed sweep from its newest loadable
+/// checkpoint.
+fn cmd_resume(args: impl Iterator<Item = String>) -> ExitCode {
+    let (positional, _scale, every, dir_flag) = match parse_sweep_args(args) {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    // Accept the directory either positionally or via --checkpoint-dir.
+    let dir = match (positional.as_slice(), dir_flag) {
+        ([d], None) => d.clone(),
+        ([], Some(d)) => d,
+        _ => {
+            eprintln!("`repro resume` wants exactly one checkpoint directory\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    let dir = match CheckpointDir::create(&dir) {
+        Ok(d) => d,
+        Err(e) => {
+            eprintln!("cannot open checkpoint dir {dir}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match resume_sweep(&dir, every) {
+        Ok(outcome) => finish_sweep(outcome),
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro inspect <file>`: pretty-print a persisted failure snapshot.
+fn cmd_inspect(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let (Some(path), None) = (args.next(), args.next()) else {
+        eprintln!("`repro inspect` wants exactly one snapshot file\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    match load_failure(std::path::Path::new(&path)) {
+        Ok(snap) => {
+            print!("{}", render_failure_snapshot(&snap));
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
 }
 
 /// Verifies (or with `bless` regenerates) the golden-trace corpus.
@@ -105,6 +269,12 @@ fn run_one(session: &Session, name: &str) -> Option<String> {
 
 fn main() -> ExitCode {
     let mut args = std::env::args().skip(1).peekable();
+    match args.peek().map(String::as_str) {
+        Some("run") => return cmd_run(args.skip(1)),
+        Some("resume") => return cmd_resume(args.skip(1)),
+        Some("inspect") => return cmd_inspect(args.skip(1)),
+        _ => {}
+    }
     let mut scale = RunScale::Quick;
     let mut bless = false;
     let mut wanted: Vec<String> = Vec::new();

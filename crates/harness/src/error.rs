@@ -27,8 +27,9 @@ pub enum CaseError {
     Panicked {
         /// The panic payload of the final attempt, if it was a string.
         payload: String,
-        /// Retries consumed before giving up (the policy allows one).
-        retries: u32,
+        /// Total attempts made before giving up (the policy allows two:
+        /// the initial run plus one retry).
+        attempts: u32,
     },
 }
 
@@ -49,8 +50,8 @@ impl fmt::Display for CaseError {
         match self {
             CaseError::UnknownBenchmark { name } => write!(f, "unknown benchmark {name:?}"),
             CaseError::Sim(err) => err.fmt(f),
-            CaseError::Panicked { payload, retries } => {
-                write!(f, "panicked after {retries} retry(ies): {payload}")
+            CaseError::Panicked { payload, attempts } => {
+                write!(f, "panicked on all {attempts} attempt(s): {payload}")
             }
         }
     }
@@ -61,6 +62,39 @@ impl std::error::Error for CaseError {}
 impl From<SimError> for CaseError {
     fn from(err: SimError) -> Self {
         CaseError::Sim(err)
+    }
+}
+
+impl gpu_sim::Snap for CaseError {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CaseError::UnknownBenchmark { name } => {
+                out.push(0);
+                gpu_sim::Snap::encode(name, out);
+            }
+            CaseError::Sim(err) => {
+                out.push(1);
+                gpu_sim::Snap::encode(err, out);
+            }
+            CaseError::Panicked { payload, attempts } => {
+                out.push(2);
+                gpu_sim::Snap::encode(payload, out);
+                gpu_sim::Snap::encode(attempts, out);
+            }
+        }
+    }
+    fn decode(r: &mut gpu_sim::SnapReader<'_>) -> Result<Self, gpu_sim::SnapError> {
+        match <u8 as gpu_sim::Snap>::decode(r)? {
+            0 => Ok(CaseError::UnknownBenchmark {
+                name: <String as gpu_sim::Snap>::decode(r)?,
+            }),
+            1 => Ok(CaseError::Sim(<SimError as gpu_sim::Snap>::decode(r)?)),
+            2 => Ok(CaseError::Panicked {
+                payload: <String as gpu_sim::Snap>::decode(r)?,
+                attempts: <u32 as gpu_sim::Snap>::decode(r)?,
+            }),
+            _ => Err(gpu_sim::SnapError::Invalid("CaseError")),
+        }
     }
 }
 
@@ -114,7 +148,7 @@ mod tests {
     fn error_kinds_are_stable() {
         assert_eq!(CaseError::UnknownBenchmark { name: "x".into() }.kind(), "unknown-benchmark");
         assert_eq!(
-            CaseError::Panicked { payload: "boom".into(), retries: 1 }.kind(),
+            CaseError::Panicked { payload: "boom".into(), attempts: 2 }.kind(),
             "panic"
         );
     }
@@ -129,7 +163,7 @@ mod tests {
         let failures = vec![FailedCase {
             index: 3,
             spec: spec(),
-            error: CaseError::Panicked { payload: "boom".into(), retries: 1 },
+            error: CaseError::Panicked { payload: "boom".into(), attempts: 2 },
         }];
         let digest = failure_digest(&failures);
         assert!(digest.contains("[panic]"), "{digest}");

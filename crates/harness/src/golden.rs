@@ -156,7 +156,10 @@ pub fn golden_path(name: &str) -> PathBuf {
 pub fn bless_all() -> std::io::Result<()> {
     std::fs::create_dir_all(golden_dir())?;
     for name in SCENARIOS {
-        std::fs::write(golden_path(name), render(name, &run_scenario(name)))?;
+        crate::export::write_atomic(
+            &golden_path(name),
+            render(name, &run_scenario(name)).as_bytes(),
+        )?;
     }
     Ok(())
 }

@@ -21,7 +21,10 @@
 //!   plotting,
 //! * [`golden`] — the golden-trace corpus under `tests/golden/`: canonical
 //!   scenarios whose per-epoch telemetry is snapshotted byte-exactly
-//!   (regenerate with `repro golden --bless`).
+//!   (regenerate with `repro golden --bless`),
+//! * [`checkpoint`] — crash-resumable sweeps: a checksummed, rotated journal
+//!   of completed cases plus periodic mid-case machine snapshots, driven by
+//!   `repro run --checkpoint-dir` / `repro resume` / `repro inspect`.
 //!
 //! # Example
 //!
@@ -39,6 +42,7 @@
 #![warn(missing_debug_implementations)]
 
 pub mod cases;
+pub mod checkpoint;
 pub mod error;
 pub mod experiments;
 pub mod export;
@@ -49,6 +53,10 @@ pub mod runner;
 pub mod scale;
 
 pub use cases::{CaseSpec, ConfigKind, Policy};
+pub use checkpoint::{
+    resume_sweep, run_sweep_checkpointed, CheckpointDir, CheckpointError, FailureSnapshot,
+    SweepCheckpoint, SweepOutcome,
+};
 pub use error::{failure_digest, CaseError, FailedCase};
 pub use metrics::CaseResult;
 pub use runner::{run_case, run_case_isolated, run_cases, IsolatedCache};

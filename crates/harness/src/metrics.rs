@@ -136,6 +136,16 @@ pub fn miss_bucket(result: &CaseResult) -> Option<usize> {
     })
 }
 
+gpu_sim::impl_snap_struct!(CaseResult {
+    spec,
+    ipc,
+    isolated_ipc,
+    goal_ipc,
+    insts_per_energy,
+    preemption_saves,
+    trace_hash,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -22,7 +22,12 @@ use crate::metrics::CaseResult;
 /// Watchdog window used for every harness-driven simulation, in epochs: a
 /// wedged case is detected after at most two controller epochs with zero
 /// machine-wide progress, instead of burning the rest of its cycle budget.
-const WATCHDOG_EPOCHS: u64 = 2;
+///
+/// Kept a multiple of the epoch length on purpose: the watchdog trips at a
+/// multiple of its window, so every failure (and every chunk boundary the
+/// checkpointed runner uses) lands on an epoch boundary — the only cycles at
+/// which [`Gpu::snapshot`] is legal.
+pub const WATCHDOG_EPOCHS: u64 = 2;
 
 /// Shared cache of isolated-IPC measurements, keyed by
 /// `(benchmark, config, cycles)`.
@@ -104,15 +109,10 @@ fn apply_ablations(cfg: &mut GpuConfig, ab: &Ablations) {
     }
 }
 
-/// Runs one case and computes its result.
-///
-/// # Errors
-///
-/// [`CaseError::UnknownBenchmark`] when the spec names a benchmark the
-/// workload table does not know; [`CaseError::Sim`] when the watchdog trips
-/// (e.g. under an injected livelock) or an audit fails. Panics are *not*
-/// caught here — [`run_cases`] adds the `catch_unwind` + retry boundary.
-pub fn run_case(spec: &CaseSpec, iso: &IsolatedCache) -> Result<CaseResult, CaseError> {
+/// The exact simulator configuration a case runs under (ablations, epoch
+/// override, watchdog, fault plan applied). `repro inspect` rebuilds a
+/// machine from this to restore a persisted failure snapshot into.
+pub fn case_config(spec: &CaseSpec) -> GpuConfig {
     let mut cfg = spec.config.build();
     apply_ablations(&mut cfg, &spec.ablations);
     if let Some(epoch) = spec.epoch_cycles {
@@ -121,7 +121,79 @@ pub fn run_case(spec: &CaseSpec, iso: &IsolatedCache) -> Result<CaseResult, Case
     }
     cfg.health.watchdog_window = WATCHDOG_EPOCHS * cfg.epoch_cycles;
     cfg.faults = spec.faults.clone();
-    let mut gpu = Gpu::new(cfg);
+    cfg
+}
+
+/// The concrete controller a harness case runs under: one of the two policy
+/// families of [`Policy`].
+///
+/// An enum (not `Box<dyn Controller>`) so a mid-case checkpoint can encode
+/// the controller's epoch state alongside the [`Gpu`] snapshot and rebuild
+/// it bit-exactly on resume.
+#[derive(Debug, Clone)]
+pub enum CaseController {
+    /// Spatial-partitioning baseline.
+    Spart(SpartController),
+    /// Fine-grained quota management.
+    Quota(QosManager),
+}
+
+impl Controller for CaseController {
+    fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64) {
+        match self {
+            CaseController::Spart(c) => c.on_epoch(gpu, epoch),
+            CaseController::Quota(m) => m.on_epoch(gpu, epoch),
+        }
+    }
+}
+
+impl gpu_sim::Snap for CaseController {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            CaseController::Spart(c) => {
+                out.push(0);
+                gpu_sim::Snap::encode(c, out);
+            }
+            CaseController::Quota(m) => {
+                out.push(1);
+                gpu_sim::Snap::encode(m, out);
+            }
+        }
+    }
+    fn decode(r: &mut gpu_sim::SnapReader<'_>) -> Result<Self, gpu_sim::SnapError> {
+        match <u8 as gpu_sim::Snap>::decode(r)? {
+            0 => Ok(CaseController::Spart(<SpartController as gpu_sim::Snap>::decode(r)?)),
+            1 => Ok(CaseController::Quota(<QosManager as gpu_sim::Snap>::decode(r)?)),
+            _ => Err(gpu_sim::SnapError::Invalid("CaseController")),
+        }
+    }
+}
+
+/// A case's simulation state right after construction, before any cycle has
+/// run: the machine, the launched kernel ids, and the per-kernel isolated /
+/// goal IPCs. Shared between the one-shot [`run_case`] path and the chunked
+/// checkpointed path in [`crate::checkpoint`].
+#[derive(Debug)]
+pub struct PreparedCase {
+    /// The configured machine with every kernel launched.
+    pub gpu: Gpu,
+    /// Kernel ids in spec slot order.
+    pub kids: Vec<KernelId>,
+    /// Per-kernel isolated IPC (same config and cycle budget).
+    pub isolated: Vec<f64>,
+    /// Per-kernel absolute IPC goal (`None` = best-effort).
+    pub goal_ipc: Vec<Option<f64>>,
+}
+
+/// Builds the machine for one case: config + ablations + watchdog, kernels
+/// launched with decorrelated seeds, isolated IPCs measured (cached).
+///
+/// # Errors
+///
+/// [`CaseError::UnknownBenchmark`] for an unknown benchmark name, or the
+/// cached error of a failed isolated measurement.
+pub fn prepare_case(spec: &CaseSpec, iso: &IsolatedCache) -> Result<PreparedCase, CaseError> {
+    let mut gpu = Gpu::new(case_config(spec));
 
     let mut kids = Vec::new();
     let mut goal_ipc = Vec::new();
@@ -136,30 +208,53 @@ pub fn run_case(spec: &CaseSpec, iso: &IsolatedCache) -> Result<CaseResult, Case
         isolated.push(iso_ipc);
         goal_ipc.push(spec.goal_fracs[slot].map(|f| f * iso_ipc));
     }
+    Ok(PreparedCase { gpu, kids, isolated, goal_ipc })
+}
+
+/// Computes the [`CaseResult`] of a finished case from its machine and
+/// telemetry.
+pub fn finish_case(
+    spec: &CaseSpec,
+    prepared: &PreparedCase,
+    records: &[gpu_sim::trace::EpochRecord],
+) -> CaseResult {
+    let stats = prepared.gpu.stats();
+    CaseResult {
+        ipc: prepared.kids.iter().map(|&k| stats.ipc(k)).collect(),
+        isolated_ipc: prepared.isolated.clone(),
+        goal_ipc: prepared.goal_ipc.clone(),
+        insts_per_energy: gpu_sim::power::insts_per_energy(&prepared.gpu),
+        preemption_saves: prepared.gpu.preempt_stats().saves,
+        trace_hash: records_hash(records),
+        spec: spec.clone(),
+    }
+}
+
+/// Runs one case and computes its result.
+///
+/// # Errors
+///
+/// [`CaseError::UnknownBenchmark`] when the spec names a benchmark the
+/// workload table does not know; [`CaseError::Sim`] when the watchdog trips
+/// (e.g. under an injected livelock) or an audit fails. Panics are *not*
+/// caught here — [`run_cases`] adds the `catch_unwind` + retry boundary.
+pub fn run_case(spec: &CaseSpec, iso: &IsolatedCache) -> Result<CaseResult, CaseError> {
+    let mut prepared = prepare_case(spec, iso)?;
 
     // Every case runs under a Tracer so its full epoch telemetry is
     // fingerprinted; the hash lets sweeps prove run-to-run determinism
     // without retaining the records themselves.
-    let mut ctrl = Tracer::new(build_controller(spec, &kids, &goal_ipc));
-    gpu.try_run(spec.cycles, &mut ctrl)?;
-
-    let stats = gpu.stats();
-    Ok(CaseResult {
-        ipc: kids.iter().map(|&k| stats.ipc(k)).collect(),
-        isolated_ipc: isolated,
-        goal_ipc,
-        insts_per_energy: gpu_sim::power::insts_per_energy(&gpu),
-        preemption_saves: gpu.preempt_stats().saves,
-        trace_hash: records_hash(ctrl.records()),
-        spec: spec.clone(),
-    })
+    let mut ctrl = Tracer::new(build_controller(spec, &prepared.kids, &prepared.goal_ipc));
+    prepared.gpu.try_run(spec.cycles, &mut ctrl)?;
+    Ok(finish_case(spec, &prepared, ctrl.records()))
 }
 
-fn build_controller(
+/// Builds the policy controller a case's spec asks for.
+pub fn build_controller(
     spec: &CaseSpec,
     kids: &[KernelId],
     goal_ipc: &[Option<f64>],
-) -> Box<dyn Controller> {
+) -> CaseController {
     let spec_of = |k: usize| match goal_ipc[k] {
         Some(g) => QosSpec::qos(g),
         None => QosSpec::best_effort(),
@@ -170,7 +265,7 @@ fn build_controller(
             for (i, &kid) in kids.iter().enumerate() {
                 ctrl = ctrl.with_kernel(kid, spec_of(i));
             }
-            Box::new(ctrl)
+            CaseController::Spart(ctrl)
         }
         Policy::Quota(scheme) => {
             let mut mgr =
@@ -181,7 +276,7 @@ fn build_controller(
             for (i, &kid) in kids.iter().enumerate() {
                 mgr = mgr.with_kernel(kid, spec_of(i));
             }
-            Box::new(mgr)
+            CaseController::Quota(mgr)
         }
     }
 }
@@ -200,13 +295,13 @@ pub fn run_case_isolated(spec: &CaseSpec, iso: &IsolatedCache) -> Result<CaseRes
             Ok(result) => result,
             Err(payload) => Err(CaseError::Panicked {
                 payload: panic_message(payload.as_ref()),
-                retries: 1,
+                attempts: 2,
             }),
         },
     }
 }
 
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_string()
     } else if let Some(s) = payload.downcast_ref::<String>() {
@@ -392,8 +487,8 @@ mod tests {
         spec.faults = FaultPlan::one(5_000, FaultKind::Panic);
         let err = run_case_isolated(&spec, &cache).expect_err("injected panic must surface");
         match err {
-            CaseError::Panicked { payload, retries } => {
-                assert_eq!(retries, 1, "the policy allows exactly one retry");
+            CaseError::Panicked { payload, attempts } => {
+                assert_eq!(attempts, 2, "the policy allows the initial run plus one retry");
                 assert!(payload.contains("injected fault"), "{payload}");
             }
             other => panic!("expected Panicked, got {other:?}"),

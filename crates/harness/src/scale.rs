@@ -73,6 +73,13 @@ impl RunScale {
     }
 }
 
+gpu_sim::impl_snap_enum!(RunScale {
+    Bench = 0,
+    Smoke = 1,
+    Quick = 2,
+    Paper = 3,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

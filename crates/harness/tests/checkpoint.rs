@@ -1,0 +1,267 @@
+//! Acceptance tests for the crash-resumable checkpoint subsystem.
+//!
+//! Covers the robustness contract end to end:
+//! * a sweep SIGKILLed mid-flight and resumed with `repro resume` prints a
+//!   final report byte-identical to an uninterrupted run's;
+//! * a corrupted (bit-flipped) newest checkpoint is detected by its
+//!   checksum, skipped with a warning, and the previous generation loads;
+//! * resume refuses checkpoints whose regenerated plan no longer matches;
+//! * a watchdog-tripped case persists a failure snapshot that loads and
+//!   pretty-prints alongside its health report.
+
+use std::path::PathBuf;
+use std::process::{Command, Stdio};
+use std::time::{Duration, Instant};
+
+use harness::checkpoint::{
+    load_failure, plan_fingerprint, render_failure_snapshot, resume_sweep,
+    run_sweep_checkpointed, sweep_specs, CheckpointDir, CheckpointError, SweepCheckpoint,
+};
+use harness::error::CaseError;
+use harness::scale::RunScale;
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "fgqos-checkpoint-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// A fast checkpoint cadence: with the smoke sweep's 2 000-cycle epochs the
+/// chunk floor is two watchdog windows = 8 000 cycles, so a 20 000-cycle
+/// `Bench` case saves two mid-case checkpoints.
+const EVERY: u64 = 1;
+
+// ----------------------------------------------------------------------
+// Corruption drill (checksums + generation fallback)
+// ----------------------------------------------------------------------
+
+#[test]
+fn corrupted_newest_generation_falls_back_to_previous() {
+    let dir = CheckpointDir::create(tmp_dir("corrupt")).expect("create");
+    let specs = sweep_specs("smoke", RunScale::Bench).expect("known sweep");
+    let ckpt = |n: usize| SweepCheckpoint {
+        sweep: "smoke".to_string(),
+        scale: RunScale::Bench,
+        plan_fingerprint: plan_fingerprint(&specs),
+        checkpoint_every: EVERY,
+        completed: (0..n)
+            .map(|i| Err(CaseError::Panicked { payload: format!("case {i}"), attempts: 2 }))
+            .collect(),
+        in_progress: None,
+    };
+    dir.save(&ckpt(1)).expect("older generation");
+    let newest = dir.save(&ckpt(2)).expect("newest generation");
+
+    // Flip one byte in the middle of the newest generation's payload.
+    let mut bytes = std::fs::read(&newest).expect("read newest");
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0x40;
+    std::fs::write(&newest, &bytes).expect("write corruption");
+
+    let (loaded, warnings) = dir.load_latest().expect("listing works");
+    let loaded = loaded.expect("previous generation still loads");
+    assert_eq!(loaded.completed.len(), 1, "fallback is the older checkpoint");
+    assert_eq!(warnings.len(), 1, "exactly one corrupt file skipped: {warnings:?}");
+    assert!(
+        warnings[0].contains("corrupt") && warnings[0].contains("falling back"),
+        "warning names the degradation: {}",
+        warnings[0]
+    );
+
+    // With every generation corrupted, nothing loads — but the failure is
+    // warnings, not an abort.
+    for (_, path) in dir.generations().expect("list") {
+        let mut bytes = std::fs::read(&path).expect("read");
+        // A different byte from the first flip, so the already-corrupt
+        // newest generation doesn't get un-flipped back to validity.
+        let pos = bytes.len() / 3;
+        bytes[pos] ^= 0x02;
+        std::fs::write(&path, &bytes).expect("write");
+    }
+    let (none, warnings) = dir.load_latest().expect("listing works");
+    assert!(none.is_none());
+    assert_eq!(warnings.len(), 2);
+    let _ = std::fs::remove_dir_all(dir.path());
+}
+
+// ----------------------------------------------------------------------
+// Resume semantics (journal prefix, plan fingerprint)
+// ----------------------------------------------------------------------
+
+#[test]
+fn resume_from_journal_prefix_reports_identically() {
+    let full_dir = CheckpointDir::create(tmp_dir("full")).expect("create");
+    let full =
+        run_sweep_checkpointed("smoke", RunScale::Bench, &full_dir, EVERY).expect("sweep runs");
+    assert_eq!(full.outcomes.len(), 4);
+    assert!(full.outcomes.iter().all(Result::is_ok), "smoke sweep is healthy");
+    assert!(full.warnings.is_empty(), "{:?}", full.warnings);
+
+    // Pretend the process died after two completed cases (between cases, so
+    // no in-progress machine state) and resume from that journal.
+    let resumed_dir = CheckpointDir::create(tmp_dir("prefix")).expect("create");
+    let specs = sweep_specs("smoke", RunScale::Bench).expect("known sweep");
+    resumed_dir
+        .save(&SweepCheckpoint {
+            sweep: "smoke".to_string(),
+            scale: RunScale::Bench,
+            plan_fingerprint: plan_fingerprint(&specs),
+            checkpoint_every: EVERY,
+            completed: full.outcomes[..2].to_vec(),
+            in_progress: None,
+        })
+        .expect("save prefix");
+    let resumed = resume_sweep(&resumed_dir, None).expect("resume runs");
+    assert_eq!(
+        resumed.report(),
+        full.report(),
+        "a resumed sweep's report equals the uninterrupted one's"
+    );
+    let _ = std::fs::remove_dir_all(full_dir.path());
+    let _ = std::fs::remove_dir_all(resumed_dir.path());
+}
+
+#[test]
+fn resume_refuses_a_changed_plan() {
+    let dir = CheckpointDir::create(tmp_dir("mismatch")).expect("create");
+    let specs = sweep_specs("smoke", RunScale::Bench).expect("known sweep");
+    dir.save(&SweepCheckpoint {
+        sweep: "smoke".to_string(),
+        scale: RunScale::Bench,
+        plan_fingerprint: plan_fingerprint(&specs) ^ 1,
+        checkpoint_every: EVERY,
+        completed: Vec::new(),
+        in_progress: None,
+    })
+    .expect("save");
+    let err = resume_sweep(&dir, None).expect_err("fingerprint mismatch");
+    assert!(matches!(err, CheckpointError::Mismatch(_)), "{err}");
+    assert!(err.to_string().contains("fingerprint"), "{err}");
+    let _ = std::fs::remove_dir_all(dir.path());
+}
+
+#[test]
+fn resume_of_empty_dir_is_a_corrupt_error() {
+    let dir = CheckpointDir::create(tmp_dir("void")).expect("create");
+    let err = resume_sweep(&dir, None).expect_err("nothing to resume");
+    assert!(matches!(err, CheckpointError::Corrupt(_)), "{err}");
+    let _ = std::fs::remove_dir_all(dir.path());
+}
+
+// ----------------------------------------------------------------------
+// Failure snapshots (watchdog abort → loadable machine state)
+// ----------------------------------------------------------------------
+
+#[test]
+fn watchdog_abort_persists_a_loadable_failure_snapshot() {
+    let dir = CheckpointDir::create(tmp_dir("faulty")).expect("create");
+    let outcome = run_sweep_checkpointed("smoke-faulty", RunScale::Bench, &dir, EVERY)
+        .expect("sweep survives the faulty case");
+    assert_eq!(outcome.outcomes.len(), 4);
+    assert!(
+        matches!(
+            &outcome.outcomes[1],
+            Err(CaseError::Sim(gpu_sim::SimError::Watchdog(_)))
+        ),
+        "the injected livelock must trip the watchdog: {:?}",
+        outcome.outcomes[1]
+    );
+    assert!(outcome.outcomes.iter().filter(|o| o.is_ok()).count() == 3);
+
+    let snap_path = dir.path().join("failure-case-0001.snap");
+    let snap = load_failure(&snap_path).expect("failure snapshot loads");
+    assert_eq!(snap.case_index, 1);
+    assert_eq!(snap.error.kind(), "watchdog");
+
+    let rendered = render_failure_snapshot(&snap);
+    assert!(rendered.contains("case 1"), "{rendered}");
+    assert!(rendered.contains("watchdog"), "{rendered}");
+    assert!(rendered.contains("health report"), "{rendered}");
+    assert!(rendered.contains("restored machine at cycle"), "{rendered}");
+
+    // The journal survives the failed case, so a resume completes the
+    // remaining cases and reports the same failure digest.
+    let resumed = resume_sweep(&dir, None).expect("resume");
+    assert_eq!(resumed.report(), outcome.report());
+    let _ = std::fs::remove_dir_all(dir.path());
+}
+
+// ----------------------------------------------------------------------
+// Kill-and-resume (the acceptance scenario, via the real binary)
+// ----------------------------------------------------------------------
+
+fn repro(args: &[&str]) -> std::process::Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro spawns")
+}
+
+#[test]
+fn sigkilled_sweep_resumes_to_an_identical_report() {
+    let baseline_dir = tmp_dir("kill-baseline");
+    let killed_dir = tmp_dir("kill-victim");
+    let baseline_path = baseline_dir.to_str().expect("utf8 path").to_string();
+    let killed_path = killed_dir.to_str().expect("utf8 path").to_string();
+
+    // The uninterrupted reference run.
+    let baseline = repro(&[
+        "run", "smoke", "--scale", "bench", "--checkpoint-dir", &baseline_path,
+        "--checkpoint-every", "1",
+    ]);
+    assert!(baseline.status.success(), "baseline run fails: {baseline:?}");
+    assert!(!baseline.stdout.is_empty(), "report goes to stdout");
+
+    // The victim: killed (SIGKILL — no chance to flush or clean up) as soon
+    // as a mid-case checkpoint exists.
+    let mut victim = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args([
+            "run", "smoke", "--scale", "bench", "--checkpoint-dir", &killed_path,
+            "--checkpoint-every", "1",
+        ])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("victim spawns");
+    let dir = CheckpointDir::create(&killed_dir).expect("open victim dir");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut saw_mid_case = false;
+    loop {
+        if let (Some(ckpt), _) = dir.load_latest().expect("poll") {
+            if ckpt.in_progress.is_some() {
+                saw_mid_case = true;
+                break;
+            }
+        }
+        if victim.try_wait().expect("try_wait").is_some() {
+            // The sweep outran the poll loop; resume below still must
+            // reproduce the report from the final checkpoint.
+            break;
+        }
+        assert!(Instant::now() < deadline, "no mid-case checkpoint appeared in time");
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    victim.kill().expect("SIGKILL");
+    let _ = victim.wait();
+
+    // Resume from whatever the kill left behind; the cadence is read from
+    // the checkpoint itself, so no flags are needed.
+    let resumed = repro(&["resume", &killed_path]);
+    assert!(resumed.status.success(), "resume fails: {resumed:?}");
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&baseline.stdout),
+        "resumed report must be byte-identical to the uninterrupted one \
+         (saw_mid_case={saw_mid_case})"
+    );
+    assert!(
+        saw_mid_case,
+        "the victim finished before any mid-case checkpoint; \
+         lower the cadence so the kill lands mid-case"
+    );
+    let _ = std::fs::remove_dir_all(&baseline_dir);
+    let _ = std::fs::remove_dir_all(&killed_dir);
+}

@@ -170,6 +170,14 @@ pub fn jain_index(normalized: &[f64]) -> f64 {
     }
 }
 
+gpu_sim::impl_snap_struct!(FairnessController {
+    isolated_ipc,
+    scale,
+    initialized,
+    cum_insts,
+    cum_cycles,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

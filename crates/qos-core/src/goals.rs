@@ -135,6 +135,8 @@ pub fn paper_dual_goal_fractions() -> Vec<f64> {
     (5..=14).map(|i| f64::from(i) * 0.05).collect()
 }
 
+gpu_sim::impl_snap_struct!(QosSpec { goal_ipc });
+
 #[cfg(test)]
 mod tests {
     use super::*;

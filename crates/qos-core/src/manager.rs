@@ -353,6 +353,19 @@ impl Controller for QosManager {
     }
 }
 
+gpu_sim::impl_snap_struct!(QosManager {
+    scheme,
+    specs,
+    alpha_cap,
+    static_adjust,
+    history_override,
+    initialized,
+    cum_insts,
+    cum_cycles,
+    nonqos_prev_ipc,
+    alphas,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -116,6 +116,14 @@ pub fn distribute_quota(quota: u64, hosted_tbs: &[u32]) -> Vec<u64> {
     parts
 }
 
+gpu_sim::impl_snap_enum!(QuotaScheme {
+    Naive = 0,
+    NaiveHistory = 1,
+    Elastic = 2,
+    Rollover = 3,
+    RolloverTime = 4,
+});
+
 #[cfg(test)]
 mod tests {
     use super::*;

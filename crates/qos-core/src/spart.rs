@@ -172,6 +172,8 @@ impl Controller for SpartController {
     }
 }
 
+gpu_sim::impl_snap_struct!(SpartController { specs, initialized, cum_insts, cum_cycles });
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -1,0 +1,376 @@
+//! Differential tests for the snapshot/restore subsystem.
+//!
+//! The contract under test: running to an epoch-aligned cycle `C`, taking a
+//! [`Gpu::snapshot`], restoring it into a *fresh* machine (plus a
+//! round-tripped controller), and continuing is bit-identical — same stats,
+//! same epoch telemetry, same `records_hash`, same health outcome — to
+//! never having snapshotted at all. Exercised across all controllers, quota
+//! schemes, injected faults, and with the idle-cycle fast-forward both on
+//! and off.
+//!
+//! Comparison rules mirror the fault-tolerance suite: a *healthy* chunked
+//! run equals a straight run exactly; a *faulted* chunked run is still
+//! deterministic but may trip the watchdog up to one window later than a
+//! straight run (the per-call check schedule). So the snapshotted run is
+//! always compared against an identically-chunked run, and additionally
+//! against the straight run when no fault is injected.
+
+use fgqos::sim::rng::SplitMix64;
+use fgqos::sim::snap::{decode_from_slice, encode_to_vec};
+use fgqos::sim::trace::{records_hash, EpochRecord, Tracer};
+use fgqos::{Controller, Gpu, GpuConfig, KernelDesc, QosManager, QosSpec, QuotaScheme, SpartController};
+use gpu_sim::{AccessPattern, KernelStats, Op, Snap, SnapshotBlob};
+use proptest::prelude::*;
+
+// ----------------------------------------------------------------------
+// A concrete, snapshottable controller covering every policy under test.
+// ----------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum Ctrl {
+    Null,
+    Spart(SpartController),
+    Quota(QosManager),
+}
+
+impl Controller for Ctrl {
+    fn on_epoch(&mut self, gpu: &mut Gpu, epoch: u64) {
+        match self {
+            Ctrl::Null => {}
+            Ctrl::Spart(c) => c.on_epoch(gpu, epoch),
+            Ctrl::Quota(m) => m.on_epoch(gpu, epoch),
+        }
+    }
+}
+
+impl Snap for Ctrl {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match self {
+            Ctrl::Null => out.push(0),
+            Ctrl::Spart(c) => {
+                out.push(1);
+                Snap::encode(c, out);
+            }
+            Ctrl::Quota(m) => {
+                out.push(2);
+                Snap::encode(m, out);
+            }
+        }
+    }
+    fn decode(r: &mut gpu_sim::SnapReader<'_>) -> Result<Self, gpu_sim::SnapError> {
+        match <u8 as Snap>::decode(r)? {
+            0 => Ok(Ctrl::Null),
+            1 => Ok(Ctrl::Spart(<SpartController as Snap>::decode(r)?)),
+            2 => Ok(Ctrl::Quota(<QosManager as Snap>::decode(r)?)),
+            _ => Err(gpu_sim::SnapError::Invalid("Ctrl")),
+        }
+    }
+}
+
+// ----------------------------------------------------------------------
+// Scenario construction (mirrors tests/properties.rs).
+// ----------------------------------------------------------------------
+
+fn build_config(
+    fast_forward: bool,
+    watchdog: bool,
+    audit: bool,
+    fault: Option<(u64, fgqos::sim::FaultKind)>,
+) -> GpuConfig {
+    let mut cfg = GpuConfig::tiny();
+    cfg.fast_forward = fast_forward;
+    cfg.health.audit = audit;
+    cfg.health.watchdog_window = if watchdog { 2 * cfg.epoch_cycles } else { 0 };
+    if let Some((at, kind)) = fault {
+        cfg.faults = fgqos::sim::FaultPlan::one(at, kind);
+    }
+    cfg
+}
+
+fn build_gpu(cfg: &GpuConfig, descs: &[KernelDesc]) -> (Gpu, Vec<fgqos::KernelId>) {
+    let mut gpu = Gpu::new(cfg.clone());
+    let kids = descs.iter().map(|d| gpu.launch(d.clone())).collect();
+    (gpu, kids)
+}
+
+fn build_ctrl(ctrl_sel: usize, kids: &[fgqos::KernelId], goal: f64) -> Ctrl {
+    let spec = |slot: usize| {
+        if slot == 0 {
+            QosSpec::qos(goal)
+        } else if slot == 1 && kids.len() == 3 {
+            QosSpec::qos(goal * 0.5)
+        } else {
+            QosSpec::best_effort()
+        }
+    };
+    match ctrl_sel {
+        0 => Ctrl::Null,
+        5 => {
+            let mut c = SpartController::new();
+            for (slot, &k) in kids.iter().enumerate() {
+                c = c.with_kernel(k, spec(slot));
+            }
+            Ctrl::Spart(c)
+        }
+        sel => {
+            let scheme = match sel {
+                1 => QuotaScheme::Naive,
+                2 => QuotaScheme::Rollover,
+                3 => QuotaScheme::RolloverTime,
+                _ => QuotaScheme::Elastic,
+            };
+            let mut m = QosManager::new(scheme);
+            for (slot, &k) in kids.iter().enumerate() {
+                m = m.with_kernel(k, spec(slot));
+            }
+            Ctrl::Quota(m)
+        }
+    }
+}
+
+/// Everything observable about one run; two runs of the same scenario must
+/// compare equal field-for-field.
+#[derive(Debug, Clone, PartialEq)]
+struct RunSummary {
+    outcome: Result<(), fgqos::sim::SimError>,
+    cycle: u64,
+    kernels: Vec<KernelStats>,
+    records: Vec<EpochRecord>,
+    records_hash: u64,
+    per_sm_busy_issued: Vec<(u64, u64)>,
+    l2: (u64, u64),
+    preempt: fgqos::sim::preempt::PreemptStats,
+    insts_per_energy_bits: u64,
+}
+
+fn summarize(
+    outcome: Result<(), fgqos::sim::SimError>,
+    gpu: &Gpu,
+    kids: &[fgqos::KernelId],
+    records: &[EpochRecord],
+) -> RunSummary {
+    let stats = gpu.stats();
+    RunSummary {
+        outcome,
+        cycle: gpu.cycle(),
+        kernels: kids.iter().map(|&k| *stats.kernel(k)).collect(),
+        records_hash: records_hash(records),
+        records: records.to_vec(),
+        per_sm_busy_issued: gpu
+            .sms()
+            .iter()
+            .map(|sm| (sm.busy_cycles(), sm.issued_total()))
+            .collect(),
+        l2: (gpu.mem().l2_stats().hits, gpu.mem().l2_stats().misses),
+        preempt: gpu.preempt_stats(),
+        insts_per_energy_bits: fgqos::sim::power::insts_per_energy(gpu).to_bits(),
+    }
+}
+
+/// One straight run of `total` cycles.
+fn run_straight(
+    cfg: &GpuConfig,
+    descs: &[KernelDesc],
+    ctrl_sel: usize,
+    goal: f64,
+    total: u64,
+) -> RunSummary {
+    let (mut gpu, kids) = build_gpu(cfg, descs);
+    let mut tracer = Tracer::new(build_ctrl(ctrl_sel, &kids, goal));
+    let outcome = gpu.try_run(total, &mut tracer);
+    summarize(outcome, &gpu, &kids, tracer.records())
+}
+
+/// One run chunked at `split`. With `snapshot_restore`, the machine is
+/// snapshotted at the split, the snapshot restored into a *freshly built*
+/// machine, and the controller + telemetry round-tripped through the binary
+/// codec; the second chunk then runs on the restored copy.
+fn run_split(
+    cfg: &GpuConfig,
+    descs: &[KernelDesc],
+    ctrl_sel: usize,
+    goal: f64,
+    split: u64,
+    total: u64,
+    snapshot_restore: bool,
+) -> RunSummary {
+    let (mut gpu, kids) = build_gpu(cfg, descs);
+    let mut tracer = Tracer::new(build_ctrl(ctrl_sel, &kids, goal));
+    if let Err(e) = gpu.try_run(split, &mut tracer) {
+        // The first chunk already failed; both chunked variants see the
+        // identical prefix, so summarize here.
+        return summarize(Err(e), &gpu, &kids, tracer.records());
+    }
+    if snapshot_restore {
+        assert_eq!(gpu.cycle(), split, "healthy try_run advances exactly `cycles`");
+        let blob = gpu
+            .snapshot()
+            .expect("split is a multiple of epoch_cycles, so the snapshot is legal");
+        // Round-trip the blob through its wire form, like a checkpoint does.
+        let blob = SnapshotBlob::from_bytes(&blob.to_bytes()).expect("wire round-trip");
+        let (ctrl, records) = tracer.into_parts();
+        let ctrl: Ctrl = decode_from_slice(&encode_to_vec(&ctrl)).expect("controller codec");
+        let records: Vec<EpochRecord> =
+            decode_from_slice(&encode_to_vec(&records)).expect("records codec");
+        let (fresh_gpu, fresh_kids) = build_gpu(cfg, descs);
+        assert_eq!(fresh_kids, kids, "kernel ids are deterministic");
+        gpu = fresh_gpu;
+        gpu.restore(&blob).expect("restore accepts a same-config snapshot");
+        assert_eq!(gpu.cycle(), split, "restore lands on the snapshot cycle");
+        tracer = Tracer::from_parts(ctrl, records);
+    }
+    let outcome = gpu.try_run(total - split, &mut tracer);
+    summarize(outcome, &gpu, &kids, tracer.records())
+}
+
+fn diff_descs(
+    nk: usize,
+    alu_lat: u16,
+    alu_repeat: u16,
+    trans: u8,
+    lanes: u8,
+    iters: u32,
+    seed: u64,
+) -> Vec<KernelDesc> {
+    (0..nk)
+        .map(|k| {
+            KernelDesc::builder(format!("snap{k}"))
+                .threads_per_tb(64)
+                .regs_per_thread(16)
+                .grid_tbs(4)
+                .iterations(iters + k as u32)
+                .seed(seed.wrapping_mul(k as u64 + 1))
+                .body(vec![
+                    Op::alu_divergent(alu_lat + k as u16, alu_repeat, lanes),
+                    Op::mem_load(AccessPattern::random(1 << (18 + k), trans)),
+                ])
+                .build()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole's restore contract: snapshot at an epoch boundary,
+    /// restore into a fresh machine, continue — bit-identical to not having
+    /// snapshotted, across controllers × schemes × faults × fast-forward.
+    #[test]
+    fn snapshot_restore_continue_is_bit_identical(
+        nk in 1usize..4,
+        alu_lat in 1u16..12,
+        alu_repeat in 1u16..16,
+        trans in 1u8..16,
+        lanes in 1u8..32,
+        iters in 1u32..6,
+        seed in 0u64..10_000,
+        split_epochs in 1u64..6,
+        extra_epochs in 1u64..6,
+        ctrl_sel in 0usize..6,
+        goal_frac in 0.1f64..1.5,
+        fast_forward in any::<bool>(),
+        watchdog in any::<bool>(),
+        audit in any::<bool>(),
+        fault_sel in 0usize..4,
+        fault_cycle in 500u64..6_000,
+    ) {
+        let fault = match fault_sel {
+            1 => Some((fault_cycle, fgqos::sim::FaultKind::StarveQuota)),
+            2 => Some((fault_cycle, fgqos::sim::FaultKind::FreezeScheduler { sm: 0 })),
+            3 => Some((fault_cycle, fgqos::sim::FaultKind::StallPreemption)),
+            _ => None,
+        };
+        let cfg = build_config(fast_forward, watchdog, audit, fault);
+        let split = split_epochs * cfg.epoch_cycles;
+        let total = split + extra_epochs * cfg.epoch_cycles;
+        let descs = diff_descs(nk, alu_lat, alu_repeat, trans, lanes, iters, seed);
+        let goal = goal_frac * 100.0;
+
+        let chunked = run_split(&cfg, &descs, ctrl_sel, goal, split, total, false);
+        let restored = run_split(&cfg, &descs, ctrl_sel, goal, split, total, true);
+        prop_assert_eq!(&restored, &chunked, "restore must be invisible");
+
+        if fault.is_none() {
+            // A healthy chunked run also equals the straight run exactly
+            // (the watchdog check schedule aligns to absolute windows).
+            let straight = run_straight(&cfg, &descs, ctrl_sel, goal, total);
+            prop_assert_eq!(&restored, &straight, "healthy chunking is invisible");
+        }
+    }
+
+    /// Satellite: `SplitMix64` snapshotted mid-stream reproduces the exact
+    /// remaining stream from the restored copy.
+    #[test]
+    fn splitmix_round_trips_mid_stream(
+        seed in any::<u64>(),
+        burn in 0usize..200,
+        take in 1usize..100,
+    ) {
+        let mut rng = SplitMix64::new(seed);
+        for _ in 0..burn {
+            rng.next_u64();
+        }
+        let mut copy: SplitMix64 = decode_from_slice(&encode_to_vec(&rng)).expect("codec");
+        for i in 0..take {
+            prop_assert_eq!(copy.next_u64(), rng.next_u64(), "divergence at draw {}", i);
+        }
+    }
+
+    /// Satellite: per-kernel stats counters survive an encode/decode cycle
+    /// exactly, at any point in their value space.
+    #[test]
+    fn kernel_stats_round_trip_exactly(
+        thread_insts in any::<u64>(),
+        warp_insts in any::<u64>(),
+        tbs_completed in any::<u64>(),
+        launches_completed in any::<u64>(),
+    ) {
+        let stats = KernelStats { thread_insts, warp_insts, tbs_completed, launches_completed };
+        let back: KernelStats = decode_from_slice(&encode_to_vec(&stats)).expect("codec");
+        prop_assert_eq!(back, stats);
+    }
+}
+
+/// Restoring mid-scenario reproduces the golden-trace corpus: the
+/// datacenter trio run with a snapshot/restore at an interior epoch yields
+/// the same record stream as the canonical uninterrupted scenario.
+#[test]
+fn golden_scenario_survives_snapshot_restore() {
+    let golden = harness::golden::run_scenario("datacenter_trio");
+
+    let mut cfg = GpuConfig::tiny();
+    cfg.fast_forward = true;
+    let build = |gpu: &mut Gpu| {
+        let q1 = gpu.launch(workloads::by_name("mri-q").expect("known workload"));
+        let q2 = gpu.launch(workloads::by_name("sad").expect("known workload"));
+        let be = gpu.launch(workloads::by_name("lbm").expect("known workload"));
+        QosManager::new(QuotaScheme::Rollover)
+            .with_kernel(q1, QosSpec::qos(40.0))
+            .with_kernel(q2, QosSpec::qos(20.0))
+            .with_kernel(be, QosSpec::best_effort())
+    };
+
+    let total = 15_000u64;
+    let split = (total / 2 / cfg.epoch_cycles) * cfg.epoch_cycles;
+    assert!(split > 0 && split < total, "interior epoch boundary");
+
+    let mut gpu = Gpu::new(cfg.clone());
+    let mut tracer = Tracer::new(build(&mut gpu));
+    gpu.try_run(split, &mut tracer).expect("healthy scenario");
+    let blob = gpu.snapshot().expect("epoch-aligned");
+
+    let mut gpu2 = Gpu::new(cfg);
+    let ctrl2 = build(&mut gpu2);
+    gpu2.restore(&blob).expect("same config");
+    let (ctrl, records) = tracer.into_parts();
+    drop(ctrl2); // the restored run continues with the *traced* controller
+    let mut tracer2 = Tracer::from_parts(ctrl, records);
+    gpu2.try_run(total - split, &mut tracer2).expect("healthy scenario");
+
+    assert_eq!(
+        records_hash(tracer2.records()),
+        records_hash(&golden),
+        "restored run must reproduce the canonical golden records"
+    );
+    assert_eq!(tracer2.records(), &golden[..]);
+}
