@@ -1,16 +1,19 @@
 //! Wall-clock benchmark of the idle-cycle fast-forward (DESIGN.md §3).
 //!
-//! Runs each scenario twice — naive per-cycle stepping vs. fast-forward —
-//! verifies the runs are observably identical, and writes the timings to
-//! `BENCH_fastforward.json` (override the path with the first CLI argument).
-//! CI's bench-smoke job uploads that file so the perf trajectory of the
-//! simulator is tracked from PR to PR; the committed baseline at the repo
-//! root records the speedup this change landed with.
+//! Runs each scenario three ways — naive per-cycle stepping, fast-forward,
+//! and fast-forward with the flight recorder on — verifies the runs are
+//! observably identical, and writes the timings to `BENCH_fastforward.json`
+//! (override the path with the first CLI argument). CI's bench-smoke job
+//! uploads that file so the perf trajectory of the simulator is tracked from
+//! PR to PR; the committed baseline at the repo root records the speedup
+//! this change landed with. The `trace_overhead` column bounds the cost of
+//! the disabled recorder: bench-smoke fails if the level=off path regresses
+//! more than 5% against the committed baseline.
 
 use std::time::Instant;
 
 use gpu_sim::kernel::{AccessPattern, KernelDesc, Op};
-use gpu_sim::{Gpu, GpuConfig, NullController, SharingMode};
+use gpu_sim::{Gpu, GpuConfig, NullController, SharingMode, TraceLevel};
 use qos_core::{QosManager, QosSpec, QuotaScheme};
 
 const MIB: u64 = 1 << 20;
@@ -21,7 +24,25 @@ const REPS: u32 = 3;
 
 struct Scenario {
     name: &'static str,
-    run: fn(bool) -> Outcome,
+    run: fn(Mode) -> Outcome,
+}
+
+/// One timed configuration of a scenario.
+#[derive(Clone, Copy)]
+enum Mode {
+    Naive,
+    FastForward,
+    /// Fast-forward with the event ring recording (`TraceLevel::Events`).
+    Traced,
+}
+
+impl Mode {
+    fn apply(self, cfg: &mut GpuConfig) {
+        cfg.fast_forward = !matches!(self, Mode::Naive);
+        if matches!(self, Mode::Traced) {
+            cfg.trace.level = TraceLevel::Events;
+        }
+    }
 }
 
 /// Checksum + skip telemetry from one run.
@@ -54,9 +75,9 @@ fn pointer_chase(name: &str, seed: u64) -> KernelDesc {
 /// The acceptance scenario: a latency-bound SMK pair at minimal occupancy.
 /// With ~2 warps per SM all stalled on ~340-cycle DRAM round trips, wake-ups
 /// are sparse machine-wide and most cycles are idle-skippable.
-fn smk_latency_pair(fast_forward: bool) -> Outcome {
+fn smk_latency_pair(mode: Mode) -> Outcome {
     let mut cfg = GpuConfig::paper_table1();
-    cfg.fast_forward = fast_forward;
+    mode.apply(&mut cfg);
     let mut gpu = Gpu::new(cfg);
     let a = gpu.launch(pointer_chase("chase-a", 0xFF01));
     let b = gpu.launch(pointer_chase("chase-b", 0xFF02));
@@ -72,9 +93,9 @@ fn smk_latency_pair(fast_forward: bool) -> Outcome {
 /// A bandwidth-saturated SMK pair: wake-ups are dense (a DRAM channel
 /// completes a transaction every few cycles), so idle windows are short.
 /// Included to show fast-forward does not regress the saturated regime.
-fn smk_memory_pair(fast_forward: bool) -> Outcome {
+fn smk_memory_pair(mode: Mode) -> Outcome {
     let mut cfg = GpuConfig::paper_table1();
-    cfg.fast_forward = fast_forward;
+    mode.apply(&mut cfg);
     let mut gpu = Gpu::new(cfg);
     let a = gpu.launch(workloads::by_name("lbm").expect("known"));
     let b = gpu.launch(workloads::by_name("spmv").expect("known"));
@@ -89,9 +110,9 @@ fn smk_memory_pair(fast_forward: bool) -> Outcome {
 
 /// A quota-managed pair: fast-forward must also pay off when the QoS
 /// manager's gating makes warps quota-inert rather than operand-stalled.
-fn managed_rollover_pair(fast_forward: bool) -> Outcome {
+fn managed_rollover_pair(mode: Mode) -> Outcome {
     let mut cfg = GpuConfig::paper_table1();
-    cfg.fast_forward = fast_forward;
+    mode.apply(&mut cfg);
     let mut gpu = Gpu::new(cfg);
     let q = gpu.launch(workloads::by_name("mri-q").expect("known"));
     let be = gpu.launch(workloads::by_name("lbm").expect("known"));
@@ -104,21 +125,21 @@ fn managed_rollover_pair(fast_forward: bool) -> Outcome {
 
 /// Compute-bound isolated run: the worst case for fast-forward (few idle
 /// windows), included to bound the overhead of the horizon scans.
-fn isolated_compute(fast_forward: bool) -> Outcome {
+fn isolated_compute(mode: Mode) -> Outcome {
     let mut cfg = GpuConfig::paper_table1();
-    cfg.fast_forward = fast_forward;
+    mode.apply(&mut cfg);
     let mut gpu = Gpu::new(cfg);
     gpu.launch(workloads::by_name("sgemm").expect("known"));
     gpu.run(CYCLES, &mut NullController);
     finish(&gpu)
 }
 
-fn time_min(f: fn(bool) -> Outcome, fast_forward: bool) -> (f64, Outcome) {
+fn time_min(f: fn(Mode) -> Outcome, mode: Mode) -> (f64, Outcome) {
     let mut best = f64::INFINITY;
     let mut outcome = Outcome { total_insts: 0, skipped: 0 };
     for _ in 0..REPS {
         let t = Instant::now();
-        outcome = f(fast_forward);
+        outcome = f(mode);
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
     (best, outcome)
@@ -138,24 +159,34 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for s in &scenarios {
-        let (naive_ms, naive) = time_min(s.run, false);
-        let (ff_ms, ff) = time_min(s.run, true);
+        let (naive_ms, naive) = time_min(s.run, Mode::Naive);
+        let (ff_ms, ff) = time_min(s.run, Mode::FastForward);
+        let (traced_ms, traced) = time_min(s.run, Mode::Traced);
         assert_eq!(
             naive.total_insts, ff.total_insts,
             "{}: fast-forward diverged from naive stepping",
             s.name
         );
+        assert_eq!(
+            ff.total_insts, traced.total_insts,
+            "{}: event recording perturbed the simulation",
+            s.name
+        );
         let speedup = naive_ms / ff_ms;
+        let trace_overhead = traced_ms / ff_ms - 1.0;
         let skipped_pct = 100.0 * ff.skipped as f64 / CYCLES as f64;
         println!(
             "{:<24} naive {naive_ms:>8.1} ms   fast-forward {ff_ms:>8.1} ms   \
-             {speedup:.2}x   ({skipped_pct:.1}% cycles skipped)",
-            s.name
+             {speedup:.2}x   ({skipped_pct:.1}% cycles skipped)   \
+             traced {traced_ms:>8.1} ms ({:+.1}%)",
+            s.name,
+            100.0 * trace_overhead
         );
         rows.push(format!(
             "    {{\"name\": \"{}\", \"naive_ms\": {naive_ms:.3}, \"fast_forward_ms\": \
              {ff_ms:.3}, \"speedup\": {speedup:.3}, \"skipped_cycles\": {}, \
-             \"identical\": true}}",
+             \"identical\": true, \"traced_ms\": {traced_ms:.3}, \
+             \"trace_overhead\": {trace_overhead:.4}}}",
             s.name, ff.skipped
         ));
     }

@@ -10,6 +10,7 @@ use std::fmt;
 use serde::{Deserialize, Serialize};
 
 use crate::health::{FaultPlan, HealthConfig};
+use crate::observe::TraceConfig;
 use crate::warp_sched::SchedPolicy;
 
 /// Error returned by [`GpuConfig::validate`] describing the first violated
@@ -213,6 +214,10 @@ pub struct GpuConfig {
     /// per-cycle loop (the differential oracle in `tests/properties.rs`
     /// compares both paths).
     pub fast_forward: bool,
+    /// Flight-recorder configuration (DESIGN.md §12): event-trace level and
+    /// ring capacity. Off by default; at `Off` the only simulated-path cost
+    /// is one branch on a cached flag.
+    pub trace: TraceConfig,
 }
 
 impl Default for GpuConfig {
@@ -237,6 +242,7 @@ impl GpuConfig {
             health: HealthConfig::default(),
             faults: FaultPlan::default(),
             fast_forward: true,
+            trace: TraceConfig::default(),
         }
     }
 
@@ -358,6 +364,7 @@ crate::impl_snap_struct!(GpuConfig {
     health,
     faults,
     fast_forward,
+    trace,
 });
 
 #[cfg(test)]

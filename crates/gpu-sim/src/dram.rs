@@ -16,6 +16,7 @@ pub struct ServiceQueue {
     max_backlog: u64,
     served: u64,
     total_wait: u64,
+    peak_wait: u64,
 }
 
 impl ServiceQueue {
@@ -28,6 +29,7 @@ impl ServiceQueue {
             max_backlog: u64::from(max_backlog),
             served: 0,
             total_wait: 0,
+            peak_wait: 0,
         }
     }
 
@@ -47,6 +49,7 @@ impl ServiceQueue {
         }
         self.served += 1;
         self.total_wait += start - now;
+        self.peak_wait = self.peak_wait.max(start - now);
         start + Cycle::from(self.service_cycles)
     }
 
@@ -62,6 +65,22 @@ impl ServiceQueue {
         } else {
             self.total_wait as f64 / self.served as f64
         }
+    }
+
+    /// Total queueing delay accumulated across all served transactions.
+    pub fn total_wait(&self) -> u64 {
+        self.total_wait
+    }
+
+    /// Worst queueing delay any single transaction has seen, in cycles.
+    pub fn peak_wait(&self) -> u64 {
+        self.peak_wait
+    }
+
+    /// Current backlog depth in cycles: how long a request arriving at `now`
+    /// would wait before service begins.
+    pub fn backlog_at(&self, now: Cycle) -> u64 {
+        self.next_free.saturating_sub(now)
     }
 
     /// Whether the queue would delay a request arriving at `now`.
@@ -94,6 +113,7 @@ crate::impl_snap_struct!(ServiceQueue {
     max_backlog,
     served,
     total_wait,
+    peak_wait,
 });
 
 #[cfg(test)]

@@ -11,6 +11,9 @@ use crate::health::{
 };
 use crate::kernel::KernelDesc;
 use crate::memsys::MemSystem;
+use crate::observe::{
+    CounterEntry, CounterKind, CounterScope, EventRing, TraceEvent, TraceEventKind,
+};
 use crate::preempt::PreemptStats;
 use crate::sm::Sm;
 use crate::stats::{EpochSnapshot, GpuStats, KernelStats};
@@ -64,6 +67,9 @@ pub struct Gpu {
     sample_interval: Cycle,
     fault_cursor: usize,
     ff_skipped: Cycle,
+    trace_on: bool,
+    events: EventRing,
+    was_idle: bool,
 }
 
 impl Gpu {
@@ -93,8 +99,24 @@ impl Gpu {
             sample_interval,
             fault_cursor: 0,
             ff_skipped: 0,
+            trace_on: cfg.trace.level.is_on(),
+            events: EventRing::new(if cfg.trace.level.is_on() {
+                cfg.trace.ring_capacity
+            } else {
+                0
+            }),
+            was_idle: false,
             cycle: 0,
             cfg,
+        }
+    }
+
+    /// Records a machine-level flight-recorder event; a single branch when
+    /// tracing is off.
+    #[inline]
+    fn record(&mut self, cycle: Cycle, kind: TraceEventKind) {
+        if self.trace_on {
+            self.events.push(TraceEvent { cycle, sm: None, kind });
         }
     }
 
@@ -168,6 +190,7 @@ impl Gpu {
                 self.apply_faults(now);
             }
             if now.is_multiple_of(self.cfg.epoch_cycles) {
+                self.record(now, TraceEventKind::EpochBoundary { epoch: self.epoch_index });
                 self.finish_epoch(now);
                 if self.cfg.health.audit {
                     self.audit_epoch(now)?;
@@ -211,11 +234,11 @@ impl Gpu {
             // idleness itself, so skipping an attempt never affects results.
             if self.cfg.fast_forward && self.total_issued() == issued_before_tick {
                 if let Some(target) = self.fast_forward_target(end, next_check) {
-                    let skipped = target - self.cycle;
+                    let from = self.cycle;
                     for sm in &mut self.sms {
-                        sm.note_skipped_cycles(skipped);
+                        sm.note_skipped_cycles(from, target);
                     }
-                    self.ff_skipped += skipped;
+                    self.ff_skipped += target - from;
                     self.cycle = target;
                 }
             }
@@ -288,6 +311,7 @@ impl Gpu {
         {
             let fault = self.cfg.faults.faults[self.fault_cursor];
             self.fault_cursor += 1;
+            self.record(now, TraceEventKind::FaultInjected { fault: fault.kind });
             match fault.kind {
                 FaultKind::StarveQuota => {
                     for sm in &mut self.sms {
@@ -397,6 +421,7 @@ impl Gpu {
             total_issued: self.total_issued(),
             kernels,
             sms,
+            events: self.recent_events(HEALTH_REPORT_EVENTS),
         }
     }
 
@@ -421,6 +446,20 @@ impl Gpu {
         self.last_totals = totals;
         self.last_epoch_cycle = now;
         self.epoch_snapshot = snap;
+        // Watchdog-relevant idle transitions: an epoch that retired nothing
+        // while kernels were resident marks the machine as idle; the first
+        // productive epoch after that ends the idle spell. Both edges land
+        // on epoch boundaries, which fast-forward never skips, so traced
+        // runs stay bit-identical across the fast-forward toggle.
+        if self.trace_on && now > 0 && !self.kernels.is_empty() {
+            let idle = self.epoch_snapshot.thread_insts.iter().sum::<u64>() == 0;
+            if idle != self.was_idle {
+                let kind =
+                    if idle { TraceEventKind::IdleStart } else { TraceEventKind::IdleEnd };
+                self.record(now, kind);
+                self.was_idle = idle;
+            }
+        }
     }
 
     fn kernel_totals(&self) -> PerKernel<u64> {
@@ -453,6 +492,115 @@ impl Gpu {
     /// reports how much per-cycle work the jump optimisation avoided.
     pub fn skipped_cycles(&self) -> Cycle {
         self.ff_skipped
+    }
+
+    /// The machine-level flight-recorder ring (epoch boundaries, idle
+    /// transitions, injected faults). Per-SM events live on the SMs.
+    pub fn events(&self) -> &EventRing {
+        &self.events
+    }
+
+    /// The last `n` flight-recorder events machine-wide, oldest first: the
+    /// machine-level ring merged with every SM's ring, ordered by cycle.
+    /// Ties keep machine events before SM events and lower SM ids first;
+    /// within one source, recording order is preserved.
+    pub fn recent_events(&self, n: usize) -> Vec<TraceEvent> {
+        let mut all: Vec<TraceEvent> = self.events.iter().copied().collect();
+        for sm in &self.sms {
+            all.extend(sm.events().iter().copied());
+        }
+        all.sort_by_key(|e| (e.cycle, e.sm.map_or(0, |s| s + 1)));
+        if all.len() > n {
+            all.drain(..all.len() - n);
+        }
+        all
+    }
+
+    /// Enumerates the counter registry: every named monotonic counter and
+    /// gauge the simulator maintains, tagged with its scope (machine,
+    /// kernel, SM, or memory channel). The set and order of entries is
+    /// stable for a given configuration, so exporters and tests can rely on
+    /// positional identity. All values come from state that snapshots
+    /// round-trip bit-exactly.
+    pub fn counter_registry(&self) -> Vec<CounterEntry> {
+        use CounterKind::{Counter, Gauge};
+        let mut out = Vec::new();
+        let mut push = |name, scope, kind, value: i64| {
+            out.push(CounterEntry { name, scope, kind, value });
+        };
+        let machine = CounterScope::Machine;
+        push("cycle", machine, Gauge, self.cycle as i64);
+        push("epoch_index", machine, Counter, self.epoch_index as i64);
+        push("ff_skipped_cycles", machine, Counter, self.ff_skipped as i64);
+        push("total_issued", machine, Counter, self.total_issued() as i64);
+        let agg = self.preempt_stats();
+        push("preempt_saves", machine, Counter, agg.saves as i64);
+        push("preempt_resumes", machine, Counter, agg.resumes as i64);
+        push("preempt_transfer_cycles", machine, Counter, agg.transfer_cycles as i64);
+        for k in 0..self.kernels.len() {
+            let kid = KernelId::new(k);
+            let scope = CounterScope::Kernel(k);
+            let mut thread_insts = 0u64;
+            let mut warp_insts = 0u64;
+            let mut quota_blocked = 0u64;
+            let mut quota_exhaustions = 0u64;
+            let mut scoreboard_waits = 0u64;
+            let mut resident = 0u64;
+            let mut quota = 0i64;
+            for sm in &self.sms {
+                let c = sm.counters(kid);
+                thread_insts += c.thread_insts;
+                warp_insts += c.warp_insts;
+                quota_blocked += sm.quota_blocked_cycles(kid);
+                quota_exhaustions += sm.quota_exhaustions(kid);
+                scoreboard_waits += sm.scoreboard_wait_samples(kid);
+                resident += u64::from(sm.hosted_tbs(kid));
+                quota += sm.quota(kid);
+            }
+            push("thread_insts", scope, Counter, thread_insts as i64);
+            push("warp_insts", scope, Counter, warp_insts as i64);
+            push("quota_blocked_cycles", scope, Counter, quota_blocked as i64);
+            push("quota_exhaustions", scope, Counter, quota_exhaustions as i64);
+            push("scoreboard_wait_samples", scope, Counter, scoreboard_waits as i64);
+            push("resident_tbs", scope, Gauge, resident as i64);
+            push("quota", scope, Gauge, quota);
+            let t = self.mem.traffic();
+            push("l1_accesses", scope, Counter, t.l1_accesses[k] as i64);
+            push("l2_accesses", scope, Counter, t.l2_accesses[k] as i64);
+            push("dram_accesses", scope, Counter, t.dram_accesses[k] as i64);
+            push("context_transactions", scope, Counter, t.context_transactions[k] as i64);
+        }
+        for sm in &self.sms {
+            let scope = CounterScope::Sm(sm.id().index());
+            push("busy_cycles", scope, Counter, sm.busy_cycles() as i64);
+            push("issue_slots", scope, Counter, sm.issue_slots() as i64);
+            push("issued_total", scope, Counter, sm.issued_total() as i64);
+            let l1 = sm.l1_stats();
+            push("l1_hits", scope, Counter, l1.hits as i64);
+            push("l1_misses", scope, Counter, l1.misses as i64);
+            let p = sm.preempt_stats();
+            push("preempt_saves", scope, Counter, p.saves as i64);
+            push("preempt_resumes", scope, Counter, p.resumes as i64);
+            push("preempt_transfer_cycles", scope, Counter, p.transfer_cycles as i64);
+        }
+        let l2 = self.mem.l2_stats();
+        push("l2_hits", machine, Counter, l2.hits as i64);
+        push("l2_misses", machine, Counter, l2.misses as i64);
+        for (ch, q) in self.mem.l2_queues().iter().enumerate() {
+            let scope = CounterScope::Channel(ch);
+            push("l2_served", scope, Counter, q.served() as i64);
+            push("l2_total_wait", scope, Counter, q.total_wait() as i64);
+            push("l2_peak_wait", scope, Counter, q.peak_wait() as i64);
+            push("l2_queue_depth", scope, Gauge, q.backlog_at(self.cycle) as i64);
+        }
+        for (ch, q) in self.mem.dram_queues().iter().enumerate() {
+            let scope = CounterScope::Channel(ch);
+            push("dram_served", scope, Counter, q.served() as i64);
+            push("dram_total_wait", scope, Counter, q.total_wait() as i64);
+            push("dram_peak_wait", scope, Counter, q.peak_wait() as i64);
+            push("dram_queue_depth", scope, Gauge, q.backlog_at(self.cycle) as i64);
+        }
+        out
     }
 
     /// Number of launched kernels.
@@ -625,6 +773,8 @@ impl Gpu {
         self.sample_interval.encode(&mut payload);
         self.fault_cursor.encode(&mut payload);
         self.ff_skipped.encode(&mut payload);
+        self.events.encode(&mut payload);
+        self.was_idle.encode(&mut payload);
         Ok(SnapshotBlob {
             version: SNAPSHOT_SCHEMA_VERSION,
             config_fingerprint: self.config_fingerprint(),
@@ -673,6 +823,8 @@ impl Gpu {
         let sample_interval = Cycle::decode(&mut r)?;
         let fault_cursor = usize::decode(&mut r)?;
         let ff_skipped = Cycle::decode(&mut r)?;
+        let events = EventRing::decode(&mut r)?;
+        let was_idle = bool::decode(&mut r)?;
         if !r.is_exhausted() {
             return Err(SnapshotError::Corrupt(SnapError::Invalid(
                 "trailing bytes in snapshot payload",
@@ -690,14 +842,19 @@ impl Gpu {
         self.sample_interval = sample_interval;
         self.fault_cursor = fault_cursor;
         self.ff_skipped = ff_skipped;
+        self.events = events;
+        self.was_idle = was_idle;
         Ok(())
     }
 }
 
+/// How many trailing flight-recorder events a [`HealthReport`] embeds.
+const HEALTH_REPORT_EVENTS: usize = 32;
+
 /// Version of the snapshot payload layout. Bumped whenever the set, order,
 /// or encoding of snapshotted fields changes; [`Gpu::restore`] refuses
 /// blobs from any other version.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 1;
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
 
 /// Leading magic of a serialized [`SnapshotBlob`].
 const SNAPSHOT_MAGIC: [u8; 4] = *b"FGQS";

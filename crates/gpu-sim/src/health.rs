@@ -27,6 +27,7 @@ use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
+use crate::observe::TraceEvent;
 use crate::types::Cycle;
 
 /// Health-layer knobs. The default disables everything (zero overhead,
@@ -188,6 +189,9 @@ pub struct HealthReport {
     pub kernels: Vec<KernelHealth>,
     /// Per-SM health.
     pub sms: Vec<SmHealth>,
+    /// Flight-recorder tail: the most recent trace events machine-wide,
+    /// oldest first. Empty when tracing is disabled.
+    pub events: Vec<TraceEvent>,
 }
 
 impl HealthReport {
@@ -402,6 +406,7 @@ crate::impl_snap_struct!(HealthReport {
     total_issued,
     kernels,
     sms,
+    events,
 });
 
 crate::impl_snap_enum!(AuditKind {
@@ -490,6 +495,7 @@ mod tests {
                 warps: WarpStallCounts { ready: 6, waiting: 1, at_barrier: 1, done: 0 },
                 transfer_in_flight: false,
             }],
+            events: vec![],
         };
         assert!(report.kernels[0].quota_starved());
         assert!(!report.kernels[1].quota_starved());

@@ -52,6 +52,7 @@ pub mod gpu;
 pub mod health;
 pub mod kernel;
 pub mod memsys;
+pub mod observe;
 pub mod power;
 pub mod preempt;
 pub mod rng;
@@ -72,6 +73,10 @@ pub use health::{
     KernelHealth, SimError, SmHealth, WarpStallCounts,
 };
 pub use kernel::{AccessPattern, KernelDesc, KernelDescBuilder, MemSpace, Op};
+pub use observe::{
+    CounterEntry, CounterKind, CounterScope, EventRing, TraceConfig, TraceEvent, TraceEventKind,
+    TraceLevel,
+};
 pub use snap::{Snap, SnapError, SnapReader};
 pub use stats::{EpochSnapshot, GpuStats, KernelStats};
 pub use tb_sched::SharingMode;

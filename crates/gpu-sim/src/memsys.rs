@@ -159,6 +159,16 @@ impl MemSystem {
         agg
     }
 
+    /// The per-channel L2 service queues (counter-registry introspection).
+    pub fn l2_queues(&self) -> &[ServiceQueue] {
+        &self.l2_queue
+    }
+
+    /// The per-channel DRAM service queues (counter-registry introspection).
+    pub fn dram_queues(&self) -> &[ServiceQueue] {
+        &self.dram_queue
+    }
+
     /// Mean DRAM queueing delay across channels, in cycles.
     pub fn mean_dram_wait(&self) -> f64 {
         let served: u64 = self.dram_queue.iter().map(ServiceQueue::served).sum();

@@ -15,6 +15,7 @@ use crate::config::GpuConfig;
 use crate::health::{AuditKind, WarpStallCounts};
 use crate::kernel::{KernelDesc, MemSpace, Op};
 use crate::memsys::MemSystem;
+use crate::observe::{EventRing, TraceEvent, TraceEventKind};
 use crate::preempt::{PreemptStats, SavedTb};
 use crate::rng::derive_seed;
 use crate::tb::{TbPhase, TbState};
@@ -112,6 +113,13 @@ pub struct Sm {
     idle_samples: u64,
     preempt_stats: PreemptStats,
 
+    // --- observability (counter registry + flight recorder, DESIGN.md §12) ---
+    trace_on: bool,
+    events: EventRing,
+    quota_blocked: PerKernel<u64>,
+    quota_exhaustions: PerKernel<u64>,
+    scoreboard_waits: PerKernel<u64>,
+
     // --- outboxes drained by the TB scheduler ---
     completed: Vec<(KernelId, TbIndex)>,
     saved: Vec<(KernelId, SavedTb)>,
@@ -167,6 +175,15 @@ impl Sm {
             idle_warp_acc: per_kernel(|_| 0),
             idle_samples: 0,
             preempt_stats: PreemptStats::default(),
+            trace_on: cfg.trace.level.is_on(),
+            events: EventRing::new(if cfg.trace.level.is_on() {
+                cfg.trace.ring_capacity
+            } else {
+                0
+            }),
+            quota_blocked: per_kernel(|_| 0),
+            quota_exhaustions: per_kernel(|_| 0),
+            scoreboard_waits: per_kernel(|_| 0),
             completed: Vec::new(),
             saved: Vec::new(),
             ready_buf: Vec::with_capacity(max_warps as usize),
@@ -176,6 +193,15 @@ impl Sm {
     /// This SM's identifier.
     pub fn id(&self) -> SmId {
         self.id
+    }
+
+    /// Records a flight-recorder event. A single branch when tracing is off,
+    /// so the hot path stays free of ring-buffer work at level `Off`.
+    #[inline]
+    fn record(&mut self, cycle: Cycle, kind: TraceEventKind) {
+        if self.trace_on {
+            self.events.push(TraceEvent { cycle, sm: Some(self.id.index() as u32), kind });
+        }
     }
 
     // ------------------------------------------------------------------
@@ -233,6 +259,7 @@ impl Sm {
     ) {
         let desc = self.descs[k.index()].as_ref().expect("kernel desc registered").clone();
         assert!(self.can_host(&desc), "dispatch without capacity on {}", self.id);
+        let resumed = resume.is_some();
         let tb_slot = self.free_tbs.pop().expect("free TB slot");
         let warps_per_tb = desc.warps_per_tb() as u16;
         let mut warp_slots = Vec::with_capacity(warps_per_tb as usize);
@@ -291,6 +318,10 @@ impl Sm {
             phase: TbPhase::Loading(now + load_cost),
         });
         self.transitioning.push(tb_slot);
+        self.record(
+            now,
+            TraceEventKind::TbDispatch { kernel: k.index() as u32, tb: tb_index.0, resumed },
+        );
     }
 
     /// Starts a partial context switch of one `k` TB (the most recently
@@ -308,7 +339,7 @@ impl Sm {
             .filter(|(_, t)| t.kernel == k && t.phase == TbPhase::Active && !t.finished())
             .map(|(i, t)| (i, t.tb_index.0))
             .max_by_key(|&(_, idx)| idx);
-        let Some((slot, _)) = victim else { return false };
+        let Some((slot, victim_tb)) = victim else { return false };
         let tb = self.tbs[slot].as_mut().expect("victim TB present");
         tb.phase = TbPhase::Saving(now + save_cost);
         // Warps parked at a barrier would deadlock the saved context check;
@@ -317,6 +348,7 @@ impl Sm {
         self.preempt_stats.saves += 1;
         self.preempt_stats.transfer_cycles += save_cost;
         self.transitioning.push(slot as u16);
+        self.record(now, TraceEventKind::PreemptStart { kernel: k.index() as u32, tb: victim_tb });
         true
     }
 
@@ -518,17 +550,49 @@ impl Sm {
         horizon
     }
 
-    /// Accounts for `skipped` idle cycles jumped over by fast-forward,
-    /// mirroring exactly what per-cycle [`Sm::tick`] calls would have done:
-    /// a hosted, unfrozen SM burns busy cycles and empty issue slots even
-    /// when no warp can issue. Neither condition can change mid-window
-    /// (occupancy and fault state only move on simulated cycles).
-    pub(crate) fn note_skipped_cycles(&mut self, skipped: u64) {
+    /// Accounts for the idle cycles `[from, target)` jumped over by
+    /// fast-forward, mirroring exactly what per-cycle [`Sm::tick`] calls
+    /// would have done: a hosted, unfrozen SM burns busy cycles and empty
+    /// issue slots even when no warp can issue, and the gather loop counts
+    /// every issuable-but-quota-denied warp once per cycle. Neither the
+    /// freeze/occupancy conditions nor kernel inertness can change
+    /// mid-window (they only move on simulated cycles), so the quota-blocked
+    /// tally is replayed per warp from its scoreboard release to the window
+    /// end. Only quota-inert kernels can own issuable warps inside a skipped
+    /// window — a non-inert issuable warp would have held fast-forward back
+    /// via [`Sm::next_event`] — and transitioning TBs stay un-issuable for
+    /// the whole window because their completion is itself a horizon.
+    pub(crate) fn note_skipped_cycles(&mut self, from: Cycle, target: Cycle) {
         if self.sched_frozen || self.used_threads == 0 {
             return;
         }
+        let skipped = target - from;
         self.busy_cycles += skipped;
         self.issue_slots += skipped * u64::from(self.num_scheds);
+        let inert: [bool; MAX_KERNELS] = std::array::from_fn(|k| self.quota_inert(k));
+        if !inert.iter().any(|&b| b) {
+            return;
+        }
+        let mut blocked: PerKernel<u64> = per_kernel(|_| 0);
+        for w in self.warps.iter().flatten() {
+            let k = w.kernel.index();
+            if !inert[k] || w.done || w.at_barrier {
+                continue;
+            }
+            let active = self.tbs[w.tb_slot as usize]
+                .as_ref()
+                .is_some_and(|tb| tb.phase == TbPhase::Active);
+            if !active {
+                continue;
+            }
+            let start = from.max(w.ready_at);
+            if start < target {
+                blocked[k] += target - start;
+            }
+        }
+        for (k, b) in blocked.iter().enumerate() {
+            self.quota_blocked[k] += b;
+        }
     }
 
     /// Advances the SM by one cycle.
@@ -553,6 +617,8 @@ impl Sm {
                     if self.quota_allows(k.index()) {
                         let age = self.warps[slot as usize].as_ref().expect("warp").age;
                         ready.push((slot, age));
+                    } else {
+                        self.quota_blocked[k.index()] += 1;
                     }
                 }
                 slot += self.num_scheds;
@@ -615,7 +681,7 @@ impl Sm {
                     self.transitioning.swap_remove(i);
                 }
                 Some(TbPhase::Saving(until)) if now >= until => {
-                    self.finalize_save(slot);
+                    self.finalize_save(slot, now);
                     self.transitioning.swap_remove(i);
                 }
                 None => {
@@ -628,7 +694,7 @@ impl Sm {
         }
     }
 
-    fn finalize_save(&mut self, tb_slot: u16) {
+    fn finalize_save(&mut self, tb_slot: u16, now: Cycle) {
         let tb = self.tbs[tb_slot as usize].take().expect("saving TB present");
         let desc = self.descs[tb.kernel.index()].as_ref().expect("desc").clone();
         let mut warps = Vec::with_capacity(tb.warp_slots.len());
@@ -640,7 +706,12 @@ impl Sm {
         self.release_resources(&desc);
         self.hosted[tb.kernel.index()] -= 1;
         self.free_tbs.push(tb_slot);
+        let (kernel, tb_index) = (tb.kernel, tb.tb_index);
         self.saved.push((tb.kernel, SavedTb { tb_index: tb.tb_index, warps }));
+        self.record(
+            now,
+            TraceEventKind::PreemptComplete { kernel: kernel.index() as u32, tb: tb_index.0 },
+        );
     }
 
     fn release_resources(&mut self, desc: &KernelDesc) {
@@ -732,15 +803,20 @@ impl Sm {
         self.counters[k].thread_insts += u64::from(lanes);
         self.counters[k].warp_insts += 1;
         if self.gated[k] {
+            let before = self.quota[k];
             self.quota[k] -= i64::from(lanes);
             self.quota_debit[k] += i64::from(lanes);
+            if before > 0 && self.quota[k] <= 0 {
+                self.quota_exhaustions[k] += 1;
+                self.record(now, TraceEventKind::QuotaExhausted { kernel: k as u32 });
+            }
         }
 
         if arrived_barrier {
             self.note_barrier_arrival(tb_slot, now);
         }
         if retired {
-            self.note_warp_retired(tb_slot);
+            self.note_warp_retired(tb_slot, now);
         }
     }
 
@@ -762,7 +838,7 @@ impl Sm {
         }
     }
 
-    fn note_warp_retired(&mut self, tb_slot: u16) {
+    fn note_warp_retired(&mut self, tb_slot: u16, now: Cycle) {
         let finished = {
             let tb = self.tbs[tb_slot as usize].as_mut().expect("TB of retiring warp");
             tb.warps_done += 1;
@@ -778,6 +854,10 @@ impl Sm {
             self.release_resources(&desc);
             self.hosted[tb.kernel.index()] -= 1;
             self.free_tbs.push(tb_slot);
+            self.record(
+                now,
+                TraceEventKind::TbDrain { kernel: tb.kernel.index() as u32, tb: tb.tb_index.0 },
+            );
             self.completed.push((tb.kernel, tb.tb_index));
         }
     }
@@ -966,6 +1046,18 @@ impl Sm {
                 self.idle_warp_acc[k.index()] += 1;
             }
         }
+        // Scoreboard census rides on the same sampling cadence: warps that
+        // are live but waiting on operand latencies (not done, not parked at
+        // a barrier) accumulate into the per-kernel scoreboard-wait counter.
+        let mut waits: PerKernel<u64> = per_kernel(|_| 0);
+        for w in self.warps.iter().flatten() {
+            if !w.done && !w.at_barrier && w.ready_at > now {
+                waits[w.kernel.index()] += 1;
+            }
+        }
+        for (k, w) in waits.iter().enumerate() {
+            self.scoreboard_waits[k] += w;
+        }
     }
 
     /// Mean idle warps of kernel `k` since the last
@@ -992,6 +1084,34 @@ impl Sm {
     /// Cycles in which the SM hosted at least one thread.
     pub fn busy_cycles(&self) -> u64 {
         self.busy_cycles
+    }
+
+    /// Issue slots offered while busy (busy cycles × schedulers).
+    pub fn issue_slots(&self) -> u64 {
+        self.issue_slots
+    }
+
+    /// Cycle-slots in which an otherwise-issuable warp of `k` was denied by
+    /// quota admission (issue/stall telemetry for the counter registry).
+    pub fn quota_blocked_cycles(&self, k: KernelId) -> u64 {
+        self.quota_blocked[k.index()]
+    }
+
+    /// Times kernel `k`'s quota counter crossed from positive into
+    /// exhaustion on this SM.
+    pub fn quota_exhaustions(&self, k: KernelId) -> u64 {
+        self.quota_exhaustions[k.index()]
+    }
+
+    /// Sampled count of kernel `k` warps waiting on operand scoreboards
+    /// (same cadence as idle-warp sampling).
+    pub fn scoreboard_wait_samples(&self, k: KernelId) -> u64 {
+        self.scoreboard_waits[k.index()]
+    }
+
+    /// This SM's flight-recorder ring.
+    pub fn events(&self) -> &EventRing {
+        &self.events
     }
 
     /// Fraction of issue slots used while busy.
@@ -1122,6 +1242,11 @@ crate::impl_snap_struct!(Sm {
     idle_warp_acc,
     idle_samples,
     preempt_stats,
+    trace_on,
+    events,
+    quota_blocked,
+    quota_exhaustions,
+    scoreboard_waits,
     completed,
     saved,
 } skip { ready_buf });

@@ -175,6 +175,49 @@ mod tests {
     }
 
     #[test]
+    fn records_hash_fold_order_is_pinned() {
+        // The fold order (len, then per record epoch/cycle/saves/kernel-count,
+        // then per sample ipc-bits/tbs/quota/preempted) is load-bearing: the
+        // golden corpus, checkpoint journals and sweep reports all embed this
+        // hash. If this hardcoded value changes, the hash function changed —
+        // bless the golden corpus and say so loudly in the changelog.
+        let records = vec![
+            EpochRecord {
+                epoch: 0,
+                cycle: 1_000,
+                kernels: vec![
+                    KernelSample {
+                        epoch_ipc: 1.5,
+                        hosted_tbs: 4,
+                        quota_total: -32,
+                        preempted: 1,
+                    },
+                    KernelSample {
+                        epoch_ipc: 0.0,
+                        hosted_tbs: 0,
+                        quota_total: 0,
+                        preempted: 0,
+                    },
+                ],
+                preemption_saves: 2,
+            },
+            EpochRecord {
+                epoch: 1,
+                cycle: 2_000,
+                kernels: vec![KernelSample {
+                    epoch_ipc: 2.25,
+                    hosted_tbs: 7,
+                    quota_total: 640,
+                    preempted: 0,
+                }],
+                preemption_saves: 2,
+            },
+        ];
+        assert_eq!(records_hash(&records), 0x00e1_7c1e_fa31_1de9);
+        assert_eq!(records_hash(&[]), 0xa8c7_f832_281a_39c5, "empty-stream hash pinned too");
+    }
+
+    #[test]
     fn into_parts_round_trips() {
         let mut gpu = Gpu::new(GpuConfig::tiny());
         gpu.launch(kernel());

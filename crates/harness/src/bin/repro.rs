@@ -8,6 +8,7 @@
 //! repro run <sweep> --checkpoint-dir DIR [--scale s] [--checkpoint-every N]
 //! repro resume <DIR> [--checkpoint-every N]
 //! repro inspect <failure-snapshot-file>
+//! repro trace <golden-scenario> [--out trace.json]
 //! ```
 //!
 //! `run`/`resume`/`inspect` are the crash-resumable sweep commands: `run`
@@ -56,15 +57,20 @@ fn usage() -> String {
          \u{20}      repro run <sweep> --checkpoint-dir DIR [--scale s] [--checkpoint-every N]\n\
          \u{20}      repro resume <DIR> [--checkpoint-every N]\n\
          \u{20}      repro inspect <failure-snapshot-file>\n\
+         \u{20}      repro trace <scenario> [--out FILE]\n\
          experiments: {}\n\
          sweeps: {}\n\
+         scenarios: {}\n\
          golden: verify the golden-trace corpus (tests/golden/); \
          --bless regenerates it\n\
          run/resume: checkpointed sweep execution; resume continues a killed\n\
          sweep from the newest loadable checkpoint in DIR\n\
-         inspect: pretty-print a failure-case-*.snap machine snapshot\n",
+         inspect: pretty-print a failure-case-*.snap machine snapshot\n\
+         trace: export a golden scenario's flight recording as Chrome-trace\n\
+         JSON (load at ui.perfetto.dev); stdout unless --out is given\n",
         EXPERIMENTS.join(" "),
-        checkpoint::SWEEPS.join(" ")
+        checkpoint::SWEEPS.join(" "),
+        harness::golden::SCENARIOS.join(" ")
     )
 }
 
@@ -209,6 +215,54 @@ fn cmd_inspect(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// `repro trace <scenario> [--out FILE]`: run a golden scenario with the
+/// flight recorder on and export the Chrome-trace JSON document.
+fn cmd_trace(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut positional = Vec::new();
+    let mut out = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--out" | "-o" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                out = Some(path);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [name] = positional.as_slice() else {
+        eprintln!("`repro trace` wants exactly one scenario name\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    if !harness::golden::SCENARIOS.contains(&name.as_str()) {
+        eprintln!(
+            "unknown scenario {name:?} (known: {})",
+            harness::golden::SCENARIOS.join(", ")
+        );
+        return ExitCode::FAILURE;
+    }
+    let doc = harness::perfetto::export_scenario(name);
+    if let Err(e) = harness::perfetto::check_chrome_trace(&doc) {
+        eprintln!("internal error: exported trace fails its own schema check: {e}");
+        return ExitCode::FAILURE;
+    }
+    match out {
+        Some(path) => {
+            if let Err(e) =
+                harness::export::write_atomic(std::path::Path::new(&path), doc.as_bytes())
+            {
+                eprintln!("cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            eprintln!("wrote {path} ({} bytes)", doc.len());
+        }
+        None => print!("{doc}"),
+    }
+    ExitCode::SUCCESS
+}
+
 /// Verifies (or with `bless` regenerates) the golden-trace corpus.
 fn run_golden(bless: bool) -> ExitCode {
     if bless {
@@ -273,6 +327,7 @@ fn main() -> ExitCode {
         Some("run") => return cmd_run(args.skip(1)),
         Some("resume") => return cmd_resume(args.skip(1)),
         Some("inspect") => return cmd_inspect(args.skip(1)),
+        Some("trace") => return cmd_trace(args.skip(1)),
         _ => {}
     }
     let mut scale = RunScale::Quick;

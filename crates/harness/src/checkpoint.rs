@@ -45,8 +45,10 @@ pub const CHECKPOINT_MAGIC: [u8; 4] = *b"FGCK";
 /// Magic prefix of a persisted failure snapshot.
 pub const FAILURE_MAGIC: [u8; 4] = *b"FGFS";
 /// Schema version of the checkpoint container; bumped on any layout change
-/// so stale files are refused instead of misdecoded.
-pub const CHECKPOINT_SCHEMA_VERSION: u32 = 1;
+/// so stale files are refused instead of misdecoded. v2: the embedded
+/// machine snapshots and health reports carry the counter registry and
+/// flight-recorder rings (DESIGN.md §12).
+pub const CHECKPOINT_SCHEMA_VERSION: u32 = 2;
 /// How many checkpoint generations are kept on disk. The newest may be torn
 /// or corrupt after a crash; older generations are the fallback.
 pub const KEEP_GENERATIONS: usize = 3;
@@ -761,6 +763,12 @@ pub fn render_failure_snapshot(snap: &FailureSnapshot) -> String {
                 k.exhausted_sms,
                 k.thread_insts
             );
+        }
+        if !report.events.is_empty() {
+            let _ = writeln!(out, "flight recorder (most recent last):");
+            for event in &report.events {
+                let _ = writeln!(out, "  {event}");
+            }
         }
     }
     match SnapshotBlob::from_bytes(&snap.gpu_blob) {

@@ -13,7 +13,7 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use gpu_sim::trace::{records_hash, EpochRecord, Tracer};
-use gpu_sim::{Gpu, GpuConfig, NullController, SharingMode};
+use gpu_sim::{Gpu, GpuConfig, NullController, SharingMode, TraceLevel};
 use qos_core::{QosManager, QosSpec, QuotaScheme, SpartController};
 
 /// Names of the canonical scenarios, in corpus order.
@@ -34,6 +34,21 @@ pub fn run_scenario_naive(name: &str) -> Vec<EpochRecord> {
     scenario_records(name, false)
 }
 
+/// Runs the named scenario with the cycle-level flight recorder enabled and
+/// returns the finished machine alongside the epoch records — the input to
+/// the Perfetto exporter (`repro trace`). Event recording never perturbs
+/// simulated behaviour, so the records still match the golden corpus.
+///
+/// # Panics
+///
+/// Panics on a name outside [`SCENARIOS`].
+#[must_use]
+pub fn run_scenario_traced(name: &str) -> (Gpu, Vec<EpochRecord>) {
+    let mut cfg = config(true);
+    cfg.trace.level = TraceLevel::Events;
+    scenario_run(name, cfg)
+}
+
 fn config(fast_forward: bool) -> GpuConfig {
     let mut cfg = GpuConfig::tiny();
     cfg.fast_forward = fast_forward;
@@ -41,12 +56,16 @@ fn config(fast_forward: bool) -> GpuConfig {
 }
 
 fn scenario_records(name: &str, fast_forward: bool) -> Vec<EpochRecord> {
+    scenario_run(name, config(fast_forward)).1
+}
+
+fn scenario_run(name: &str, cfg: GpuConfig) -> (Gpu, Vec<EpochRecord>) {
     match name {
         // Two memory-intensive kernels sharing every SM fine-grained, fixed
         // residency targets, no management: exercises SMK dispatch and the
         // memory system.
         "smk_pair" => {
-            let mut gpu = Gpu::new(config(fast_forward));
+            let mut gpu = Gpu::new(cfg);
             let a = gpu.launch(workloads::by_name("lbm").expect("known workload"));
             let b = gpu.launch(workloads::by_name("spmv").expect("known workload"));
             gpu.set_sharing_mode(SharingMode::Smk);
@@ -56,12 +75,12 @@ fn scenario_records(name: &str, fast_forward: bool) -> Vec<EpochRecord> {
             }
             let mut tracer = Tracer::new(NullController);
             gpu.run(12_000, &mut tracer);
-            tracer.into_parts().1
+            (gpu, tracer.into_parts().1)
         }
         // A QoS kernel isolated on its own SMs by the spatial-partitioning
         // baseline: exercises partition sizing and TB draining.
         "spart_pair" => {
-            let mut gpu = Gpu::new(config(fast_forward));
+            let mut gpu = Gpu::new(cfg);
             let q = gpu.launch(workloads::by_name("sgemm").expect("known workload"));
             let be = gpu.launch(workloads::by_name("lbm").expect("known workload"));
             let mut ctrl = Tracer::new(
@@ -70,12 +89,12 @@ fn scenario_records(name: &str, fast_forward: bool) -> Vec<EpochRecord> {
                     .with_kernel(be, QosSpec::best_effort()),
             );
             gpu.run(12_000, &mut ctrl);
-            ctrl.into_parts().1
+            (gpu, ctrl.into_parts().1)
         }
         // Two QoS kernels plus a best-effort batch job under the rollover
         // quota scheme: exercises quota refills, gating and preemption.
         "datacenter_trio" => {
-            let mut gpu = Gpu::new(config(fast_forward));
+            let mut gpu = Gpu::new(cfg);
             let q1 = gpu.launch(workloads::by_name("mri-q").expect("known workload"));
             let q2 = gpu.launch(workloads::by_name("sad").expect("known workload"));
             let be = gpu.launch(workloads::by_name("lbm").expect("known workload"));
@@ -86,7 +105,7 @@ fn scenario_records(name: &str, fast_forward: bool) -> Vec<EpochRecord> {
                     .with_kernel(be, QosSpec::best_effort()),
             );
             gpu.run(15_000, &mut ctrl);
-            ctrl.into_parts().1
+            (gpu, ctrl.into_parts().1)
         }
         other => panic!("unknown golden scenario {other:?}"),
     }
@@ -217,5 +236,18 @@ mod tests {
     #[should_panic(expected = "unknown golden scenario")]
     fn unknown_scenario_panics() {
         run_scenario("nope");
+    }
+
+    #[test]
+    fn traced_run_matches_untraced_records() {
+        let (gpu, traced) = run_scenario_traced("smk_pair");
+        assert_eq!(
+            records_hash(&traced),
+            records_hash(&run_scenario("smk_pair")),
+            "flight recording must not perturb the simulation"
+        );
+        let ring_events: usize =
+            gpu.sms().iter().map(|sm| sm.events().len()).sum::<usize>() + gpu.events().len();
+        assert!(ring_events > 0, "a busy scenario must record events");
     }
 }

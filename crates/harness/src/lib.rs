@@ -22,6 +22,9 @@
 //! * [`golden`] — the golden-trace corpus under `tests/golden/`: canonical
 //!   scenarios whose per-epoch telemetry is snapshotted byte-exactly
 //!   (regenerate with `repro golden --bless`),
+//! * [`perfetto`] — Chrome-trace / Perfetto JSON export of a traced run
+//!   (`repro trace <scenario> --out trace.json`), with a strict schema
+//!   checker,
 //! * [`checkpoint`] — crash-resumable sweeps: a checksummed, rotated journal
 //!   of completed cases plus periodic mid-case machine snapshots, driven by
 //!   `repro run --checkpoint-dir` / `repro resume` / `repro inspect`.
@@ -48,6 +51,7 @@ pub mod experiments;
 pub mod export;
 pub mod golden;
 pub mod metrics;
+pub mod perfetto;
 pub mod report;
 pub mod runner;
 pub mod scale;

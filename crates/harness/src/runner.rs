@@ -12,7 +12,7 @@ use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use gpu_sim::trace::{records_hash, Tracer};
-use gpu_sim::{Controller, Gpu, GpuConfig, KernelId, NullController};
+use gpu_sim::{Controller, Gpu, GpuConfig, KernelId, NullController, TraceLevel};
 use qos_core::{QosManager, QosSpec, SpartController};
 
 use crate::cases::{Ablations, CaseSpec, ConfigKind, Policy};
@@ -121,6 +121,10 @@ pub fn case_config(spec: &CaseSpec) -> GpuConfig {
     }
     cfg.health.watchdog_window = WATCHDOG_EPOCHS * cfg.epoch_cycles;
     cfg.faults = spec.faults.clone();
+    // Harness cases always fly with the recorder on: event recording never
+    // perturbs simulated behaviour, and a watchdog report (or persisted
+    // failure snapshot) then carries the last moments before the hang.
+    cfg.trace.level = TraceLevel::Events;
     cfg
 }
 

@@ -2,7 +2,7 @@
 //! enhanced TB scheduler and enhanced warp scheduler once per epoch.
 
 use gpu_sim::sm::QuotaCarry;
-use gpu_sim::{Controller, Gpu, KernelId, SmId};
+use gpu_sim::{Controller, CounterEntry, CounterKind, CounterScope, Gpu, KernelId, SmId};
 
 use crate::goals::QosSpec;
 use crate::nonqos::{artificial_goal, QosStanding, INITIAL_NONQOS_IPC};
@@ -32,6 +32,16 @@ pub struct QosManager {
     cum_cycles: u64,
     nonqos_prev_ipc: Vec<f64>,
     alphas: Vec<f64>,
+
+    // Counter registry (DESIGN.md §12): the manager's own view of quota
+    // traffic, per kernel. `throttled_warp_cycles` is the per-epoch delta of
+    // the SMs' cumulative quota-blocked counters, folded in at epoch
+    // boundaries, so it only covers epochs this manager actually managed.
+    quota_grants: Vec<u64>,
+    quota_granted_insts: Vec<u64>,
+    exhausted_sm_epochs: Vec<u64>,
+    throttled_warp_cycles: Vec<u64>,
+    prev_blocked: Vec<u64>,
 }
 
 impl QosManager {
@@ -48,6 +58,11 @@ impl QosManager {
             cum_cycles: 0,
             nonqos_prev_ipc: Vec::new(),
             alphas: Vec::new(),
+            quota_grants: Vec::new(),
+            quota_granted_insts: Vec::new(),
+            exhausted_sm_epochs: Vec::new(),
+            throttled_warp_cycles: Vec::new(),
+            prev_blocked: Vec::new(),
         }
     }
 
@@ -113,6 +128,11 @@ impl QosManager {
         self.cum_insts = vec![0; nk];
         self.nonqos_prev_ipc = vec![INITIAL_NONQOS_IPC; nk];
         self.alphas = vec![1.0; nk];
+        self.quota_grants = vec![0; nk];
+        self.quota_granted_insts = vec![0; nk];
+        self.exhausted_sm_epochs = vec![0; nk];
+        self.throttled_warp_cycles = vec![0; nk];
+        self.prev_blocked = vec![0; nk];
 
         gpu.set_sharing_mode(gpu_sim::SharingMode::Smk);
         initial_plan(gpu, &self.specs[..nk]).apply(gpu);
@@ -137,6 +157,43 @@ impl QosManager {
         for (k, cum) in self.cum_insts.iter_mut().enumerate() {
             *cum += snap.thread_insts[k];
         }
+    }
+
+    /// Folds the SMs' quota counters into the manager's registry view at an
+    /// epoch boundary, *before* fresh quotas are granted: an SM whose quota
+    /// for `k` is non-positive here exhausted its grant during the epoch that
+    /// just ended.
+    fn harvest_counters(&mut self, gpu: &Gpu) {
+        for k in 0..self.quota_grants.len() {
+            let kid = KernelId::new(k);
+            let blocked: u64 = gpu.sms().iter().map(|sm| sm.quota_blocked_cycles(kid)).sum();
+            self.throttled_warp_cycles[k] += blocked.saturating_sub(self.prev_blocked[k]);
+            self.prev_blocked[k] = blocked;
+            self.exhausted_sm_epochs[k] +=
+                gpu.sms().iter().filter(|sm| sm.quota(kid) <= 0).count() as u64;
+        }
+    }
+
+    /// Named counters for the unified registry (DESIGN.md §12): the
+    /// manager-side view of quota traffic, one block per kernel.
+    pub fn counter_registry(&self) -> Vec<CounterEntry> {
+        let mut out = Vec::new();
+        for k in 0..self.quota_grants.len() {
+            let scope = CounterScope::Kernel(k);
+            let mut push = |name: &'static str, value: u64| {
+                out.push(CounterEntry {
+                    name,
+                    scope,
+                    kind: CounterKind::Counter,
+                    value: value as i64,
+                });
+            };
+            push("qos_quota_grants", self.quota_grants[k]);
+            push("qos_quota_granted_insts", self.quota_granted_insts[k]);
+            push("qos_exhausted_sm_epochs", self.exhausted_sm_epochs[k]);
+            push("qos_throttled_warp_cycles", self.throttled_warp_cycles[k]);
+        }
+        out
     }
 
     /// Hosted TBs of kernel `k` on each SM, falling back to the configured
@@ -188,7 +245,7 @@ impl QosManager {
     }
 
     fn spread_quota(
-        &self,
+        &mut self,
         gpu: &mut Gpu,
         k: KernelId,
         quota: u64,
@@ -197,6 +254,8 @@ impl QosManager {
     ) {
         let shares = self.tb_shares(gpu, k);
         let parts = distribute_quota(quota, &shares);
+        self.quota_grants[k.index()] += parts.len() as u64;
+        self.quota_granted_insts[k.index()] += quota;
         for (i, part) in parts.into_iter().enumerate() {
             let part = part as i64;
             let refill = if refillable { part } else { 0 };
@@ -345,6 +404,7 @@ impl Controller for QosManager {
         }
         if epoch > 0 {
             self.update_history(gpu);
+            self.harvest_counters(gpu);
         }
         self.assign_quotas(gpu, epoch);
         if self.static_adjust && epoch > 0 {
@@ -364,6 +424,11 @@ gpu_sim::impl_snap_struct!(QosManager {
     cum_cycles,
     nonqos_prev_ipc,
     alphas,
+    quota_grants,
+    quota_granted_insts,
+    exhausted_sm_epochs,
+    throttled_warp_cycles,
+    prev_blocked,
 });
 
 #[cfg(test)]
@@ -545,5 +610,34 @@ mod tests {
     #[should_panic(expected = "alpha cap")]
     fn alpha_cap_below_one_rejected() {
         let _ = QosManager::new(QuotaScheme::Rollover).with_alpha_cap(0.5);
+    }
+
+    #[test]
+    fn counter_registry_tracks_quota_traffic() {
+        let (mut gpu, q, b) = pair("sgemm", "lbm");
+        let mut mgr = QosManager::new(QuotaScheme::Rollover)
+            .with_kernel(q, QosSpec::qos(200.0))
+            .with_kernel(b, QosSpec::best_effort());
+        gpu.run(30_000, &mut mgr);
+        let reg = mgr.counter_registry();
+        assert_eq!(reg.len(), 4 * gpu.num_kernels(), "four counters per kernel");
+        let value = |name: &str, k: KernelId| {
+            reg.iter()
+                .find(|e| e.name == name && e.scope == CounterScope::Kernel(k.index()))
+                .expect("registry entry present")
+                .value
+        };
+        // Every kernel gets a grant per SM per epoch; a tight goal means the
+        // QoS kernel drains quota somewhere and best-effort warps throttle.
+        assert!(value("qos_quota_grants", q) > 0);
+        assert!(value("qos_quota_granted_insts", q) > 0);
+        assert!(
+            value("qos_exhausted_sm_epochs", q) + value("qos_exhausted_sm_epochs", b) > 0,
+            "some SM-epoch must exhaust its grant under a tight goal"
+        );
+        assert!(
+            value("qos_throttled_warp_cycles", b) > 0,
+            "the gated best-effort kernel must accumulate throttled cycles"
+        );
     }
 }

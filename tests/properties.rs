@@ -207,6 +207,11 @@ struct RunSummary {
     insts_per_energy_bits: u64,
     traffic: Vec<[u64; 4]>,
     dram_wait_bits: u64,
+    // Observability surface (DESIGN.md §12): both runs fly with the recorder
+    // on, so the merged event stream and every registry counter — including
+    // the replayed quota-blocked cycles — must match event-for-event.
+    events: Vec<fgqos::sim::TraceEvent>,
+    counters: Vec<fgqos::sim::CounterEntry>,
 }
 
 #[allow(clippy::too_many_arguments)]
@@ -224,6 +229,7 @@ fn run_differential_case(
 
     let mut cfg = GpuConfig::tiny();
     cfg.fast_forward = fast_forward;
+    cfg.trace.level = fgqos::sim::TraceLevel::Events;
     cfg.health.audit = audit;
     cfg.health.watchdog_window = if watchdog { 2 * cfg.epoch_cycles } else { 0 };
     if let Some((at, kind)) = fault {
@@ -299,6 +305,15 @@ fn run_differential_case(
             })
             .collect(),
         dram_wait_bits: gpu.mem().mean_dram_wait().to_bits(),
+        events: gpu.recent_events(usize::MAX),
+        // ff_skipped_cycles counts how many cycles the fast-forward jumped
+        // over — stepping-mode metadata that differs between the two runs by
+        // construction. Every other counter must match bit-exactly.
+        counters: gpu
+            .counter_registry()
+            .into_iter()
+            .filter(|e| e.name != "ff_skipped_cycles")
+            .collect(),
     }
 }
 

@@ -79,6 +79,9 @@ fn build_config(
 ) -> GpuConfig {
     let mut cfg = GpuConfig::tiny();
     cfg.fast_forward = fast_forward;
+    // Recorder on: the counter registry and flight-recorder rings are part
+    // of the snapshot payload, so every case round-trips them too.
+    cfg.trace.level = fgqos::sim::TraceLevel::Events;
     cfg.health.audit = audit;
     cfg.health.watchdog_window = if watchdog { 2 * cfg.epoch_cycles } else { 0 };
     if let Some((at, kind)) = fault {
@@ -141,6 +144,11 @@ struct RunSummary {
     l2: (u64, u64),
     preempt: fgqos::sim::preempt::PreemptStats,
     insts_per_energy_bits: u64,
+    // Observability surface: the counter registry (including the stepping-
+    // dependent ff_skipped_cycles — both runs step identically here) and the
+    // merged flight-recorder stream must survive the round trip bit-exactly.
+    events: Vec<fgqos::sim::TraceEvent>,
+    counters: Vec<fgqos::sim::CounterEntry>,
 }
 
 fn summarize(
@@ -164,6 +172,8 @@ fn summarize(
         l2: (gpu.mem().l2_stats().hits, gpu.mem().l2_stats().misses),
         preempt: gpu.preempt_stats(),
         insts_per_energy_bits: fgqos::sim::power::insts_per_energy(gpu).to_bits(),
+        events: gpu.recent_events(usize::MAX),
+        counters: gpu.counter_registry(),
     }
 }
 
@@ -328,6 +338,47 @@ proptest! {
         let stats = KernelStats { thread_insts, warp_insts, tbs_completed, launches_completed };
         let back: KernelStats = decode_from_slice(&encode_to_vec(&stats)).expect("codec");
         prop_assert_eq!(back, stats);
+    }
+}
+
+/// The counter registry and flight-recorder rings restore bit-exactly into
+/// a fresh machine: every entry (name, scope, kind, value) and every ring
+/// event (cycle, SM, kind) of a busy traced run survives the wire form.
+#[test]
+fn counter_registry_and_events_survive_snapshot_restore() {
+    let mut cfg = GpuConfig::tiny();
+    cfg.fast_forward = true;
+    cfg.trace.level = fgqos::sim::TraceLevel::Events;
+    let descs = diff_descs(3, 4, 8, 6, 17, 3, 42);
+
+    let (mut gpu, kids) = build_gpu(&cfg, &descs);
+    let mut tracer = Tracer::new(build_ctrl(2, &kids, 80.0));
+    gpu.try_run(6 * cfg.epoch_cycles, &mut tracer).expect("healthy run");
+
+    let registry = gpu.counter_registry();
+    assert!(
+        registry.iter().any(|e| e.name == "quota_blocked_cycles" && e.value > 0),
+        "a gated run must accumulate quota-blocked cycles"
+    );
+    assert!(!gpu.recent_events(usize::MAX).is_empty(), "a busy run records events");
+
+    let blob = SnapshotBlob::from_bytes(&gpu.snapshot().expect("epoch-aligned").to_bytes())
+        .expect("wire round-trip");
+    let (mut fresh, _) = build_gpu(&cfg, &descs);
+    fresh.restore(&blob).expect("same config");
+
+    assert_eq!(fresh.counter_registry(), registry, "registry restores bit-exactly");
+    assert_eq!(
+        fresh.recent_events(usize::MAX),
+        gpu.recent_events(usize::MAX),
+        "flight-recorder rings restore bit-exactly"
+    );
+    for (sm, fresh_sm) in gpu.sms().iter().zip(fresh.sms()) {
+        assert_eq!(
+            sm.events().iter().collect::<Vec<_>>(),
+            fresh_sm.events().iter().collect::<Vec<_>>(),
+            "per-SM ring contents (including wraparound order) restore exactly"
+        );
     }
 }
 
