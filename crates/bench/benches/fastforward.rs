@@ -52,10 +52,7 @@ struct Outcome {
 }
 
 fn finish(gpu: &Gpu) -> Outcome {
-    Outcome {
-        total_insts: gpu.stats().total_thread_insts(),
-        skipped: gpu.skipped_cycles(),
-    }
+    Outcome { total_insts: gpu.stats().total_thread_insts(), skipped: gpu.skipped_cycles() }
 }
 
 /// A single-warp-per-TB kernel chasing random addresses through a
@@ -134,12 +131,32 @@ fn isolated_compute(mode: Mode) -> Outcome {
     finish(&gpu)
 }
 
-fn time_min(f: fn(Mode) -> Outcome, mode: Mode) -> (f64, Outcome) {
+/// The datacenter-trio golden scenario stepped serially or with concurrent
+/// SM domains (`GpuConfig::intra_parallel`). Fast-forward is on in both
+/// runs, so the stepping strategy is the only variable; the wall-clock
+/// ratio is the tentpole's win and the instruction checksum its safety.
+fn datacenter_trio_stepping(intra_parallel: bool) -> Outcome {
+    let mut cfg = GpuConfig::paper_table1();
+    cfg.fast_forward = true;
+    cfg.intra_parallel = intra_parallel;
+    let mut gpu = Gpu::new(cfg);
+    let q1 = gpu.launch(workloads::by_name("mri-q").expect("known"));
+    let q2 = gpu.launch(workloads::by_name("sad").expect("known"));
+    let be = gpu.launch(workloads::by_name("lbm").expect("known"));
+    let mut mgr = QosManager::new(QuotaScheme::Rollover)
+        .with_kernel(q1, QosSpec::qos(40.0))
+        .with_kernel(q2, QosSpec::qos(20.0))
+        .with_kernel(be, QosSpec::best_effort());
+    gpu.run(CYCLES, &mut mgr);
+    finish(&gpu)
+}
+
+fn time_min(f: impl Fn() -> Outcome) -> (f64, Outcome) {
     let mut best = f64::INFINITY;
     let mut outcome = Outcome { total_insts: 0, skipped: 0 };
     for _ in 0..REPS {
         let t = Instant::now();
-        outcome = f(mode);
+        outcome = f();
         best = best.min(t.elapsed().as_secs_f64() * 1e3);
     }
     (best, outcome)
@@ -159,9 +176,9 @@ fn main() {
     ];
     let mut rows = Vec::new();
     for s in &scenarios {
-        let (naive_ms, naive) = time_min(s.run, Mode::Naive);
-        let (ff_ms, ff) = time_min(s.run, Mode::FastForward);
-        let (traced_ms, traced) = time_min(s.run, Mode::Traced);
+        let (naive_ms, naive) = time_min(|| (s.run)(Mode::Naive));
+        let (ff_ms, ff) = time_min(|| (s.run)(Mode::FastForward));
+        let (traced_ms, traced) = time_min(|| (s.run)(Mode::Traced));
         assert_eq!(
             naive.total_insts, ff.total_insts,
             "{}: fast-forward diverged from naive stepping",
@@ -190,8 +207,25 @@ fn main() {
             s.name, ff.skipped
         ));
     }
+    // Stepping-strategy leg: one machine, serial vs. concurrent SM-domain
+    // stepping. Lives under its own key, sibling to "scenarios", so the CI
+    // gate's schema over the fast-forward rows is untouched.
+    let host_threads = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let (serial_ms, serial) = time_min(|| datacenter_trio_stepping(false));
+    let (parallel_ms, parallel) = time_min(|| datacenter_trio_stepping(true));
+    assert_eq!(serial.total_insts, parallel.total_insts, "parallel stepping diverged from serial");
+    assert_eq!(serial.skipped, parallel.skipped, "parallel stepping skipped differently");
+    let stepping_speedup = serial_ms / parallel_ms;
+    println!(
+        "{:<24} serial {serial_ms:>8.1} ms   parallel {parallel_ms:>8.1} ms   \
+         {stepping_speedup:.2}x   ({host_threads} host thread(s))",
+        "datacenter_trio/step"
+    );
     let json = format!(
         "{{\n  \"bench\": \"fastforward\",\n  \"cycles\": {CYCLES},\n  \"reps\": {REPS},\n  \
+         \"parallel_stepping\": {{\"scenario\": \"datacenter_trio\", \"host_threads\": \
+         {host_threads}, \"serial_ms\": {serial_ms:.3}, \"parallel_ms\": {parallel_ms:.3}, \
+         \"speedup\": {stepping_speedup:.3}, \"identical\": true}},\n  \
          \"scenarios\": [\n{}\n  ]\n}}\n",
         rows.join(",\n")
     );

@@ -12,11 +12,7 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use harness::experiments::Session;
 use harness::RunScale;
 
-fn bench_experiment(
-    c: &mut Criterion,
-    name: &str,
-    run: impl Fn(&Session) -> String,
-) {
+fn bench_experiment(c: &mut Criterion, name: &str, run: impl Fn(&Session) -> String) {
     // One fresh session per iteration: memoization inside a session would
     // otherwise make every iteration after the first free.
     let mut printed = false;

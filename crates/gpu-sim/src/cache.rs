@@ -139,9 +139,7 @@ impl Cache {
         let set = (block as usize) & (self.sets - 1);
         let tag = block >> self.sets.trailing_zeros();
         let base = set * self.ways;
-        self.lines[base..base + self.ways]
-            .iter()
-            .any(|l| l.valid && l.tag == tag)
+        self.lines[base..base + self.ways].iter().any(|l| l.valid && l.tag == tag)
     }
 
     /// Invalidates every line.

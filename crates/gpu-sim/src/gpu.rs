@@ -5,7 +5,6 @@ use std::fmt;
 use std::sync::Arc;
 
 use crate::config::GpuConfig;
-use crate::snap::{self, Snap, SnapError, SnapReader};
 use crate::health::{
     AuditKind, AuditViolation, FaultKind, HealthReport, KernelHealth, SimError, SmHealth,
 };
@@ -15,7 +14,8 @@ use crate::observe::{
     CounterEntry, CounterKind, CounterScope, EventRing, TraceEvent, TraceEventKind,
 };
 use crate::preempt::PreemptStats;
-use crate::sm::Sm;
+use crate::sm::{QuotaCarry, Sm};
+use crate::snap::{self, Snap, SnapError, SnapReader};
 use crate::stats::{EpochSnapshot, GpuStats, KernelStats};
 use crate::tb_sched::{KernelRuntime, SharingMode, TbScheduler};
 use crate::types::{per_kernel, Cycle, KernelId, PerKernel, SmId};
@@ -82,11 +82,8 @@ impl Gpu {
         cfg.validate().expect("invalid GPU configuration");
         // Faults are applied by a cursor walking the plan in cycle order.
         cfg.faults.faults.sort_by_key(|f| f.at_cycle);
-        let sms = (0..cfg.num_sms as usize)
-            .map(|i| Sm::new(SmId::new(i), &cfg))
-            .collect();
-        let sample_interval =
-            (cfg.epoch_cycles / Cycle::from(cfg.samples_per_epoch)).max(1);
+        let sms = (0..cfg.num_sms as usize).map(|i| Sm::new(SmId::new(i), &cfg)).collect();
+        let sample_interval = (cfg.epoch_cycles / Cycle::from(cfg.samples_per_epoch)).max(1);
         Gpu {
             sms,
             mem: MemSystem::new(cfg.mem.clone()),
@@ -170,10 +167,34 @@ impl Gpu {
     /// [`SimError::Audit`] when audit mode finds a violated invariant at an
     /// epoch boundary. On error `self` is left at the failing cycle so the
     /// state can be inspected.
-    pub fn try_run(
+    pub fn try_run(&mut self, cycles: Cycle, ctrl: &mut dyn Controller) -> Result<(), SimError> {
+        let threads = self.step_threads();
+        exec::scope(threads, |pool| self.run_loop(cycles, ctrl, pool))
+    }
+
+    /// Number of worker threads the run loop steps SM domains with: 1
+    /// (serial) unless [`GpuConfig::intra_parallel`] is set, in which case
+    /// the host's available parallelism, clamped to the SM count and to a
+    /// floor of 2 so the concurrent path is exercised even on single-core
+    /// hosts.
+    fn step_threads(&self) -> usize {
+        if !self.cfg.intra_parallel {
+            return 1;
+        }
+        let avail = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        avail.min(self.cfg.num_sms as usize).max(2)
+    }
+
+    /// The run loop proper. Each iteration steps every SM domain (serially
+    /// or via `pool`), then drains the interconnect ports into the memory
+    /// domain in stable SM-index order — the same order the former
+    /// monolithic loop mutated the memory system in, which is what makes
+    /// the parallel path bit-identical to the serial one.
+    fn run_loop(
         &mut self,
         cycles: Cycle,
         ctrl: &mut dyn Controller,
+        pool: &exec::Pool,
     ) -> Result<(), SimError> {
         let end = self.cycle + cycles;
         let window = self.cfg.health.watchdog_window;
@@ -205,8 +226,13 @@ impl Gpu {
                 self.service(now);
             }
             let issued_before_tick = self.total_issued();
+            // Step every SM domain — each touches only its own state plus
+            // its interconnect port, so this is safe to run concurrently —
+            // then drain the ports into the shared memory domain in stable
+            // SM-index order (the bit-identity barrier; see `crate::icn`).
+            pool.run(&mut self.sms, |_, sm| sm.tick(now));
             for sm in &mut self.sms {
-                sm.tick(now, &mut self.mem);
+                sm.drain_icn(&mut self.mem, now);
             }
             if now.is_multiple_of(self.sample_interval) {
                 for sm in &mut self.sms {
@@ -235,9 +261,9 @@ impl Gpu {
             if self.cfg.fast_forward && self.total_issued() == issued_before_tick {
                 if let Some(target) = self.fast_forward_target(end, next_check) {
                     let from = self.cycle;
-                    for sm in &mut self.sms {
-                        sm.note_skipped_cycles(from, target);
-                    }
+                    // Replay is per-SM private state only — no port traffic
+                    // — so the skip fan-out parallelizes without a drain.
+                    pool.run(&mut self.sms, |_, sm| sm.note_skipped_cycles(from, target));
                     self.ff_skipped += target - from;
                     self.cycle = target;
                 }
@@ -296,9 +322,7 @@ impl Gpu {
         // `service_would_noop` is the costliest predicate; consult it only
         // when the clamp it guards could actually shorten the jump.
         let dispatch = next_boundary(from, DISPATCH_INTERVAL);
-        if target > dispatch
-            && !self.tb_sched.service_would_noop(&self.sms, &self.kernels)
-        {
+        if target > dispatch && !self.tb_sched.service_would_noop(&self.sms, &self.kernels) {
             target = target.min(dispatch);
         }
         (target > from).then_some(target)
@@ -324,10 +348,9 @@ impl Gpu {
                         sm.stall_preemption();
                     }
                 }
-                FaultKind::Panic => panic!(
-                    "injected fault: panic at cycle {now} (scheduled at {})",
-                    fault.at_cycle
-                ),
+                FaultKind::Panic => {
+                    panic!("injected fault: panic at cycle {now} (scheduled at {})", fault.at_cycle)
+                }
             }
         }
     }
@@ -454,8 +477,7 @@ impl Gpu {
         if self.trace_on && now > 0 && !self.kernels.is_empty() {
             let idle = self.epoch_snapshot.thread_insts.iter().sum::<u64>() == 0;
             if idle != self.was_idle {
-                let kind =
-                    if idle { TraceEventKind::IdleStart } else { TraceEventKind::IdleEnd };
+                let kind = if idle { TraceEventKind::IdleStart } else { TraceEventKind::IdleEnd };
                 self.record(now, kind);
                 self.was_idle = idle;
             }
@@ -631,6 +653,17 @@ impl Gpu {
     /// Mutable access to one SM's control plane (quota counters, gating).
     pub fn sm_mut(&mut self, id: SmId) -> &mut Sm {
         &mut self.sms[id.index()]
+    }
+
+    /// Control-plane view of one SM, scoped to the quota/gating knobs a
+    /// [`Controller`] is meant to turn. Policy code goes through this view
+    /// rather than [`Gpu::sm_mut`] so the surface a controller can mutate —
+    /// and therefore the cross-domain state the parallel stepping argument
+    /// must account for — stays explicit and small. Controllers run only
+    /// at epoch boundaries, outside the tick→drain window, so these writes
+    /// never race domain stepping.
+    pub fn sm_quota(&mut self, id: SmId) -> SmQuotaView<'_> {
+        SmQuotaView { sm: &mut self.sms[id.index()] }
     }
 
     /// The shared memory system.
@@ -848,13 +881,57 @@ impl Gpu {
     }
 }
 
+/// Borrowed control-plane view of one SM (see [`Gpu::sm_quota`]).
+///
+/// Exposes exactly the quota-gating knobs of the paper's Enhanced Warp
+/// Scheduler (§3.2): per-kernel instruction quotas with carry policy, QoS
+/// membership, gating, and the elastic / priority-block refinements.
+#[derive(Debug)]
+pub struct SmQuotaView<'a> {
+    sm: &'a mut Sm,
+}
+
+impl SmQuotaView<'_> {
+    /// Gates (or ungates) kernel `k`'s issue on this SM.
+    pub fn set_gated(&mut self, k: KernelId, gated: bool) {
+        self.sm.set_gated(k, gated);
+    }
+
+    /// Installs kernel `k`'s per-epoch instruction quota.
+    pub fn set_epoch_quota(&mut self, k: KernelId, alloc: i64, carry: QuotaCarry, refill: i64) {
+        self.sm.set_epoch_quota(k, alloc, carry, refill);
+    }
+
+    /// Remaining quota of kernel `k` on this SM.
+    pub fn quota(&self, k: KernelId) -> i64 {
+        self.sm.quota(k)
+    }
+
+    /// Marks kernel `k` as QoS (quota-managed) or best-effort.
+    pub fn set_qos_kernel(&mut self, k: KernelId, qos: bool) {
+        self.sm.set_qos_kernel(k, qos);
+    }
+
+    /// Enables elastic quota (best-effort kernels borrow idle QoS slots).
+    pub fn set_elastic(&mut self, on: bool) {
+        self.sm.set_elastic(on);
+    }
+
+    /// Enables priority-block mode (QoS kernels always issue first).
+    pub fn set_priority_block(&mut self, on: bool) {
+        self.sm.set_priority_block(on);
+    }
+}
+
 /// How many trailing flight-recorder events a [`HealthReport`] embeds.
 const HEALTH_REPORT_EVENTS: usize = 32;
 
 /// Version of the snapshot payload layout. Bumped whenever the set, order,
 /// or encoding of snapshotted fields changes; [`Gpu::restore`] refuses
-/// blobs from any other version.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 2;
+/// blobs from any other version. Version 3 added the SM-domain cache
+/// parameters (`l1_hit_latency`, `line_bytes`) to the per-SM record when
+/// the SM↔memory boundary moved behind [`crate::icn::IcnPort`].
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 3;
 
 /// Leading magic of a serialized [`SnapshotBlob`].
 const SNAPSHOT_MAGIC: [u8; 4] = *b"FGQS";
@@ -899,10 +976,9 @@ impl fmt::Display for SnapshotError {
                  boundary (epoch length {epoch_cycles})"
             ),
             SnapshotError::BadMagic => f.write_str("not a GPU snapshot (bad magic)"),
-            SnapshotError::SchemaVersion { found, expected } => write!(
-                f,
-                "snapshot schema version {found} is not the supported version {expected}"
-            ),
+            SnapshotError::SchemaVersion { found, expected } => {
+                write!(f, "snapshot schema version {found} is not the supported version {expected}")
+            }
             SnapshotError::ConfigFingerprint { found, expected } => write!(
                 f,
                 "snapshot config fingerprint {found:#018x} does not match the \
@@ -1312,12 +1388,7 @@ mod tests {
                     let sm = gpu.sm_mut(sm);
                     sm.set_gated(KernelId::new(0), true);
                     sm.set_qos_kernel(KernelId::new(0), true);
-                    sm.set_epoch_quota(
-                        KernelId::new(0),
-                        2_000,
-                        crate::sm::QuotaCarry::Full,
-                        0,
-                    );
+                    sm.set_epoch_quota(KernelId::new(0), 2_000, crate::sm::QuotaCarry::Full, 0);
                 }
             }
         }
@@ -1375,14 +1446,8 @@ mod tests {
         assert_eq!(resumed.cycle(), 5_000);
         resumed.run(7_000, &mut NullController);
 
-        assert_eq!(
-            resumed.stats().kernel(a).thread_insts,
-            straight.stats().kernel(a).thread_insts
-        );
-        assert_eq!(
-            resumed.stats().kernel(b).thread_insts,
-            straight.stats().kernel(b).thread_insts
-        );
+        assert_eq!(resumed.stats().kernel(a).thread_insts, straight.stats().kernel(a).thread_insts);
+        assert_eq!(resumed.stats().kernel(b).thread_insts, straight.stats().kernel(b).thread_insts);
         assert_eq!(resumed.preempt_stats(), straight.preempt_stats());
         assert_eq!(resumed.skipped_cycles(), straight.skipped_cycles());
     }
@@ -1422,10 +1487,7 @@ mod tests {
         let bytes = blob.to_bytes();
         let parsed = SnapshotBlob::from_bytes(&bytes).expect("round trip");
         assert_eq!(parsed, blob);
-        assert!(matches!(
-            SnapshotBlob::from_bytes(b"nope"),
-            Err(SnapshotError::BadMagic)
-        ));
+        assert!(matches!(SnapshotBlob::from_bytes(b"nope"), Err(SnapshotError::BadMagic)));
         assert!(SnapshotBlob::from_bytes(&bytes[..bytes.len() - 3]).is_err());
     }
 

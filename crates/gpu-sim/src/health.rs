@@ -202,8 +202,7 @@ impl HealthReport {
 
     /// One-line summary naming the offending kernels, for digests.
     pub fn summary(&self) -> String {
-        let starved: Vec<&str> =
-            self.starved_kernels().map(|k| k.name.as_str()).collect();
+        let starved: Vec<&str> = self.starved_kernels().map(|k| k.name.as_str()).collect();
         if starved.is_empty() {
             format!(
                 "no progress since cycle {} (no kernel is quota-starved; \
@@ -454,8 +453,7 @@ mod tests {
 
     #[test]
     fn fault_plan_builder() {
-        let plan = FaultPlan::one(10, FaultKind::StarveQuota)
-            .with(5, FaultKind::Panic);
+        let plan = FaultPlan::one(10, FaultKind::StarveQuota).with(5, FaultKind::Panic);
         assert_eq!(plan.faults.len(), 2);
         assert!(!plan.is_empty());
     }

@@ -56,38 +56,22 @@ pub enum PatternKind {
 impl AccessPattern {
     /// Perfectly coalesced streaming loads over a large footprint.
     pub fn stream() -> Self {
-        AccessPattern {
-            kind: PatternKind::Stream,
-            footprint_bytes: 256 << 20,
-            transactions: 4,
-        }
+        AccessPattern { kind: PatternKind::Stream, footprint_bytes: 256 << 20, transactions: 4 }
     }
 
     /// A small per-TB tile that becomes L1-resident.
     pub fn tile(footprint_bytes: u64) -> Self {
-        AccessPattern {
-            kind: PatternKind::Tile,
-            footprint_bytes,
-            transactions: 4,
-        }
+        AccessPattern { kind: PatternKind::Tile, footprint_bytes, transactions: 4 }
     }
 
     /// Random accesses within `footprint_bytes`, `transactions` per warp access.
     pub fn random(footprint_bytes: u64, transactions: u8) -> Self {
-        AccessPattern {
-            kind: PatternKind::Random,
-            footprint_bytes,
-            transactions,
-        }
+        AccessPattern { kind: PatternKind::Random, footprint_bytes, transactions }
     }
 
     /// Stencil-style neighbourhood access over a kernel-wide footprint.
     pub fn stencil(footprint_bytes: u64) -> Self {
-        AccessPattern {
-            kind: PatternKind::Stencil,
-            footprint_bytes,
-            transactions: 4,
-        }
+        AccessPattern { kind: PatternKind::Stencil, footprint_bytes, transactions: 4 }
     }
 }
 
@@ -540,10 +524,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "multiple of 32")]
     fn build_rejects_unaligned_threads() {
-        let _ = KernelDesc::builder("k")
-            .threads_per_tb(100)
-            .body(vec![Op::alu(1, 1)])
-            .build();
+        let _ = KernelDesc::builder("k").threads_per_tb(100).body(vec![Op::alu(1, 1)]).build();
     }
 
     #[test]

@@ -14,7 +14,10 @@
 //! * a thread-block scheduler supporting exclusive, **SMK fine-grained** and
 //!   **spatially partitioned** sharing ([`tb_sched`]),
 //! * a partial-context-switch preemption engine ([`preempt`]),
-//! * a GPUWattch-style event-energy power model ([`power`]).
+//! * a GPUWattch-style event-energy power model ([`power`]),
+//! * per-SM execution domains behind a typed interconnect boundary
+//!   ([`icn`]), steppable serially or concurrently
+//!   (`GpuConfig::intra_parallel`) with bit-identical results.
 //!
 //! Policy code (the QoS manager, the `Spart` hill-climbing baseline, …) lives
 //! in the `qos-core` crate and drives the simulator through the
@@ -50,6 +53,7 @@ pub mod config;
 pub mod dram;
 pub mod gpu;
 pub mod health;
+pub mod icn;
 pub mod kernel;
 pub mod memsys;
 pub mod observe;
@@ -67,11 +71,15 @@ pub mod warp;
 pub mod warp_sched;
 
 pub use config::{GpuConfig, InvalidConfig, MemConfig, PowerConfig, SmConfig};
-pub use gpu::{Controller, Gpu, NullController, SnapshotBlob, SnapshotError, SNAPSHOT_SCHEMA_VERSION};
+pub use gpu::{
+    Controller, Gpu, NullController, SmQuotaView, SnapshotBlob, SnapshotError,
+    SNAPSHOT_SCHEMA_VERSION,
+};
 pub use health::{
     AuditKind, AuditViolation, FaultKind, FaultPlan, FaultSpec, HealthConfig, HealthReport,
     KernelHealth, SimError, SmHealth, WarpStallCounts,
 };
+pub use icn::{IcnPort, IcnRequest, IcnResponse};
 pub use kernel::{AccessPattern, KernelDesc, KernelDescBuilder, MemSpace, Op};
 pub use observe::{
     CounterEntry, CounterKind, CounterScope, EventRing, TraceConfig, TraceEvent, TraceEventKind,

@@ -1,9 +1,12 @@
 //! The shared memory system: crossbar, per-MC L2 slices and DRAM channels.
 //!
-//! SMs call [`MemSystem::access_lines`] with the coalesced line addresses of
-//! one warp memory instruction; the returned cycle is when the slowest
-//! transaction completes, which is when the warp becomes ready again.
-//! Per-kernel traffic counters feed the power model and the harness reports.
+//! This is its own execution domain (DESIGN.md §13): SM domains never call
+//! into it mid-cycle. Each warp memory instruction becomes a typed request
+//! in the issuing SM's `IcnPort`; at the port-drain barrier the requests are
+//! presented to [`MemSystem::serve`] in stable SM-index order, and the
+//! returned completion cycle — when the slowest transaction finishes and the
+//! warp becomes ready again — travels back as the response. Per-kernel
+//! traffic counters feed the power model and the harness reports.
 
 use crate::cache::{AccessOutcome, Cache};
 use crate::config::MemConfig;
@@ -50,9 +53,7 @@ impl MemSystem {
     pub fn new(cfg: MemConfig) -> Self {
         let n = cfg.num_mcs as usize;
         MemSystem {
-            l2: (0..n)
-                .map(|_| Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes))
-                .collect(),
+            l2: (0..n).map(|_| Cache::new(cfg.l2_bytes, cfg.l2_ways, cfg.line_bytes)).collect(),
             l2_queue: (0..n)
                 .map(|_| ServiceQueue::new(cfg.l2_service_cycles, cfg.max_queue_backlog))
                 .collect(),
@@ -76,23 +77,28 @@ impl MemSystem {
         ((addr >> self.cfg.line_bytes.trailing_zeros()) % u64::from(self.cfg.num_mcs)) as usize
     }
 
-    /// Performs one warp memory instruction consisting of the given line
-    /// addresses, looking up `l1` first (the calling SM's L1). Returns the
-    /// completion cycle of the slowest transaction.
-    pub fn access_lines(
+    /// Serves one warp memory instruction arriving over the interconnect
+    /// boundary: `miss_lines` are the line addresses that already missed the
+    /// issuing SM's private L1 (filtered on the SM side of the `IcnPort`),
+    /// `total_lines` the coalesced transaction count before filtering (L1
+    /// accounting lives here so the whole traffic ledger stays in the memory
+    /// domain). Returns the completion cycle of the slowest transaction.
+    ///
+    /// This is the only entry point for SM-issued traffic; it is called from
+    /// the port drain in stable SM-index order, which makes the queue and L2
+    /// evolution — and therefore every returned cycle — independent of how
+    /// the SM domains were stepped (DESIGN.md §13).
+    pub fn serve(
         &mut self,
         kernel: KernelId,
-        l1: &mut Cache,
-        lines: &[Addr],
+        miss_lines: &[Addr],
+        total_lines: u64,
         now: Cycle,
     ) -> Cycle {
         let k = kernel.index();
         let mut done = now + Cycle::from(self.cfg.l1_hit_latency);
-        self.traffic.l1_accesses[k] += lines.len() as u64;
-        for &addr in lines {
-            if l1.access(addr) == AccessOutcome::Hit {
-                continue;
-            }
+        self.traffic.l1_accesses[k] += total_lines;
+        for &addr in miss_lines {
             self.traffic.l2_accesses[k] += 1;
             let mc = self.mc_for(addr);
             let at_l2 = now + Cycle::from(self.cfg.l1_hit_latency + self.cfg.xbar_latency);
@@ -108,6 +114,23 @@ impl MemSystem {
             done = done.max(filled + Cycle::from(self.cfg.xbar_latency));
         }
         done
+    }
+
+    /// Convenience wrapper around [`MemSystem::serve`] that performs the L1
+    /// lookups too: filters `lines` through the caller-owned `l1` and hands
+    /// the misses to the shared hierarchy. Kept for callers that sit outside
+    /// the per-SM domains (unit tests, standalone experiments); the simulator
+    /// core itself filters in the SM domain and drains through the `IcnPort`.
+    pub fn access_lines(
+        &mut self,
+        kernel: KernelId,
+        l1: &mut Cache,
+        lines: &[Addr],
+        now: Cycle,
+    ) -> Cycle {
+        let misses: Vec<Addr> =
+            lines.iter().copied().filter(|&a| l1.access(a) == AccessOutcome::Miss).collect();
+        self.serve(kernel, &misses, lines.len() as u64, now)
     }
 
     /// Injects context save/restore traffic for a preemption of `kernel`:
@@ -137,11 +160,7 @@ impl MemSystem {
     /// horizon — it is exposed for introspection and as the memory system's
     /// half of the `next_event` protocol.
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        self.l2_queue
-            .iter()
-            .chain(&self.dram_queue)
-            .filter_map(|q| q.next_event(now))
-            .min()
+        self.l2_queue.iter().chain(&self.dram_queue).filter_map(|q| q.next_event(now)).min()
     }
 
     /// Per-kernel traffic counters.
@@ -175,11 +194,7 @@ impl MemSystem {
         if served == 0 {
             return 0.0;
         }
-        let weighted: f64 = self
-            .dram_queue
-            .iter()
-            .map(|q| q.mean_wait() * q.served() as f64)
-            .sum();
+        let weighted: f64 = self.dram_queue.iter().map(|q| q.mean_wait() * q.served() as f64).sum();
         weighted / served as f64
     }
 }
@@ -240,8 +255,7 @@ mod tests {
     fn addresses_spread_across_mcs() {
         let (m, _) = sys();
         let line = u64::from(m.config().line_bytes);
-        let mcs: std::collections::HashSet<usize> =
-            (0..8u64).map(|i| m.mc_for(i * line)).collect();
+        let mcs: std::collections::HashSet<usize> = (0..8u64).map(|i| m.mc_for(i * line)).collect();
         assert_eq!(mcs.len(), m.config().num_mcs as usize);
     }
 

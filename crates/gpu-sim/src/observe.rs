@@ -223,14 +223,8 @@ impl Snap for TraceEventKind {
     fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
         Ok(match u8::decode(r)? {
             0 => TraceEventKind::QuotaExhausted { kernel: u32::decode(r)? },
-            1 => TraceEventKind::PreemptStart {
-                kernel: u32::decode(r)?,
-                tb: u32::decode(r)?,
-            },
-            2 => TraceEventKind::PreemptComplete {
-                kernel: u32::decode(r)?,
-                tb: u32::decode(r)?,
-            },
+            1 => TraceEventKind::PreemptStart { kernel: u32::decode(r)?, tb: u32::decode(r)? },
+            2 => TraceEventKind::PreemptComplete { kernel: u32::decode(r)?, tb: u32::decode(r)? },
             3 => TraceEventKind::TbDispatch {
                 kernel: u32::decode(r)?,
                 tb: u32::decode(r)?,

@@ -32,7 +32,13 @@ pub struct EnergyBreakdown {
 impl EnergyBreakdown {
     /// Total energy.
     pub fn total(&self) -> f64 {
-        self.sm_static + self.sm_idle + self.alu + self.sfu + self.smem + self.l1 + self.l2
+        self.sm_static
+            + self.sm_idle
+            + self.alu
+            + self.sfu
+            + self.smem
+            + self.l1
+            + self.l2
             + self.dram
     }
 }
@@ -59,8 +65,8 @@ pub fn energy(gpu: &Gpu) -> EnergyBreakdown {
     for k in 0..crate::MAX_KERNELS {
         e.l1 += traffic.l1_accesses[k] as f64 * p.l1_per_access;
         e.l2 += traffic.l2_accesses[k] as f64 * p.l2_per_access;
-        e.dram += (traffic.dram_accesses[k] + traffic.context_transactions[k]) as f64
-            * p.dram_per_access;
+        e.dram +=
+            (traffic.dram_accesses[k] + traffic.context_transactions[k]) as f64 * p.dram_per_access;
     }
     e
 }

@@ -29,8 +29,7 @@ pub fn save_cycles(desc: &KernelDesc, cfg: &PreemptConfig) -> Cycle {
 
 /// Cycles to restore one TB of `desc` under `cfg`.
 pub fn load_cycles(desc: &KernelDesc, cfg: &PreemptConfig) -> Cycle {
-    desc.context_bytes_per_tb()
-        .div_ceil(u64::from(cfg.context_bytes_per_cycle.max(1)))
+    desc.context_bytes_per_tb().div_ceil(u64::from(cfg.context_bytes_per_cycle.max(1)))
 }
 
 /// Aggregate preemption statistics.

@@ -1,0 +1,353 @@
+//! The SM front end: per-cycle scheduler gather/choose/issue, the
+//! work-conserving scavenger, interconnect-port traffic, and the
+//! fast-forward horizon protocol.
+
+use crate::icn::{self, IcnRequest, IcnResponse};
+use crate::kernel::{KernelDesc, MemSpace, Op};
+use crate::memsys::MemSystem;
+use crate::observe::TraceEventKind;
+use crate::tb::{TbPhase, TbState};
+use crate::types::{per_kernel, Cycle, PerKernel};
+use crate::warp_sched::choose;
+use crate::MAX_KERNELS;
+
+use super::Sm;
+
+impl Sm {
+    pub(super) fn warp_issuable(&self, slot: u16, now: Cycle) -> bool {
+        let Some(w) = self.warps[slot as usize].as_ref() else { return false };
+        if w.done || w.at_barrier || w.ready_at > now {
+            return false;
+        }
+        self.tbs[w.tb_slot as usize].as_ref().is_some_and(|tb| tb.issuable(now))
+    }
+
+    /// The earliest future cycle at which this SM could change state, or
+    /// `None` if it is fully quiescent.
+    ///
+    /// A returned cycle `<= now` means the SM is busy *right now* (some
+    /// non-inert warp can issue this cycle), so fast-forward must not skip
+    /// anything. Horizons come from two sources: in-flight context
+    /// transitions (whose completion mutates slot state in
+    /// `process_transitions`) and stalled warps' `ready_at` scoreboards.
+    /// Warps never hold the [`icn::PENDING`] sentinel here: the machine
+    /// drains every port before it consults horizons.
+    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut horizon: Option<Cycle> = None;
+        for &slot in &self.transitioning {
+            if let Some(until) =
+                self.tbs[slot as usize].as_ref().and_then(TbState::transition_done_at)
+            {
+                horizon = Some(horizon.map_or(until, |h| h.min(until)));
+            }
+        }
+        if self.sched_frozen || self.used_threads == 0 {
+            // A frozen or empty SM never issues; only transitions can fire.
+            return horizon;
+        }
+        let inert: [bool; MAX_KERNELS] = std::array::from_fn(|k| self.quota_inert(k));
+        for w in self.warps.iter().flatten() {
+            if inert[w.kernel.index()] {
+                continue;
+            }
+            let Some(tb) = self.tbs[w.tb_slot as usize].as_ref() else { continue };
+            if let Some(wake) = w.next_wake(tb.phase) {
+                if wake <= now {
+                    return Some(wake);
+                }
+                horizon = Some(horizon.map_or(wake, |h| h.min(wake)));
+            }
+        }
+        horizon
+    }
+
+    /// Accounts for the idle cycles `[from, target)` jumped over by
+    /// fast-forward, mirroring exactly what per-cycle [`Sm::tick`] calls
+    /// would have done: a hosted, unfrozen SM burns busy cycles and empty
+    /// issue slots even when no warp can issue, and the gather loop counts
+    /// every issuable-but-quota-denied warp once per cycle. Neither the
+    /// freeze/occupancy conditions nor kernel inertness can change
+    /// mid-window (they only move on simulated cycles), so the quota-blocked
+    /// tally is replayed per warp from its scoreboard release to the window
+    /// end. Only quota-inert kernels can own issuable warps inside a skipped
+    /// window — a non-inert issuable warp would have held fast-forward back
+    /// via [`Sm::next_event`] — and transitioning TBs stay un-issuable for
+    /// the whole window because their completion is itself a horizon.
+    ///
+    /// Touches only this SM's private state, so the machine may run it for
+    /// all domains concurrently under `intra_parallel`.
+    pub(crate) fn note_skipped_cycles(&mut self, from: Cycle, target: Cycle) {
+        if self.sched_frozen || self.used_threads == 0 {
+            return;
+        }
+        let skipped = target - from;
+        self.busy_cycles += skipped;
+        self.issue_slots += skipped * u64::from(self.num_scheds);
+        let inert: [bool; MAX_KERNELS] = std::array::from_fn(|k| self.quota_inert(k));
+        if !inert.iter().any(|&b| b) {
+            return;
+        }
+        let mut blocked: PerKernel<u64> = per_kernel(|_| 0);
+        for w in self.warps.iter().flatten() {
+            let k = w.kernel.index();
+            if !inert[k] || w.done || w.at_barrier {
+                continue;
+            }
+            let active =
+                self.tbs[w.tb_slot as usize].as_ref().is_some_and(|tb| tb.phase == TbPhase::Active);
+            if !active {
+                continue;
+            }
+            let start = from.max(w.ready_at);
+            if start < target {
+                blocked[k] += target - start;
+            }
+        }
+        for (k, b) in blocked.iter().enumerate() {
+            self.quota_blocked[k] += b;
+        }
+    }
+
+    /// Advances the SM by one cycle, touching only domain-local state.
+    ///
+    /// Global-memory instructions do not reach the shared hierarchy here:
+    /// they are parked in this SM's `IcnPort` and served when the machine
+    /// calls [`Sm::drain_icn`] at the end-of-cycle barrier. Because every
+    /// read and write stays inside the domain, the machine may tick all SMs
+    /// concurrently under `intra_parallel` with bit-identical results.
+    pub(crate) fn tick(&mut self, now: Cycle) {
+        if !self.transitioning.is_empty() {
+            self.process_transitions(now);
+        }
+        if self.sched_frozen || self.used_threads == 0 {
+            return;
+        }
+        self.busy_cycles += 1;
+        self.issue_slots += u64::from(self.num_scheds);
+
+        for sid in 0..self.num_scheds {
+            // Gather issuable warps for this scheduler.
+            let mut ready = std::mem::take(&mut self.ready_buf);
+            ready.clear();
+            let mut slot = sid;
+            while slot < self.max_warps {
+                if self.warp_issuable(slot, now) {
+                    let k = self.warps[slot as usize].as_ref().expect("issuable warp").kernel;
+                    if self.quota_allows(k.index()) {
+                        let age = self.warps[slot as usize].as_ref().expect("warp").age;
+                        ready.push((slot, age));
+                    } else {
+                        self.quota_blocked[k.index()] += 1;
+                    }
+                }
+                slot += self.num_scheds;
+            }
+            let pick = choose(self.policy, &mut self.scheds[sid as usize], &ready);
+            self.ready_buf = ready;
+            if let Some(slot) = pick {
+                self.issue(slot, now);
+                self.issued_total += 1;
+            } else if let Some(slot) = self.scavenge(sid, now) {
+                // Work-conserving slack reclamation: the slot would idle --
+                // no admissible warp is ready -- so a quota-exhausted
+                // *non-QoS* warp may use it (QoS kernels stay throttled at
+                // their goals; this is the "keep them running" intent of
+                // the mid-epoch rule in section 3.4.1). The issue still
+                // debits the quota counter, so epoch accounting and the
+                // section 3.5 feedback see the true consumption.
+                self.issue(slot, now);
+                self.issued_total += 1;
+            }
+        }
+    }
+
+    /// Drains this SM's interconnect port into the shared memory system and
+    /// applies the responses to the issuing warps' scoreboards.
+    ///
+    /// The machine calls this once per cycle, after all SM domains have
+    /// ticked, iterating SMs in index order — so the shared queues observe
+    /// requests in exactly the order the old serial loop produced them
+    /// (SM 0's issues in scheduler order, then SM 1's, …), which is the
+    /// determinism argument for `intra_parallel` stepping (DESIGN.md §13).
+    pub(crate) fn drain_icn(&mut self, mem: &mut MemSystem, now: Cycle) {
+        if self.icn.requests.is_empty() {
+            return;
+        }
+        let mut port = std::mem::take(&mut self.icn);
+        for req in port.requests.drain(..) {
+            let s = req.miss_start as usize;
+            let misses = &port.lines[s..s + req.miss_len as usize];
+            let ready_at = mem.serve(req.kernel, misses, u64::from(req.total_lines), now);
+            port.responses.push(IcnResponse { warp_slot: req.warp_slot, ready_at });
+        }
+        port.lines.clear();
+        for resp in port.responses.drain(..) {
+            // A vacated slot means the warp retired on this very instruction
+            // and its whole TB completed at issue time; the serial path wrote
+            // the completion cycle into a warp that was removed in the same
+            // call, so dropping the response is identical. Slots cannot have
+            // been *reused* yet: dispatch only happens in the TB scheduler's
+            // service pass, outside the tick→drain window.
+            if let Some(w) = self.warps[resp.warp_slot as usize].as_mut() {
+                w.ready_at = resp.ready_at;
+            }
+        }
+        // Hand the (now empty) buffers back so next cycle reuses the
+        // allocations.
+        self.icn = port;
+    }
+
+    /// Steps the SM one cycle *and* drains its port immediately — the
+    /// single-SM equivalent of the machine's tick→barrier→drain sequence,
+    /// for tests that drive an SM without a `Gpu` around it.
+    #[cfg(test)]
+    pub(crate) fn step(&mut self, now: Cycle, mem: &mut MemSystem) {
+        self.tick(now);
+        self.drain_icn(mem, now);
+    }
+
+    /// Oldest issuable non-QoS warp whose kernel is only blocked by an
+    /// exhausted quota; `None` under the Rollover-Time priority gate while
+    /// QoS quota remains (strict time multiplexing is that scheme's point).
+    fn scavenge(&self, sid: u16, now: Cycle) -> Option<u16> {
+        if self.quota_frozen {
+            return None;
+        }
+        if self.priority_block && self.any_qos_quota_positive() {
+            return None;
+        }
+        let mut best: Option<(u16, u64)> = None;
+        let mut slot = sid;
+        while slot < self.max_warps {
+            if self.warp_issuable(slot, now) {
+                let w = self.warps[slot as usize].as_ref().expect("issuable warp");
+                let k = w.kernel.index();
+                if self.gated[k] && !self.is_qos[k] && self.quota[k] <= 0 {
+                    match best {
+                        Some((_, age)) if age <= w.age => {}
+                        _ => best = Some((slot, w.age)),
+                    }
+                }
+            }
+            slot += self.num_scheds;
+        }
+        best.map(|(slot, _)| slot)
+    }
+
+    fn issue(&mut self, slot: u16, now: Cycle) {
+        let k = self.warps[slot as usize].as_ref().expect("issued warp exists").kernel.index();
+        // `Op` is `Copy` and the body length is all the control flow needs,
+        // so the hot path avoids cloning the kernel's `Arc`.
+        let (op, body_len) = {
+            let d = self.descs[k].as_ref().expect("desc");
+            let w = self.warps[slot as usize].as_ref().expect("warp");
+            (d.body()[w.pc as usize], d.body().len())
+        };
+        let w = self.warps[slot as usize].as_mut().expect("issued warp exists");
+
+        if w.rem == 0 {
+            w.rem = match op {
+                Op::Alu { repeat, .. } | Op::Sfu { repeat, .. } => repeat.max(1),
+                Op::Mem { .. } | Op::Bar => 1,
+            };
+        }
+
+        let lanes;
+        match op {
+            Op::Alu { latency, active_lanes, .. } => {
+                lanes = active_lanes;
+                w.ready_at = now + Cycle::from(latency.max(1));
+                self.alu_thread_insts[k] += u64::from(active_lanes);
+            }
+            Op::Sfu { latency, active_lanes, .. } => {
+                lanes = active_lanes;
+                w.ready_at = now + Cycle::from(latency.max(1));
+                self.sfu_thread_insts[k] += u64::from(active_lanes);
+            }
+            Op::Mem { space: MemSpace::Shared, active_lanes, .. } => {
+                lanes = active_lanes;
+                w.ready_at = now + Cycle::from(self.l1_hit_latency);
+                self.smem_accesses[k] += u64::from(active_lanes);
+            }
+            Op::Mem { space: MemSpace::Global, pattern, active_lanes, .. } => {
+                lanes = active_lanes;
+                let tb_index =
+                    self.tbs[w.tb_slot as usize].as_ref().expect("TB of issuing warp").tb_index.0;
+                let mut buf = [0u64; 32];
+                let n = w.gen_lines(
+                    &pattern,
+                    KernelDesc::base_addr(k),
+                    self.line_bytes,
+                    tb_index,
+                    &mut buf,
+                );
+                // The private L1 is looked up here, inside the domain; only
+                // the misses cross the interconnect. The request is enqueued
+                // even when every line hit, because the L1-access ledger
+                // lives in the memory domain and counts total lines. The
+                // warp parks on the PENDING sentinel until the drain writes
+                // the real completion cycle later this same cycle.
+                let miss_start = self.icn.lines.len() as u32;
+                for &addr in &buf[..n] {
+                    if self.l1.access(addr) == crate::cache::AccessOutcome::Miss {
+                        self.icn.lines.push(addr);
+                    }
+                }
+                let miss_len = self.icn.lines.len() as u32 - miss_start;
+                self.icn.requests.push(IcnRequest {
+                    kernel: w.kernel,
+                    warp_slot: slot,
+                    total_lines: n as u32,
+                    miss_start,
+                    miss_len,
+                });
+                w.ready_at = icn::PENDING;
+            }
+            Op::Bar => {
+                lanes = crate::WARP_SIZE as u8;
+                w.ready_at = now + 1;
+            }
+        }
+
+        // Retire one dynamic instruction and advance the program counter.
+        w.rem -= 1;
+        let mut arrived_barrier = false;
+        let mut retired = false;
+        if w.rem == 0 {
+            w.pc += 1;
+            if usize::from(w.pc) == body_len {
+                w.iter -= 1;
+                if w.iter == 0 {
+                    w.done = true;
+                    retired = true;
+                } else {
+                    w.pc = 0;
+                }
+            }
+            if matches!(op, Op::Bar) {
+                w.at_barrier = true;
+                arrived_barrier = true;
+            }
+        }
+        let tb_slot = w.tb_slot;
+
+        self.counters[k].thread_insts += u64::from(lanes);
+        self.counters[k].warp_insts += 1;
+        if self.gated[k] {
+            let before = self.quota[k];
+            self.quota[k] -= i64::from(lanes);
+            self.quota_debit[k] += i64::from(lanes);
+            if before > 0 && self.quota[k] <= 0 {
+                self.quota_exhaustions[k] += 1;
+                self.record(now, TraceEventKind::QuotaExhausted { kernel: k as u32 });
+            }
+        }
+
+        if arrived_barrier {
+            self.note_barrier_arrival(tb_slot, now);
+        }
+        if retired {
+            self.note_warp_retired(tb_slot, now);
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! A streaming multiprocessor: one self-contained execution domain.
+//!
+//! The SM executes resident thread blocks' warps under a warp-scheduling
+//! policy, gated by the per-kernel *quota counters* that implement the
+//! paper's Enhanced Warp Scheduler (EWS): a kernel whose counter is
+//! exhausted is simply skipped by the (otherwise unmodified) scheduler.
+//! Mid-epoch refill rules (non-QoS top-up, elastic epoch restart) are
+//! evaluated lazily when a blocked warp is encountered, so the per-cycle
+//! issue loop stays branch-light.
+//!
+//! Every field of [`Sm`] is private, domain-local state: warp and TB slots,
+//! the private L1, quota counters, statistics, and the flight-recorder ring.
+//! The one piece of shared machine state an SM used to reach into — the
+//! L2/DRAM hierarchy — is now behind the typed [`crate::icn::IcnPort`]
+//! boundary: [`Sm::tick`] takes no `MemSystem` and instead enqueues requests
+//! that the machine drains at the end-of-cycle barrier in stable SM-index
+//! order (DESIGN.md §13). That isolation is what lets `intra_parallel`
+//! stepping run SM domains on concurrent threads with bit-identical results.
+//!
+//! Module map:
+//!
+//! | module    | owns                                                        |
+//! |-----------|-------------------------------------------------------------|
+//! | `mod.rs`  | the [`Sm`] struct, construction, snapshot codec              |
+//! | `slots`   | occupancy: TB dispatch, preemption, completion, audits       |
+//! | `quota`   | the EWS quota gate: carry rules, refills, fault freezes      |
+//! | `issue`   | the front end: schedulers, issue, `IcnPort` traffic, horizons|
+//! | `observe` | sampling, counters, and every read-only stats accessor       |
+
+mod issue;
+mod observe;
+mod quota;
+mod slots;
+#[cfg(test)]
+mod tests;
+
+pub use quota::QuotaCarry;
+
+use std::sync::Arc;
+
+use crate::cache::Cache;
+use crate::config::GpuConfig;
+use crate::icn::IcnPort;
+use crate::kernel::KernelDesc;
+use crate::observe::{EventRing, TraceEvent, TraceEventKind};
+use crate::preempt::{PreemptStats, SavedTb};
+use crate::tb::TbState;
+use crate::types::{per_kernel, Cycle, KernelId, PerKernel, SmId, TbIndex};
+use crate::warp::WarpState;
+use crate::warp_sched::{Candidate, SchedPolicy, SchedulerState};
+
+/// Per-kernel issue counters of one SM for one epoch.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SmKernelCounters {
+    /// Thread-level instructions issued (what quotas count).
+    pub thread_insts: u64,
+    /// Warp-level instructions issued.
+    pub warp_insts: u64,
+}
+
+/// A streaming multiprocessor.
+#[derive(Debug)]
+pub struct Sm {
+    id: SmId,
+    policy: SchedPolicy,
+    num_scheds: u16,
+    max_warps: u16,
+    max_tbs: u16,
+    max_threads: u32,
+    regfile_bytes: u64,
+    smem_bytes: u64,
+
+    l1: Cache,
+    descs: PerKernel<Option<Arc<KernelDesc>>>,
+
+    // Domain-local copies of machine config consulted on the issue path;
+    // the SM must not reach across the interconnect boundary to read them.
+    l1_hit_latency: u32,
+    line_bytes: u32,
+
+    used_threads: u32,
+    used_regs: u64,
+    used_smem: u64,
+
+    warps: Vec<Option<WarpState>>,
+    tbs: Vec<Option<TbState>>,
+    free_warps: Vec<u16>,
+    free_tbs: Vec<u16>,
+    scheds: Vec<SchedulerState>,
+    next_age: u64,
+    transitioning: Vec<u16>,
+
+    // --- interconnect boundary (DESIGN.md §13) ---
+    // Requests filled by `issue`, drained by the machine at the end-of-cycle
+    // barrier; empty outside the step→drain window of a single cycle.
+    icn: IcnPort,
+
+    // --- quota state (EWS) ---
+    quota: PerKernel<i64>,
+    gated: PerKernel<bool>,
+    refill: PerKernel<i64>,
+    is_qos: PerKernel<bool>,
+    elastic: bool,
+    priority_block: bool,
+
+    // --- quota double-entry ledger (audit mode) ---
+    // Every change to `quota` flows through exactly two channels: credits
+    // (epoch grants, mid-epoch refills) and debits (issued lanes while
+    // gated). `quota[k] == quota_credit[k] - quota_debit[k]` is then a
+    // conservation law any stray mutation breaks.
+    quota_credit: PerKernel<i64>,
+    quota_debit: PerKernel<i64>,
+
+    // --- injected faults ---
+    quota_frozen: bool,
+    sched_frozen: bool,
+    preempt_stalled: bool,
+
+    // --- statistics ---
+    hosted: PerKernel<u16>,
+    counters: PerKernel<SmKernelCounters>,
+    alu_thread_insts: PerKernel<u64>,
+    sfu_thread_insts: PerKernel<u64>,
+    smem_accesses: PerKernel<u64>,
+    busy_cycles: u64,
+    issue_slots: u64,
+    issued_total: u64,
+    idle_warp_acc: PerKernel<u64>,
+    idle_samples: u64,
+    preempt_stats: PreemptStats,
+
+    // --- observability (counter registry + flight recorder, DESIGN.md §12) ---
+    trace_on: bool,
+    events: EventRing,
+    quota_blocked: PerKernel<u64>,
+    quota_exhaustions: PerKernel<u64>,
+    scoreboard_waits: PerKernel<u64>,
+
+    // --- outboxes drained by the TB scheduler ---
+    completed: Vec<(KernelId, TbIndex)>,
+    saved: Vec<(KernelId, SavedTb)>,
+
+    ready_buf: Vec<Candidate>,
+}
+
+impl Sm {
+    /// Builds an SM from the GPU configuration.
+    pub fn new(id: SmId, cfg: &GpuConfig) -> Self {
+        let max_warps = cfg.sm.max_warps() as u16;
+        let max_tbs = cfg.sm.max_tbs as u16;
+        Sm {
+            id,
+            policy: cfg.sm.sched_policy,
+            num_scheds: cfg.sm.warp_schedulers as u16,
+            max_warps,
+            max_tbs,
+            max_threads: cfg.sm.max_threads,
+            regfile_bytes: cfg.sm.register_file_bytes,
+            smem_bytes: cfg.sm.shared_mem_bytes,
+            l1: Cache::new(cfg.mem.l1_bytes, cfg.mem.l1_ways, cfg.mem.line_bytes),
+            descs: per_kernel(|_| None),
+            l1_hit_latency: cfg.mem.l1_hit_latency,
+            line_bytes: cfg.mem.line_bytes,
+            used_threads: 0,
+            used_regs: 0,
+            used_smem: 0,
+            warps: (0..max_warps).map(|_| None).collect(),
+            tbs: (0..max_tbs).map(|_| None).collect(),
+            free_warps: (0..max_warps).rev().collect(),
+            free_tbs: (0..max_tbs).rev().collect(),
+            scheds: vec![SchedulerState::default(); cfg.sm.warp_schedulers as usize],
+            next_age: 0,
+            transitioning: Vec::new(),
+            icn: IcnPort::default(),
+            quota: per_kernel(|_| 0),
+            gated: per_kernel(|_| false),
+            refill: per_kernel(|_| 0),
+            is_qos: per_kernel(|_| false),
+            elastic: false,
+            priority_block: false,
+            quota_credit: per_kernel(|_| 0),
+            quota_debit: per_kernel(|_| 0),
+            quota_frozen: false,
+            sched_frozen: false,
+            preempt_stalled: false,
+            hosted: per_kernel(|_| 0),
+            counters: per_kernel(|_| SmKernelCounters::default()),
+            alu_thread_insts: per_kernel(|_| 0),
+            sfu_thread_insts: per_kernel(|_| 0),
+            smem_accesses: per_kernel(|_| 0),
+            busy_cycles: 0,
+            issue_slots: 0,
+            issued_total: 0,
+            idle_warp_acc: per_kernel(|_| 0),
+            idle_samples: 0,
+            preempt_stats: PreemptStats::default(),
+            trace_on: cfg.trace.level.is_on(),
+            events: EventRing::new(if cfg.trace.level.is_on() {
+                cfg.trace.ring_capacity
+            } else {
+                0
+            }),
+            quota_blocked: per_kernel(|_| 0),
+            quota_exhaustions: per_kernel(|_| 0),
+            scoreboard_waits: per_kernel(|_| 0),
+            completed: Vec::new(),
+            saved: Vec::new(),
+            ready_buf: Vec::with_capacity(max_warps as usize),
+        }
+    }
+
+    /// This SM's identifier.
+    pub fn id(&self) -> SmId {
+        self.id
+    }
+
+    /// Records a flight-recorder event. A single branch when tracing is off,
+    /// so the hot path stays free of ring-buffer work at level `Off`.
+    #[inline]
+    fn record(&mut self, cycle: Cycle, kind: TraceEventKind) {
+        if self.trace_on {
+            self.events.push(TraceEvent { cycle, sm: Some(self.id.index() as u32), kind });
+        }
+    }
+}
+
+crate::impl_snap_struct!(SmKernelCounters { thread_insts, warp_insts });
+
+// `ready_buf` is per-tick scratch, always drained before `tick` returns, and
+// `icn` is pure transit state, always empty outside the step→drain window of
+// one cycle (snapshots are taken at epoch boundaries, between cycles), so a
+// restored SM starts with empty (re-growable) buffers for both.
+crate::impl_snap_struct!(Sm {
+    id,
+    policy,
+    num_scheds,
+    max_warps,
+    max_tbs,
+    max_threads,
+    regfile_bytes,
+    smem_bytes,
+    l1,
+    descs,
+    l1_hit_latency,
+    line_bytes,
+    used_threads,
+    used_regs,
+    used_smem,
+    warps,
+    tbs,
+    free_warps,
+    free_tbs,
+    scheds,
+    next_age,
+    transitioning,
+    quota,
+    gated,
+    refill,
+    is_qos,
+    elastic,
+    priority_block,
+    quota_credit,
+    quota_debit,
+    quota_frozen,
+    sched_frozen,
+    preempt_stalled,
+    hosted,
+    counters,
+    alu_thread_insts,
+    sfu_thread_insts,
+    smem_accesses,
+    busy_cycles,
+    issue_slots,
+    issued_total,
+    idle_warp_acc,
+    idle_samples,
+    preempt_stats,
+    trace_on,
+    events,
+    quota_blocked,
+    quota_exhaustions,
+    scoreboard_waits,
+    completed,
+    saved,
+} skip { ready_buf, icn });

@@ -1,0 +1,381 @@
+//! Occupancy and slot accounting: TB dispatch, preemption context switches,
+//! completion outboxes, and the epoch-boundary invariant audit.
+
+use std::sync::Arc;
+
+use crate::health::AuditKind;
+use crate::kernel::KernelDesc;
+use crate::observe::TraceEventKind;
+use crate::preempt::SavedTb;
+use crate::rng::derive_seed;
+use crate::tb::{TbPhase, TbState};
+use crate::types::{Cycle, KernelId, TbIndex};
+use crate::warp::{WarpProgress, WarpState};
+use crate::MAX_KERNELS;
+
+use super::Sm;
+
+impl Sm {
+    /// Registers the kernel description for slot `k` (done once at launch).
+    pub(crate) fn set_kernel_desc(&mut self, k: KernelId, desc: Arc<KernelDesc>) {
+        self.descs[k.index()] = Some(desc);
+    }
+
+    /// Whether one more TB of `desc` fits in the remaining resources.
+    pub fn can_host(&self, desc: &KernelDesc) -> bool {
+        !self.free_tbs.is_empty()
+            && self.free_warps.len() >= desc.warps_per_tb() as usize
+            && self.used_threads + desc.threads_per_tb() <= self.max_threads
+            && self.used_regs + desc.regfile_bytes_per_tb() <= self.regfile_bytes
+            && self.used_smem + desc.smem_per_tb() <= self.smem_bytes
+    }
+
+    /// Maximum TBs of `desc` an (empty) SM of this configuration can hold.
+    pub fn max_resident_tbs(&self, desc: &KernelDesc) -> u32 {
+        let by_tbs = u32::from(self.max_tbs);
+        let by_warps = u32::from(self.max_warps) / desc.warps_per_tb();
+        let by_threads = self.max_threads / desc.threads_per_tb();
+        let by_regs = (self.regfile_bytes / desc.regfile_bytes_per_tb().max(1)) as u32;
+        let by_smem = if desc.smem_per_tb() == 0 {
+            u32::MAX
+        } else {
+            (self.smem_bytes / desc.smem_per_tb()) as u32
+        };
+        by_tbs.min(by_warps).min(by_threads).min(by_regs).min(by_smem)
+    }
+
+    /// Number of TBs of kernel `k` currently resident (including loading /
+    /// saving ones).
+    pub fn hosted_tbs(&self, k: KernelId) -> u32 {
+        u32::from(self.hosted[k.index()])
+    }
+
+    /// Dispatches one TB of kernel `k`, optionally resuming saved context.
+    /// The TB's warps may issue after `load_cost` cycles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the TB does not fit (callers check [`Sm::can_host`]) or the
+    /// kernel description was not registered.
+    pub(crate) fn dispatch(
+        &mut self,
+        k: KernelId,
+        tb_index: TbIndex,
+        resume: Option<SavedTb>,
+        now: Cycle,
+        load_cost: Cycle,
+    ) {
+        let desc = self.descs[k.index()].as_ref().expect("kernel desc registered").clone();
+        assert!(self.can_host(&desc), "dispatch without capacity on {}", self.id);
+        let resumed = resume.is_some();
+        let tb_slot = self.free_tbs.pop().expect("free TB slot");
+        let warps_per_tb = desc.warps_per_tb() as u16;
+        let mut warp_slots = Vec::with_capacity(warps_per_tb as usize);
+        let mut warps_done = 0u16;
+        let saved_warps = resume.as_ref().map(|s| &s.warps);
+        if let Some(s) = &resume {
+            assert_eq!(s.tb_index, tb_index, "resume must target the saved TB index");
+            assert_eq!(s.warps.len(), warps_per_tb as usize, "saved warp count mismatch");
+            self.preempt_stats.resumes += 1;
+            self.preempt_stats.transfer_cycles += load_cost;
+        }
+        for wi in 0..warps_per_tb {
+            let slot = self.free_warps.pop().expect("free warp slot");
+            let warp_uid = u64::from(tb_index.0) * u64::from(warps_per_tb) + u64::from(wi);
+            let mut w = WarpState {
+                kernel: k,
+                tb_slot,
+                warp_in_tb: wi,
+                warp_uid,
+                pc: 0,
+                rem: 0,
+                iter: desc.iterations(),
+                ready_at: now + load_cost,
+                at_barrier: false,
+                done: false,
+                seq: 0,
+                rng: crate::rng::SplitMix64::new(derive_seed(desc.seed(), warp_uid)),
+                age: self.next_age,
+            };
+            self.next_age += 1;
+            if let Some(saved) = saved_warps {
+                let p: &WarpProgress = &saved[wi as usize];
+                w.pc = p.pc;
+                w.rem = p.rem;
+                w.iter = p.iter;
+                w.seq = p.seq;
+                w.done = p.done;
+                w.rng = p.rng.clone();
+                if p.done {
+                    warps_done += 1;
+                }
+            }
+            self.warps[slot as usize] = Some(w);
+            warp_slots.push(slot);
+        }
+        self.used_threads += desc.threads_per_tb();
+        self.used_regs += desc.regfile_bytes_per_tb();
+        self.used_smem += desc.smem_per_tb();
+        self.hosted[k.index()] += 1;
+        self.tbs[tb_slot as usize] = Some(TbState {
+            kernel: k,
+            tb_index,
+            warp_slots,
+            warps_done,
+            barrier_arrived: 0,
+            phase: TbPhase::Loading(now + load_cost),
+        });
+        self.transitioning.push(tb_slot);
+        self.record(
+            now,
+            TraceEventKind::TbDispatch { kernel: k.index() as u32, tb: tb_index.0, resumed },
+        );
+    }
+
+    /// Starts a partial context switch of one `k` TB (the most recently
+    /// dispatched active one). Returns `false` if no active TB of `k` is
+    /// resident.
+    pub(crate) fn start_preempt(&mut self, k: KernelId, now: Cycle, save_cost: Cycle) -> bool {
+        if self.preempt_stalled {
+            return false;
+        }
+        let victim = self
+            .tbs
+            .iter()
+            .enumerate()
+            .filter_map(|(i, tb)| tb.as_ref().map(|t| (i, t)))
+            .filter(|(_, t)| t.kernel == k && t.phase == TbPhase::Active && !t.finished())
+            .map(|(i, t)| (i, t.tb_index.0))
+            .max_by_key(|&(_, idx)| idx);
+        let Some((slot, victim_tb)) = victim else { return false };
+        let tb = self.tbs[slot].as_mut().expect("victim TB present");
+        tb.phase = TbPhase::Saving(now + save_cost);
+        // Warps parked at a barrier would deadlock the saved context check;
+        // the barrier state is recomputed on resume, so release the arrivals.
+        tb.barrier_arrived = 0;
+        self.preempt_stats.saves += 1;
+        self.preempt_stats.transfer_cycles += save_cost;
+        self.transitioning.push(slot as u16);
+        self.record(now, TraceEventKind::PreemptStart { kernel: k.index() as u32, tb: victim_tb });
+        true
+    }
+
+    /// Whether any TB is currently loading or saving context.
+    pub fn context_switch_in_flight(&self) -> bool {
+        self.transitioning.iter().any(|&s| {
+            matches!(
+                self.tbs[s as usize].as_ref().map(|t| t.phase),
+                Some(TbPhase::Saving(_)) | Some(TbPhase::Loading(_))
+            )
+        })
+    }
+
+    pub(super) fn process_transitions(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.transitioning.len() {
+            let slot = self.transitioning[i];
+            let phase = self.tbs[slot as usize].as_ref().map(|t| t.phase);
+            match phase {
+                Some(TbPhase::Loading(until)) if now >= until => {
+                    self.tbs[slot as usize].as_mut().expect("loading TB").phase = TbPhase::Active;
+                    self.transitioning.swap_remove(i);
+                }
+                Some(TbPhase::Saving(until)) if now >= until => {
+                    self.finalize_save(slot, now);
+                    self.transitioning.swap_remove(i);
+                }
+                None => {
+                    // The TB completed while transitioning bookkeeping was
+                    // pending (cannot normally happen; defensive).
+                    self.transitioning.swap_remove(i);
+                }
+                _ => i += 1,
+            }
+        }
+    }
+
+    fn finalize_save(&mut self, tb_slot: u16, now: Cycle) {
+        let tb = self.tbs[tb_slot as usize].take().expect("saving TB present");
+        let desc = self.descs[tb.kernel.index()].as_ref().expect("desc").clone();
+        let mut warps = Vec::with_capacity(tb.warp_slots.len());
+        for &ws in &tb.warp_slots {
+            let w = self.warps[ws as usize].take().expect("warp of saving TB");
+            warps.push(WarpProgress::capture(&w));
+            self.free_warps.push(ws);
+        }
+        self.release_resources(&desc);
+        self.hosted[tb.kernel.index()] -= 1;
+        self.free_tbs.push(tb_slot);
+        let (kernel, tb_index) = (tb.kernel, tb.tb_index);
+        self.saved.push((tb.kernel, SavedTb { tb_index: tb.tb_index, warps }));
+        self.record(
+            now,
+            TraceEventKind::PreemptComplete { kernel: kernel.index() as u32, tb: tb_index.0 },
+        );
+    }
+
+    fn release_resources(&mut self, desc: &KernelDesc) {
+        self.used_threads -= desc.threads_per_tb();
+        self.used_regs -= desc.regfile_bytes_per_tb();
+        self.used_smem -= desc.smem_per_tb();
+    }
+
+    pub(super) fn note_barrier_arrival(&mut self, tb_slot: u16, now: Cycle) {
+        let tb = self.tbs[tb_slot as usize].as_mut().expect("TB at barrier");
+        tb.barrier_arrived += 1;
+        let live = tb.warp_slots.len() as u16 - tb.warps_done;
+        if tb.barrier_arrived >= live {
+            tb.barrier_arrived = 0;
+            let slots = tb.warp_slots.clone();
+            for ws in slots {
+                if let Some(w) = self.warps[ws as usize].as_mut() {
+                    if w.at_barrier {
+                        w.at_barrier = false;
+                        w.ready_at = w.ready_at.max(now + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    pub(super) fn note_warp_retired(&mut self, tb_slot: u16, now: Cycle) {
+        let finished = {
+            let tb = self.tbs[tb_slot as usize].as_mut().expect("TB of retiring warp");
+            tb.warps_done += 1;
+            tb.finished()
+        };
+        if finished {
+            let tb = self.tbs[tb_slot as usize].take().expect("finished TB");
+            let desc = self.descs[tb.kernel.index()].as_ref().expect("desc").clone();
+            for &ws in &tb.warp_slots {
+                self.warps[ws as usize] = None;
+                self.free_warps.push(ws);
+            }
+            self.release_resources(&desc);
+            self.hosted[tb.kernel.index()] -= 1;
+            self.free_tbs.push(tb_slot);
+            self.record(
+                now,
+                TraceEventKind::TbDrain { kernel: tb.kernel.index() as u32, tb: tb.tb_index.0 },
+            );
+            self.completed.push((tb.kernel, tb.tb_index));
+        }
+    }
+
+    /// Whether TB completions or finished context saves are waiting for the
+    /// TB scheduler's next service pass.
+    pub(crate) fn has_pending_notifications(&self) -> bool {
+        !self.completed.is_empty() || !self.saved.is_empty()
+    }
+
+    /// Drains TB-completion notifications for the TB scheduler.
+    pub(crate) fn drain_completed(&mut self, out: &mut Vec<(KernelId, TbIndex)>) {
+        out.append(&mut self.completed);
+    }
+
+    /// Drains saved-context notifications for the TB scheduler.
+    pub(crate) fn drain_saved(&mut self, out: &mut Vec<(KernelId, SavedTb)>) {
+        out.append(&mut self.saved);
+    }
+
+    /// Re-derives this SM's bookkeeping from its resident TBs and checks it
+    /// against the incrementally maintained state. Returns the first
+    /// violated invariant. Called at epoch boundaries in audit mode.
+    pub fn audit_invariants(&self) -> Result<(), (AuditKind, String)> {
+        let mut threads = 0u32;
+        let mut regs = 0u64;
+        let mut smem = 0u64;
+        let mut hosted = [0u16; MAX_KERNELS];
+        let mut live_tbs = 0usize;
+        for (slot, tb) in self.tbs.iter().enumerate() {
+            let Some(tb) = tb.as_ref() else { continue };
+            let k = tb.kernel.index();
+            let Some(desc) = self.descs[k].as_ref() else {
+                return Err((
+                    AuditKind::SlotAccounting,
+                    format!("TB slot {slot} hosts unregistered kernel {k}"),
+                ));
+            };
+            threads += desc.threads_per_tb();
+            regs += desc.regfile_bytes_per_tb();
+            smem += desc.smem_per_tb();
+            hosted[k] += 1;
+            live_tbs += 1;
+            for &ws in &tb.warp_slots {
+                let ok = self.warps[ws as usize]
+                    .as_ref()
+                    .is_some_and(|w| w.kernel == tb.kernel && w.tb_slot == slot as u16);
+                if !ok {
+                    return Err((
+                        AuditKind::SlotAccounting,
+                        format!("TB slot {slot} claims warp slot {ws} it does not own"),
+                    ));
+                }
+            }
+        }
+        if threads > self.max_threads || regs > self.regfile_bytes || smem > self.smem_bytes {
+            return Err((
+                AuditKind::Occupancy,
+                format!(
+                    "resident TBs need {threads} threads / {regs} reg bytes / {smem} smem \
+                     bytes, limits are {} / {} / {}",
+                    self.max_threads, self.regfile_bytes, self.smem_bytes
+                ),
+            ));
+        }
+        if threads != self.used_threads || regs != self.used_regs || smem != self.used_smem {
+            return Err((
+                AuditKind::Occupancy,
+                format!(
+                    "tracked occupancy {}t/{}r/{}s != recomputed {threads}t/{regs}r/{smem}s",
+                    self.used_threads, self.used_regs, self.used_smem
+                ),
+            ));
+        }
+        for (k, &count) in hosted.iter().enumerate() {
+            if count != self.hosted[k] {
+                return Err((
+                    AuditKind::SlotAccounting,
+                    format!(
+                        "kernel {k}: hosted counter {} != {count} resident TBs",
+                        self.hosted[k]
+                    ),
+                ));
+            }
+        }
+        if self.free_tbs.len() + live_tbs != self.max_tbs as usize {
+            return Err((
+                AuditKind::SlotAccounting,
+                format!(
+                    "{} free + {live_tbs} live TB slots != {} total",
+                    self.free_tbs.len(),
+                    self.max_tbs
+                ),
+            ));
+        }
+        let live_warps = self.warps.iter().filter(|w| w.is_some()).count();
+        if self.free_warps.len() + live_warps != self.max_warps as usize {
+            return Err((
+                AuditKind::SlotAccounting,
+                format!(
+                    "{} free + {live_warps} live warp slots != {} total",
+                    self.free_warps.len(),
+                    self.max_warps
+                ),
+            ));
+        }
+        for k in 0..MAX_KERNELS {
+            let expected = self.quota_credit[k] - self.quota_debit[k];
+            if self.quota[k] != expected {
+                return Err((
+                    AuditKind::QuotaLedger,
+                    format!(
+                        "kernel {k}: quota {} != credits {} - debits {}",
+                        self.quota[k], self.quota_credit[k], self.quota_debit[k]
+                    ),
+                ));
+            }
+        }
+        Ok(())
+    }
+}

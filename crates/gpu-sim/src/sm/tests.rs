@@ -1,0 +1,378 @@
+//! Unit tests for the SM domain. Tests drive a lone SM with [`Sm::step`]
+//! (tick + immediate port drain), the single-SM equivalent of the machine's
+//! tick→barrier→drain sequence.
+
+use std::sync::Arc;
+
+use super::*;
+use crate::config::GpuConfig;
+use crate::kernel::{AccessPattern, KernelDesc, Op};
+use crate::memsys::MemSystem;
+use crate::types::{KernelId, SmId, TbIndex};
+
+fn setup(body: Vec<Op>, iters: u32) -> (Sm, MemSystem, Arc<KernelDesc>) {
+    let cfg = GpuConfig::tiny();
+    let sm = Sm::new(SmId::new(0), &cfg);
+    let mem = MemSystem::new(cfg.mem.clone());
+    let desc = Arc::new(
+        KernelDesc::builder("t")
+            .threads_per_tb(64)
+            .regs_per_thread(16)
+            .iterations(iters)
+            .grid_tbs(8)
+            .body(body)
+            .build(),
+    );
+    (sm, mem, desc)
+}
+
+fn run(sm: &mut Sm, mem: &mut MemSystem, cycles: u64) {
+    for now in 0..cycles {
+        sm.step(now, mem);
+    }
+}
+
+#[test]
+fn dispatch_occupies_and_completion_frees() {
+    let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 4)], 2);
+    let k = KernelId::new(0);
+    sm.set_kernel_desc(k, desc.clone());
+    sm.dispatch(k, TbIndex(0), None, 0, 0);
+    assert_eq!(sm.hosted_tbs(k), 1);
+    assert_eq!(sm.used_threads(), 64);
+    run(&mut sm, &mut mem, 200);
+    assert_eq!(sm.hosted_tbs(k), 0, "TB should complete and free");
+    assert_eq!(sm.used_threads(), 0);
+    let mut done = Vec::new();
+    sm.drain_completed(&mut done);
+    assert_eq!(done, vec![(k, TbIndex(0))]);
+    // 2 warps * 2 iters * 4 insts * 32 lanes
+    assert_eq!(sm.counters(k).thread_insts, 2 * 2 * 4 * 32);
+}
+
+#[test]
+fn quota_gating_throttles_kernel() {
+    let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+    let k = KernelId::new(0);
+    sm.set_kernel_desc(k, desc);
+    sm.dispatch(k, TbIndex(0), None, 0, 0);
+    sm.set_gated(k, true);
+    sm.set_qos_kernel(k, true);
+    sm.set_epoch_quota(k, 320, QuotaCarry::DiscardSurplus, 0);
+    run(&mut sm, &mut mem, 1_000);
+    // 320 thread-insts = 10 warp instructions; slight overshoot of one
+    // warp instruction per scheduler is possible at the boundary.
+    let issued = sm.counters(k).thread_insts;
+    assert!(issued >= 320, "must consume its quota, got {issued}");
+    assert!(issued <= 320 + 32 * 2, "throttled soon after exhaustion, got {issued}");
+    assert!(sm.quota(k) <= 0);
+}
+
+#[test]
+fn nonqos_refill_after_qos_exhausted() {
+    let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+    let q = KernelId::new(0);
+    let n = KernelId::new(1);
+    sm.set_kernel_desc(q, desc.clone());
+    sm.set_kernel_desc(n, desc);
+    sm.dispatch(q, TbIndex(0), None, 0, 0);
+    sm.dispatch(n, TbIndex(0), None, 0, 0);
+    for (k, qos) in [(q, true), (n, false)] {
+        sm.set_gated(k, true);
+        sm.set_qos_kernel(k, qos);
+    }
+    sm.set_epoch_quota(q, 320, QuotaCarry::DiscardSurplus, 0);
+    sm.set_epoch_quota(n, 320, QuotaCarry::DiscardSurplus, 320);
+    run(&mut sm, &mut mem, 2_000);
+    let qi = sm.counters(q).thread_insts;
+    let ni = sm.counters(n).thread_insts;
+    assert!(qi <= 320 + 64, "QoS kernel stays near quota, got {qi}");
+    assert!(ni > 10 * 320, "non-QoS kernel keeps refilling, got {ni}");
+}
+
+#[test]
+fn elastic_refills_all_when_everyone_exhausted() {
+    let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+    let k = KernelId::new(0);
+    sm.set_kernel_desc(k, desc);
+    sm.dispatch(k, TbIndex(0), None, 0, 0);
+    sm.set_gated(k, true);
+    sm.set_qos_kernel(k, true);
+    sm.set_elastic(true);
+    sm.set_epoch_quota(k, 320, QuotaCarry::DiscardSurplus, 320);
+    run(&mut sm, &mut mem, 2_000);
+    assert!(
+        sm.counters(k).thread_insts > 10 * 320,
+        "elastic epochs keep replenishing, got {}",
+        sm.counters(k).thread_insts
+    );
+}
+
+#[test]
+fn priority_block_serializes_kernels() {
+    let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+    let q = KernelId::new(0);
+    let n = KernelId::new(1);
+    sm.set_kernel_desc(q, desc.clone());
+    sm.set_kernel_desc(n, desc);
+    sm.dispatch(q, TbIndex(0), None, 0, 0);
+    sm.dispatch(n, TbIndex(0), None, 0, 0);
+    sm.set_gated(q, true);
+    sm.set_qos_kernel(q, true);
+    sm.set_priority_block(true);
+    sm.set_epoch_quota(q, 3_200, QuotaCarry::DiscardSurplus, 0);
+    // While the QoS kernel has quota, the non-QoS kernel must not issue.
+    for now in 0..20 {
+        sm.step(now, &mut mem);
+    }
+    assert!(sm.counters(q).thread_insts > 0);
+    assert_eq!(sm.counters(n).thread_insts, 0, "non-QoS blocked by priority gate");
+    run(&mut sm, &mut mem, 3_000);
+    assert!(sm.counters(n).thread_insts > 0, "non-QoS runs after quota exhausted");
+}
+
+#[test]
+fn barrier_synchronizes_warps() {
+    // Warp 0 of the TB has no extra work; all warps must still wait at
+    // the barrier for the slowest one.
+    let (mut sm, mut mem, desc) = setup(vec![Op::alu(8, 4), Op::Bar, Op::alu(1, 1)], 1);
+    let k = KernelId::new(0);
+    sm.set_kernel_desc(k, desc);
+    sm.dispatch(k, TbIndex(0), None, 0, 0);
+    run(&mut sm, &mut mem, 500);
+    assert_eq!(sm.hosted_tbs(k), 0, "TB with barrier completes");
+}
+
+#[test]
+fn preempt_and_resume_preserves_progress() {
+    let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 10)], 50);
+    let k = KernelId::new(0);
+    sm.set_kernel_desc(k, desc.clone());
+    sm.dispatch(k, TbIndex(3), None, 0, 0);
+    run(&mut sm, &mut mem, 100);
+    let before = sm.counters(k).thread_insts;
+    assert!(before > 0);
+    assert!(sm.start_preempt(k, 100, 50));
+    for now in 100..200 {
+        sm.step(now, &mut mem);
+    }
+    let mut saved = Vec::new();
+    sm.drain_saved(&mut saved);
+    assert_eq!(saved.len(), 1);
+    assert_eq!(sm.hosted_tbs(k), 0);
+    let (_, tb) = saved.pop().expect("one saved TB");
+    assert_eq!(tb.tb_index, TbIndex(3));
+    // Resume and run to completion.
+    sm.dispatch(k, TbIndex(3), Some(tb), 200, 10);
+    for now in 200..4_000 {
+        sm.step(now, &mut mem);
+    }
+    let mut done = Vec::new();
+    sm.drain_completed(&mut done);
+    assert_eq!(done, vec![(k, TbIndex(3))]);
+    // Total work equals a full TB execution: 2 warps * 50 iters * 10 * 32.
+    assert_eq!(sm.counters(k).thread_insts, 2 * 50 * 10 * 32);
+}
+
+#[test]
+fn idle_warp_sampling_counts_unissued_ready_warps() {
+    let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+    let k = KernelId::new(0);
+    sm.set_kernel_desc(k, desc.clone());
+    // Several TBs worth of warps, only `warp_schedulers` can issue per cycle.
+    for i in 0..4 {
+        sm.dispatch(k, TbIndex(i), None, 0, 0);
+    }
+    for now in 0..50 {
+        sm.step(now, &mut mem);
+        sm.sample_idle_warps(now);
+    }
+    assert!(sm.idle_warp_avg(k) > 0.0, "with 8 ready warps and 4 issue slots some idle");
+    sm.reset_idle_sampling();
+    assert_eq!(sm.idle_warp_avg(k), 0.0);
+}
+
+#[test]
+fn max_resident_tbs_respects_limits() {
+    let cfg = GpuConfig::paper_table1();
+    let sm = Sm::new(SmId::new(0), &cfg);
+    let fat = KernelDesc::builder("fat")
+        .threads_per_tb(256)
+        .regs_per_thread(64) // 64 KiB regs per TB -> 4 TBs by regfile
+        .body(vec![Op::alu(1, 1)])
+        .build();
+    assert_eq!(sm.max_resident_tbs(&fat), 4);
+    let slim = KernelDesc::builder("slim")
+        .threads_per_tb(64)
+        .regs_per_thread(16)
+        .body(vec![Op::alu(1, 1)])
+        .build();
+    assert_eq!(sm.max_resident_tbs(&slim), 32, "TB-slot limited");
+}
+
+#[test]
+fn memory_op_goes_through_memsys() {
+    let (mut sm, mut mem, desc) =
+        setup(vec![Op::mem_load(AccessPattern::stream()), Op::alu(1, 1)], 4);
+    let k = KernelId::new(0);
+    sm.set_kernel_desc(k, desc);
+    sm.dispatch(k, TbIndex(0), None, 0, 0);
+    run(&mut sm, &mut mem, 5_000);
+    assert!(mem.traffic().l1_accesses[0] > 0);
+    assert!(sm.l1_stats().accesses() > 0);
+}
+
+#[test]
+fn icn_port_is_drained_every_cycle() {
+    let (mut sm, mut mem, desc) =
+        setup(vec![Op::mem_load(AccessPattern::stream()), Op::alu(1, 1)], 8);
+    let k = KernelId::new(0);
+    sm.set_kernel_desc(k, desc);
+    sm.dispatch(k, TbIndex(0), None, 0, 0);
+    for now in 0..2_000 {
+        sm.tick(now);
+        if sm.icn_in_flight() {
+            // Requests may only exist inside the tick→drain window.
+            sm.drain_icn(&mut mem, now);
+        }
+        assert!(!sm.icn_in_flight(), "port must be empty at the cycle barrier");
+    }
+    assert!(mem.traffic().l1_accesses[0] > 0, "traffic flowed through the port");
+}
+
+#[test]
+fn l1_lookup_count_matches_memory_domain_ledger() {
+    // Every coalesced line is looked up in the SM's private L1 exactly once
+    // and counted as one L1 access in the memory domain — including lines
+    // that hit (the request crosses the port even when it carries no
+    // misses). The two domains must agree on the total.
+    let (mut sm, mut mem, desc) =
+        setup(vec![Op::mem_load(AccessPattern::stream()), Op::alu(1, 1)], 16);
+    let k = KernelId::new(0);
+    sm.set_kernel_desc(k, desc);
+    sm.dispatch(k, TbIndex(0), None, 0, 0);
+    run(&mut sm, &mut mem, 8_000);
+    assert_eq!(
+        sm.l1_stats().accesses(),
+        mem.traffic().l1_accesses[0],
+        "SM-side L1 lookups and memory-side L1 ledger must agree"
+    );
+}
+
+#[test]
+fn scavenging_lets_exhausted_nonqos_use_idle_slots() {
+    // A lone non-QoS kernel with zero quota: no QoS kernel competes for
+    // the slots, so scavenging must keep it running.
+    let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+    let n = KernelId::new(0);
+    sm.set_kernel_desc(n, desc);
+    sm.dispatch(n, TbIndex(0), None, 0, 0);
+    sm.set_gated(n, true);
+    sm.set_qos_kernel(n, false);
+    sm.set_epoch_quota(n, 0, QuotaCarry::Reset, 0);
+    run(&mut sm, &mut mem, 500);
+    assert!(
+        sm.counters(n).thread_insts > 10_000,
+        "scavenging must keep the machine busy, got {}",
+        sm.counters(n).thread_insts
+    );
+}
+
+#[test]
+fn scavenging_never_feeds_exhausted_qos_kernels() {
+    let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 100)], 100);
+    let q = KernelId::new(0);
+    sm.set_kernel_desc(q, desc);
+    sm.dispatch(q, TbIndex(0), None, 0, 0);
+    sm.set_gated(q, true);
+    sm.set_qos_kernel(q, true);
+    sm.set_epoch_quota(q, 320, QuotaCarry::DiscardSurplus, 0);
+    run(&mut sm, &mut mem, 2_000);
+    assert!(
+        sm.counters(q).thread_insts <= 320 + 64,
+        "QoS kernels stay throttled at their quota, got {}",
+        sm.counters(q).thread_insts
+    );
+}
+
+#[test]
+fn reset_carry_drops_debt() {
+    let cfg = GpuConfig::tiny();
+    let mut sm = Sm::new(SmId::new(0), &cfg);
+    let k = KernelId::new(0);
+    sm.set_gated(k, true);
+    sm.set_epoch_quota(k, 100, QuotaCarry::DiscardSurplus, 0);
+    // Simulate deep debt, then a Reset assignment.
+    sm.set_epoch_quota(k, -5_000, QuotaCarry::DiscardSurplus, 0);
+    assert!(sm.quota(k) < 0);
+    sm.set_epoch_quota(k, 100, QuotaCarry::Reset, 0);
+    assert_eq!(sm.quota(k), 100, "reset ignores prior debt");
+}
+
+mod preemption_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Preempting and resuming a TB at an arbitrary point never
+        /// loses or duplicates work: total retired thread-instructions
+        /// equal one uninterrupted TB execution.
+        #[test]
+        fn preempt_resume_conserves_work(
+            preempt_at in 1u64..2_000,
+            save_cost in 1u64..500,
+            load_cost in 0u64..500,
+            iters in 1u32..20,
+        ) {
+            let (mut sm, mut mem, desc) = setup(vec![Op::alu(1, 10)], iters);
+            let k = KernelId::new(0);
+            sm.set_kernel_desc(k, desc.clone());
+            sm.dispatch(k, TbIndex(0), None, 0, 0);
+            for now in 0..preempt_at {
+                sm.step(now, &mut mem);
+            }
+            let expected = desc.thread_insts_per_tb();
+            if sm.hosted_tbs(k) == 0 {
+                // The TB already finished before the preemption point.
+                prop_assert_eq!(sm.counters(k).thread_insts, expected);
+                return Ok(());
+            }
+            prop_assert!(sm.start_preempt(k, preempt_at, save_cost));
+            let resume_at = preempt_at + save_cost + 1;
+            for now in preempt_at..resume_at {
+                sm.step(now, &mut mem);
+            }
+            let mut saved = Vec::new();
+            sm.drain_saved(&mut saved);
+            prop_assert_eq!(saved.len(), 1);
+            let (_, tb) = saved.pop().expect("one saved TB");
+            sm.dispatch(k, TbIndex(0), Some(tb), resume_at, load_cost);
+            for now in resume_at..resume_at + 60_000 {
+                sm.step(now, &mut mem);
+                if sm.hosted_tbs(k) == 0 {
+                    break;
+                }
+            }
+            prop_assert_eq!(sm.hosted_tbs(k), 0, "resumed TB must finish");
+            prop_assert_eq!(sm.counters(k).thread_insts, expected);
+        }
+    }
+}
+
+#[test]
+fn rollover_carry_keeps_surplus_discard_drops_it() {
+    let cfg = GpuConfig::tiny();
+    let mut sm = Sm::new(SmId::new(0), &cfg);
+    let k = KernelId::new(0);
+    sm.set_gated(k, true);
+    sm.set_epoch_quota(k, 100, QuotaCarry::DiscardSurplus, 0);
+    assert_eq!(sm.quota(k), 100);
+    sm.set_epoch_quota(k, 100, QuotaCarry::Full, 0);
+    assert_eq!(sm.quota(k), 200, "rollover keeps the surplus");
+    sm.set_epoch_quota(k, 50, QuotaCarry::Full, 0);
+    assert_eq!(sm.quota(k), 100, "carried surplus is capped at one allocation");
+    sm.set_epoch_quota(k, 100, QuotaCarry::DiscardSurplus, 0);
+    assert_eq!(sm.quota(k), 100, "discard drops the surplus");
+}

@@ -412,14 +412,8 @@ mod tests {
 
     #[test]
     fn bad_enum_tags_are_invalid() {
-        assert!(matches!(
-            decode_from_slice::<bool>(&[9]),
-            Err(SnapError::Invalid("bool"))
-        ));
-        assert!(matches!(
-            decode_from_slice::<Option<u8>>(&[7]),
-            Err(SnapError::Invalid(_))
-        ));
+        assert!(matches!(decode_from_slice::<bool>(&[9]), Err(SnapError::Invalid("bool"))));
+        assert!(matches!(decode_from_slice::<Option<u8>>(&[7]), Err(SnapError::Invalid(_))));
     }
 
     #[test]

@@ -38,11 +38,7 @@ pub struct GpuStats {
 }
 
 impl GpuStats {
-    pub(crate) fn new(
-        cycles: Cycle,
-        num_kernels: usize,
-        kernels: PerKernel<KernelStats>,
-    ) -> Self {
+    pub(crate) fn new(cycles: Cycle, num_kernels: usize, kernels: PerKernel<KernelStats>) -> Self {
         GpuStats { cycles, num_kernels, kernels }
     }
 
@@ -58,10 +54,7 @@ impl GpuStats {
 
     /// Total thread instructions across all kernels.
     pub fn total_thread_insts(&self) -> u64 {
-        self.kernels[..self.num_kernels]
-            .iter()
-            .map(|k| k.thread_insts)
-            .sum()
+        self.kernels[..self.num_kernels].iter().map(|k| k.thread_insts).sum()
     }
 
     /// Aggregate thread-level IPC.

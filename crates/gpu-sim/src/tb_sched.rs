@@ -379,9 +379,8 @@ mod tests {
     fn setup(nk: usize) -> (Vec<Sm>, Vec<KernelRuntime>, MemSystem, TbScheduler, PreemptConfig) {
         let cfg = GpuConfig::tiny();
         let sms: Vec<Sm> = (0..2).map(|i| Sm::new(SmId::new(i), &cfg)).collect();
-        let kernels: Vec<KernelRuntime> = (0..nk)
-            .map(|i| KernelRuntime::new(desc(&format!("k{i}"))))
-            .collect();
+        let kernels: Vec<KernelRuntime> =
+            (0..nk).map(|i| KernelRuntime::new(desc(&format!("k{i}")))).collect();
         let mut sms = sms;
         for sm in &mut sms {
             for (i, kr) in kernels.iter().enumerate() {
@@ -450,7 +449,7 @@ mod tests {
                 sched.service(now, &mut sms, &mut kernels, &mut mem, &pcfg);
             }
             for sm in &mut sms {
-                sm.tick(now, &mut mem);
+                sm.step(now, &mut mem);
             }
         }
         for sm in &sms {

@@ -46,9 +46,7 @@ pub fn records_hash(records: &[EpochRecord]) -> u64 {
     const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     fn fold(h: u64, v: u64) -> u64 {
-        v.to_le_bytes()
-            .iter()
-            .fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(PRIME))
+        v.to_le_bytes().iter().fold(h, |h, &b| (h ^ u64::from(b)).wrapping_mul(PRIME))
     }
     let mut h = fold(OFFSET, records.len() as u64);
     for r in records {
@@ -103,18 +101,12 @@ impl<C: Controller> Tracer<C> {
 
     /// The per-epoch IPC series of one kernel.
     pub fn ipc_series(&self, k: KernelId) -> Vec<f64> {
-        self.records
-            .iter()
-            .filter_map(|r| r.kernels.get(k.index()).map(|s| s.epoch_ipc))
-            .collect()
+        self.records.iter().filter_map(|r| r.kernels.get(k.index()).map(|s| s.epoch_ipc)).collect()
     }
 
     /// The residency (hosted TBs) series of one kernel.
     pub fn residency_series(&self, k: KernelId) -> Vec<u32> {
-        self.records
-            .iter()
-            .filter_map(|r| r.kernels.get(k.index()).map(|s| s.hosted_tbs))
-            .collect()
+        self.records.iter().filter_map(|r| r.kernels.get(k.index()).map(|s| s.hosted_tbs)).collect()
     }
 }
 
@@ -186,18 +178,8 @@ mod tests {
                 epoch: 0,
                 cycle: 1_000,
                 kernels: vec![
-                    KernelSample {
-                        epoch_ipc: 1.5,
-                        hosted_tbs: 4,
-                        quota_total: -32,
-                        preempted: 1,
-                    },
-                    KernelSample {
-                        epoch_ipc: 0.0,
-                        hosted_tbs: 0,
-                        quota_total: 0,
-                        preempted: 0,
-                    },
+                    KernelSample { epoch_ipc: 1.5, hosted_tbs: 4, quota_total: -32, preempted: 1 },
+                    KernelSample { epoch_ipc: 0.0, hosted_tbs: 0, quota_total: 0, preempted: 0 },
                 ],
                 preemption_saves: 2,
             },

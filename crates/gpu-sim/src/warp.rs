@@ -82,11 +82,8 @@ impl WarpState {
             PatternKind::Stream => {
                 // Each warp streams through its own region; fresh lines each
                 // access until the (large) footprint wraps.
-                let start = self
-                    .warp_uid
-                    .wrapping_mul(2048)
-                    .wrapping_add(seq * trans as u64)
-                    % fp_lines;
+                let start =
+                    self.warp_uid.wrapping_mul(2048).wrapping_add(seq * trans as u64) % fp_lines;
                 for (t, slot) in buf.iter_mut().take(trans).enumerate() {
                     *slot = kernel_base + ((start + t as u64) % fp_lines) * line;
                 }

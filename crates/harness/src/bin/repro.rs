@@ -89,20 +89,14 @@ fn parse_sweep_args(
         match arg.as_str() {
             "--scale" | "-s" => {
                 let value = args.next().ok_or("--scale needs a value")?;
-                scale = RunScale::parse(&value)
-                    .ok_or_else(|| format!("unknown scale {value:?}"))?;
+                scale =
+                    RunScale::parse(&value).ok_or_else(|| format!("unknown scale {value:?}"))?;
             }
             "--checkpoint-every" => {
                 let value = args.next().ok_or("--checkpoint-every needs a value")?;
-                every = Some(
-                    value
-                        .parse::<u64>()
-                        .ok()
-                        .filter(|&n| n > 0)
-                        .ok_or_else(|| {
-                            format!("--checkpoint-every wants a positive cycle count, got {value:?}")
-                        })?,
-                );
+                every = Some(value.parse::<u64>().ok().filter(|&n| n > 0).ok_or_else(|| {
+                    format!("--checkpoint-every wants a positive cycle count, got {value:?}")
+                })?);
             }
             "--checkpoint-dir" => {
                 dir = Some(args.next().ok_or("--checkpoint-dir needs a value")?);
@@ -152,7 +146,10 @@ fn cmd_run(args: impl Iterator<Item = String>) -> ExitCode {
         }
     };
     let every = every.unwrap_or(DEFAULT_CHECKPOINT_EVERY);
-    eprintln!("[sweep {sweep} at {scale:?} scale, checkpointing into {} every ~{every} cycles]", dir.path().display());
+    eprintln!(
+        "[sweep {sweep} at {scale:?} scale, checkpointing into {} every ~{every} cycles]",
+        dir.path().display()
+    );
     match run_sweep_checkpointed(sweep, scale, &dir, every) {
         Ok(outcome) => finish_sweep(outcome),
         Err(e) => {
@@ -237,10 +234,7 @@ fn cmd_trace(mut args: impl Iterator<Item = String>) -> ExitCode {
         return ExitCode::FAILURE;
     };
     if !harness::golden::SCENARIOS.contains(&name.as_str()) {
-        eprintln!(
-            "unknown scenario {name:?} (known: {})",
-            harness::golden::SCENARIOS.join(", ")
-        );
+        eprintln!("unknown scenario {name:?} (known: {})", harness::golden::SCENARIOS.join(", "));
         return ExitCode::FAILURE;
     }
     let doc = harness::perfetto::export_scenario(name);
@@ -378,10 +372,7 @@ fn main() -> ExitCode {
     if wanted.iter().any(|w| w == "all") {
         // `all` covers the paper's tables/figures and the section 4.8
         // ablations; the epoch-length ablation is extra and opt-in.
-        wanted = EXPERIMENTS[..EXPERIMENTS.len() - 2]
-            .iter()
-            .map(|s| s.to_string())
-            .collect();
+        wanted = EXPERIMENTS[..EXPERIMENTS.len() - 2].iter().map(|s| s.to_string()).collect();
     }
     for w in &wanted {
         if !EXPERIMENTS.contains(&w.as_str()) {

@@ -94,12 +94,7 @@ pub struct CaseSpec {
 
 impl CaseSpec {
     /// Builds a standard pair/trio case at Table 1 configuration.
-    pub fn new(
-        kernels: &[&str],
-        goal_fracs: &[Option<f64>],
-        policy: Policy,
-        cycles: u64,
-    ) -> Self {
+    pub fn new(kernels: &[&str], goal_fracs: &[Option<f64>], policy: Policy, cycles: u64) -> Self {
         assert_eq!(kernels.len(), goal_fracs.len(), "one goal entry per kernel");
         CaseSpec {
             kernels: kernels.iter().map(|s| s.to_string()).collect(),

@@ -180,8 +180,7 @@ fn unframe(magic: [u8; 4], bytes: &[u8]) -> Result<&[u8], String> {
     if stored != actual {
         return Err(format!("checksum mismatch (stored {stored:#018x}, computed {actual:#018x})"));
     }
-    let version =
-        u32::from_le_bytes(body[magic.len()..header].try_into().expect("4-byte version"));
+    let version = u32::from_le_bytes(body[magic.len()..header].try_into().expect("4-byte version"));
     if version != CHECKPOINT_SCHEMA_VERSION {
         return Err(format!(
             "schema version {version} (this binary writes {CHECKPOINT_SCHEMA_VERSION})"
@@ -333,8 +332,7 @@ pub fn load_failure(path: &Path) -> Result<FailureSnapshot, CheckpointError> {
 /// `smoke-faulty` is the failure drill: its second case livelocks under an
 /// injected quota starvation, trips the watchdog, and leaves a
 /// `failure-case-0001.snap` for `repro inspect` to pretty-print.
-pub const SWEEPS: [&str; 5] =
-    ["smoke", "smoke-faulty", "fig6a", "pairs-rollover", "pairs-spart"];
+pub const SWEEPS: [&str; 5] = ["smoke", "smoke-faulty", "fig6a", "pairs-rollover", "pairs-spart"];
 
 /// The epoch override of the `smoke`/`smoke-faulty` sweeps: short enough
 /// that even a `Bench`-scale case spans several watchdog windows, so the
@@ -362,10 +360,8 @@ fn smoke_specs(scale: RunScale) -> Vec<CaseSpec> {
 /// the same `(name, scale)` always yields the same plan (and hence the same
 /// [`plan_fingerprint`]).
 pub fn sweep_specs(name: &str, scale: RunScale) -> Option<Vec<CaseSpec>> {
-    let goals: Vec<f64> = qos_core::goals::paper_goal_fractions()
-        .into_iter()
-        .step_by(scale.goal_stride())
-        .collect();
+    let goals: Vec<f64> =
+        qos_core::goals::paper_goal_fractions().into_iter().step_by(scale.goal_stride()).collect();
     match name {
         // A handful of pair cases: small enough for tests and CI smoke jobs,
         // big enough to cross several checkpoint generations.
@@ -375,15 +371,11 @@ pub fn sweep_specs(name: &str, scale: RunScale) -> Option<Vec<CaseSpec>> {
         // machine is persisted as a failure snapshot.
         "smoke-faulty" => {
             let mut specs = smoke_specs(scale);
-            specs[1].faults = gpu_sim::FaultPlan::one(
-                3 * SMOKE_EPOCH_CYCLES,
-                gpu_sim::FaultKind::StarveQuota,
-            );
+            specs[1].faults =
+                gpu_sim::FaultPlan::one(3 * SMOKE_EPOCH_CYCLES, gpu_sim::FaultKind::StarveQuota);
             Some(specs)
         }
-        "fig6a" => {
-            Some(pair_sweep(&Policy::FIG6A, &goals, scale.cycles(), scale.case_stride()))
-        }
+        "fig6a" => Some(pair_sweep(&Policy::FIG6A, &goals, scale.cycles(), scale.case_stride())),
         "pairs-rollover" => Some(pair_sweep(
             &[Policy::Quota(QuotaScheme::Rollover)],
             &goals,
@@ -435,7 +427,13 @@ impl SweepOutcome {
     pub fn report(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
-        let _ = writeln!(out, "sweep {} [{:?} scale, {} case(s)]", self.sweep, self.scale, self.specs.len());
+        let _ = writeln!(
+            out,
+            "sweep {} [{:?} scale, {} case(s)]",
+            self.sweep,
+            self.scale,
+            self.specs.len()
+        );
         for (index, (outcome, spec)) in self.outcomes.iter().zip(&self.specs).enumerate() {
             match outcome {
                 Ok(r) => {
@@ -449,12 +447,8 @@ impl SweepOutcome {
                     );
                 }
                 Err(e) => {
-                    let _ = writeln!(
-                        out,
-                        "  case {index:3} FAILED  {}  [{}]",
-                        spec.label(),
-                        e.kind()
-                    );
+                    let _ =
+                        writeln!(out, "  case {index:3} FAILED  {}  [{}]", spec.label(), e.kind());
                 }
             }
         }
@@ -542,8 +536,8 @@ fn run_case_chunked(
     let (mut tracer, mut done) = match resume {
         Some(ip) => {
             debug_assert_eq!(ip.index, index);
-            let restored = SnapshotBlob::from_bytes(&ip.gpu_blob)
-                .and_then(|blob| prepared.gpu.restore(&blob));
+            let restored =
+                SnapshotBlob::from_bytes(&ip.gpu_blob).and_then(|blob| prepared.gpu.restore(&blob));
             match restored {
                 Ok(()) => (Tracer::from_parts(ip.controller, ip.records), ip.cycles_done),
                 Err(e) => {
@@ -552,8 +546,7 @@ fn run_case_chunked(
                         "case {index}: discarding unusable mid-case snapshot ({e}); \
                          restarting the case from cycle 0"
                     ));
-                    let ctrl =
-                        build_controller(spec, &prepared.kids, &prepared.goal_ipc);
+                    let ctrl = build_controller(spec, &prepared.kids, &prepared.goal_ipc);
                     (Tracer::new(ctrl), 0)
                 }
             }
@@ -581,9 +574,8 @@ fn run_case_chunked(
                         gpu_blob: blob.to_bytes(),
                     };
                     if let Err(e) = dir.save_failure(&snap) {
-                        warnings.push(format!(
-                            "case {index}: could not persist failure snapshot: {e}"
-                        ));
+                        warnings
+                            .push(format!("case {index}: could not persist failure snapshot: {e}"));
                     }
                 }
                 Err(e) => warnings.push(format!(
@@ -677,10 +669,7 @@ pub fn run_sweep_checkpointed(
     every: u64,
 ) -> Result<SweepOutcome, CheckpointError> {
     let specs = sweep_specs(sweep, scale).ok_or_else(|| {
-        CheckpointError::Mismatch(format!(
-            "unknown sweep {sweep:?} (known: {})",
-            SWEEPS.join(", ")
-        ))
+        CheckpointError::Mismatch(format!("unknown sweep {sweep:?} (known: {})", SWEEPS.join(", ")))
     })?;
     drive(sweep, scale, specs, dir, every, Vec::new(), None, Vec::new())
 }
@@ -813,8 +802,8 @@ mod tests {
     use super::*;
 
     fn tmp_dir(tag: &str) -> PathBuf {
-        let dir = std::env::temp_dir()
-            .join(format!("fgqos-ckpt-test-{tag}-{}", std::process::id()));
+        let dir =
+            std::env::temp_dir().join(format!("fgqos-ckpt-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -827,9 +816,7 @@ mod tests {
             plan_fingerprint: plan_fingerprint(&specs),
             checkpoint_every: DEFAULT_CHECKPOINT_EVERY,
             completed: (0..completed)
-                .map(|i| {
-                    Err(CaseError::Panicked { payload: format!("case {i}"), attempts: 2 })
-                })
+                .map(|i| Err(CaseError::Panicked { payload: format!("case {i}"), attempts: 2 }))
                 .collect(),
             in_progress: None,
         }
@@ -893,8 +880,7 @@ mod tests {
     fn checkpoint_file_round_trips() {
         let ckpt = tiny_checkpoint(2);
         let bytes = frame(CHECKPOINT_MAGIC, &gpu_sim::snap::encode_to_vec(&ckpt));
-        let back: SweepCheckpoint =
-            decode_framed(CHECKPOINT_MAGIC, &bytes).expect("round trip");
+        let back: SweepCheckpoint = decode_framed(CHECKPOINT_MAGIC, &bytes).expect("round trip");
         assert_eq!(back.sweep, ckpt.sweep);
         assert_eq!(back.plan_fingerprint, ckpt.plan_fingerprint);
         assert_eq!(back.completed.len(), 2);

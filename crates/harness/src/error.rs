@@ -85,9 +85,7 @@ impl gpu_sim::Snap for CaseError {
     }
     fn decode(r: &mut gpu_sim::SnapReader<'_>) -> Result<Self, gpu_sim::SnapError> {
         match <u8 as gpu_sim::Snap>::decode(r)? {
-            0 => Ok(CaseError::UnknownBenchmark {
-                name: <String as gpu_sim::Snap>::decode(r)?,
-            }),
+            0 => Ok(CaseError::UnknownBenchmark { name: <String as gpu_sim::Snap>::decode(r)? }),
             1 => Ok(CaseError::Sim(<SimError as gpu_sim::Snap>::decode(r)?)),
             2 => Ok(CaseError::Panicked {
                 payload: <String as gpu_sim::Snap>::decode(r)?,
@@ -147,10 +145,7 @@ mod tests {
     #[test]
     fn error_kinds_are_stable() {
         assert_eq!(CaseError::UnknownBenchmark { name: "x".into() }.kind(), "unknown-benchmark");
-        assert_eq!(
-            CaseError::Panicked { payload: "boom".into(), attempts: 2 }.kind(),
-            "panic"
-        );
+        assert_eq!(CaseError::Panicked { payload: "boom".into(), attempts: 2 }.kind(), "panic");
     }
 
     #[test]

@@ -93,17 +93,11 @@ impl Session {
     }
 
     fn goals(&self) -> Vec<f64> {
-        paper_goal_fractions()
-            .into_iter()
-            .step_by(self.scale.goal_stride())
-            .collect()
+        paper_goal_fractions().into_iter().step_by(self.scale.goal_stride()).collect()
     }
 
     fn dual_goals(&self) -> Vec<f64> {
-        paper_dual_goal_fractions()
-            .into_iter()
-            .step_by(self.scale.goal_stride())
-            .collect()
+        paper_dual_goal_fractions().into_iter().step_by(self.scale.goal_stride()).collect()
     }
 
     /// Runs (or returns the memoized) trio sweep for Spart + Rollover with
@@ -113,18 +107,10 @@ impl Session {
             return hit.clone();
         }
         let policies = [Policy::Spart, Policy::Quota(QuotaScheme::Rollover)];
-        let specs = trio_sweep(
-            &policies,
-            goals,
-            num_qos,
-            self.scale.cycles(),
-            self.scale.case_stride(),
-        );
+        let specs =
+            trio_sweep(&policies, goals, num_qos, self.scale.cycles(), self.scale.case_stride());
         let results = Arc::new(self.run_sweep(&specs));
-        self.trio_cache
-            .lock()
-            .expect("trio cache lock")
-            .insert(num_qos, results.clone());
+        self.trio_cache.lock().expect("trio cache lock").insert(num_qos, results.clone());
         results
     }
 
@@ -155,10 +141,7 @@ impl Session {
             s.config = config;
         }
         let results = Arc::new(self.run_sweep(&specs));
-        self.pair_cache
-            .lock()
-            .expect("pair cache lock")
-            .insert(key, results.clone());
+        self.pair_cache.lock().expect("pair cache lock").insert(key, results.clone());
         results
     }
 
@@ -266,11 +249,7 @@ impl Session {
              (Rollover +12.2% over Spart)",
             &self.scale.describe(),
         );
-        out.push_str(&self.reach_by_goal_table(
-            &Policy::FIG6A,
-            |p| self.pairs(*p),
-            &self.goals(),
-        ));
+        out.push_str(&self.reach_by_goal_table(&Policy::FIG6A, |p| self.pairs(*p), &self.goals()));
         out
     }
 
@@ -303,11 +282,8 @@ impl Session {
                 .chain(policies.iter().map(|p| p.label().to_string())),
         );
         for &g in goals {
-            let mut row = vec![if num_qos == 2 {
-                format!("2x{}", goal_label(g))
-            } else {
-                goal_label(g)
-            }];
+            let mut row =
+                vec![if num_qos == 2 { format!("2x{}", goal_label(g)) } else { goal_label(g) }];
             for &p in &policies {
                 let subset = results
                     .iter()
@@ -468,10 +444,8 @@ impl Session {
 
     /// Fig. 10: QoSreach, Rollover vs Rollover-Time.
     pub fn fig10(&self) -> String {
-        let policies = [
-            Policy::Quota(QuotaScheme::Rollover),
-            Policy::Quota(QuotaScheme::RolloverTime),
-        ];
+        let policies =
+            [Policy::Quota(QuotaScheme::Rollover), Policy::Quota(QuotaScheme::RolloverTime)];
         let mut out = preamble(
             "Fig. 10 — QoSreach: Rollover vs Rollover-Time (pairs)",
             "both schemes reach similar numbers of goals (within ~3%)",
@@ -489,10 +463,7 @@ impl Session {
             &self.scale.describe(),
         );
         out.push_str(&self.throughput_by_goal_table(
-            &[
-                Policy::Quota(QuotaScheme::Rollover),
-                Policy::Quota(QuotaScheme::RolloverTime),
-            ],
+            &[Policy::Quota(QuotaScheme::Rollover), Policy::Quota(QuotaScheme::RolloverTime)],
             |p| self.pairs(*p),
             &self.goals(),
         ));
@@ -552,10 +523,8 @@ impl Session {
         for &g in &goals {
             let eff = |p: Policy| {
                 let results = self.pairs(p);
-                let subset: Vec<&CaseResult> = results
-                    .iter()
-                    .filter(|r| r.spec.goal_fracs[0] == Some(g))
-                    .collect();
+                let subset: Vec<&CaseResult> =
+                    results.iter().filter(|r| r.spec.goal_fracs[0] == Some(g)).collect();
                 mean(subset.iter().copied(), |r| r.insts_per_energy)
             };
             let spart = eff(Policy::Spart);
@@ -644,9 +613,10 @@ impl Session {
                 .iter()
                 .filter(|r| {
                     r.success()
-                        && r.spec.kernels.iter().all(|n| {
-                            workloads::by_name(n).expect("known").memory_intensive()
-                        })
+                        && r.spec
+                            .kernels
+                            .iter()
+                            .all(|n| workloads::by_name(n).expect("known").memory_intensive())
                 })
                 .collect();
             mean(subset.iter().copied(), CaseResult::nonqos_normalized)
@@ -838,8 +808,7 @@ mod tests {
     fn sessions_log_failures_for_the_digest() {
         let session = tiny_session();
         assert!(session.failure_digest().contains("all cases completed"));
-        let specs =
-            vec![CaseSpec::new(&["nope", "lbm"], &[Some(0.5), None], Policy::Spart, 1_000)];
+        let specs = vec![CaseSpec::new(&["nope", "lbm"], &[Some(0.5), None], Policy::Spart, 1_000)];
         let results = session.run_sweep(&specs);
         assert!(results.is_empty(), "the failing case yields no result");
         let digest = session.failure_digest();

@@ -146,11 +146,7 @@ mod tests {
         let csv = to_csv(&[sample()]);
         let header_cols = CSV_HEADER.replace(char::is_whitespace, "").split(',').count();
         for line in csv.lines().skip(1) {
-            assert_eq!(
-                line.split(',').count(),
-                header_cols,
-                "row has wrong column count: {line}"
-            );
+            assert_eq!(line.split(',').count(), header_cols, "row has wrong column count: {line}");
         }
     }
 

@@ -34,6 +34,19 @@ pub fn run_scenario_naive(name: &str) -> Vec<EpochRecord> {
     scenario_records(name, false)
 }
 
+/// Like [`run_scenario`] but stepping the SM domains concurrently
+/// (`GpuConfig::intra_parallel`); the corpus pins one record stream for
+/// every stepping mode, so this too must agree byte-for-byte.
+///
+/// # Panics
+///
+/// Panics on a name outside [`SCENARIOS`].
+pub fn run_scenario_parallel(name: &str) -> Vec<EpochRecord> {
+    let mut cfg = config(true);
+    cfg.intra_parallel = true;
+    scenario_run(name, cfg).1
+}
+
 /// Runs the named scenario with the cycle-level flight recorder enabled and
 /// returns the finished machine alongside the epoch records — the input to
 /// the Perfetto exporter (`repro trace`). Event recording never perturbs
@@ -199,12 +212,8 @@ pub fn check(name: &str) -> Result<(), String> {
     if expected == actual {
         return Ok(());
     }
-    let diff = expected
-        .lines()
-        .zip(actual.lines())
-        .enumerate()
-        .find(|(_, (e, a))| e != a)
-        .map_or_else(
+    let diff =
+        expected.lines().zip(actual.lines()).enumerate().find(|(_, (e, a))| e != a).map_or_else(
             || {
                 format!(
                     "line counts differ: golden {} vs current {}",
@@ -212,7 +221,9 @@ pub fn check(name: &str) -> Result<(), String> {
                     actual.lines().count()
                 )
             },
-            |(i, (e, a))| format!("first difference at line {}:\n  golden:  {e}\n  current: {a}", i + 1),
+            |(i, (e, a))| {
+                format!("first difference at line {}:\n  golden:  {e}\n  current: {a}", i + 1)
+            },
         );
     Err(format!(
         "golden trace {name:?} diverged ({})\n{diff}\n\

@@ -406,7 +406,8 @@ pub fn check_chrome_trace(doc: &str) -> Result<usize, String> {
         if ph != "M" && !matches!(event.get("ts"), Some(Json::Num(ts)) if *ts >= 0.0) {
             return fail("missing non-negative \"ts\"");
         }
-        if ph == "i" && !matches!(event.get("s"), Some(Json::Str(s)) if matches!(s.as_str(), "g" | "p" | "t"))
+        if ph == "i"
+            && !matches!(event.get("s"), Some(Json::Str(s)) if matches!(s.as_str(), "g" | "p" | "t"))
         {
             return fail("instant without a valid \"s\" scope");
         }
@@ -423,9 +424,7 @@ mod tests {
 
     #[test]
     fn parser_accepts_and_rejects() {
-        assert!(Parser::new("{\"a\": [1, -2.5e3, true, null, \"x\\n\"]}")
-            .parse_document()
-            .is_ok());
+        assert!(Parser::new("{\"a\": [1, -2.5e3, true, null, \"x\\n\"]}").parse_document().is_ok());
         for bad in ["{", "[1,]", "{\"a\" 1}", "1 2", "{\"a\": NaN}", ""] {
             assert!(Parser::new(bad).parse_document().is_err(), "accepted {bad:?}");
         }
@@ -438,10 +437,13 @@ mod tests {
             check_chrome_trace("{\"traceEvents\": [{\"name\": \"x\"}]}").is_err(),
             "event without ph/pid"
         );
-        assert!(check_chrome_trace(
-            "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"i\", \"pid\": 0, \"ts\": 1}]}"
-        )
-        .is_err(), "instant without scope");
+        assert!(
+            check_chrome_trace(
+                "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"i\", \"pid\": 0, \"ts\": 1}]}"
+            )
+            .is_err(),
+            "instant without scope"
+        );
         let ok = "{\"traceEvents\": [{\"name\": \"x\", \"ph\": \"i\", \"pid\": 0, \
                   \"ts\": 1, \"s\": \"t\"}]}";
         assert_eq!(check_chrome_trace(ok), Ok(1));

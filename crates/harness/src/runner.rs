@@ -11,6 +11,7 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
+use exec::parallel_for_each;
 use gpu_sim::trace::{records_hash, Tracer};
 use gpu_sim::{Controller, Gpu, GpuConfig, KernelId, NullController, TraceLevel};
 use qos_core::{QosManager, QosSpec, SpartController};
@@ -272,8 +273,7 @@ pub fn build_controller(
             CaseController::Spart(ctrl)
         }
         Policy::Quota(scheme) => {
-            let mut mgr =
-                QosManager::new(scheme).with_static_adjust(spec.ablations.static_adjust);
+            let mut mgr = QosManager::new(scheme).with_static_adjust(spec.ablations.static_adjust);
             if let Some(h) = spec.ablations.history_adjust {
                 mgr = mgr.with_history_adjust(h);
             }
@@ -297,10 +297,9 @@ pub fn run_case_isolated(spec: &CaseSpec, iso: &IsolatedCache) -> Result<CaseRes
         Ok(result) => result,
         Err(_) => match attempt() {
             Ok(result) => result,
-            Err(payload) => Err(CaseError::Panicked {
-                payload: panic_message(payload.as_ref()),
-                attempts: 2,
-            }),
+            Err(payload) => {
+                Err(CaseError::Panicked { payload: panic_message(payload.as_ref()), attempts: 2 })
+            }
         },
     }
 }
@@ -321,13 +320,8 @@ pub(crate) fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// case is panic-isolated and watchdog-protected, so the sweep always
 /// completes: failed cases come back as `Err` entries in their input
 /// positions while every other case still produces its result.
-pub fn run_cases(
-    specs: &[CaseSpec],
-    iso: &IsolatedCache,
-) -> Vec<Result<CaseResult, CaseError>> {
-    let threads = std::thread::available_parallelism()
-        .map(|n| n.get())
-        .unwrap_or(4);
+pub fn run_cases(specs: &[CaseSpec], iso: &IsolatedCache) -> Vec<Result<CaseResult, CaseError>> {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
 
     // Warm the isolated cache in parallel (unique keys only). Failures are
     // ignored here; the per-case path observes the cached error.
@@ -335,11 +329,7 @@ pub fn run_cases(
         let mut set = std::collections::HashSet::new();
         specs
             .iter()
-            .flat_map(|s| {
-                s.kernels
-                    .iter()
-                    .map(move |k| (k.clone(), s.config, s.cycles))
-            })
+            .flat_map(|s| s.kernels.iter().map(move |k| (k.clone(), s.config, s.cycles)))
             .filter(|key| set.insert(key.clone()))
             .collect()
     };
@@ -358,26 +348,6 @@ pub fn run_cases(
         .into_iter()
         .map(|cell| cell.into_inner().expect("result slot lock").expect("every case ran"))
         .collect()
-}
-
-/// Simple work-stealing-free parallel for-each over a slice.
-fn parallel_for_each<T: Sync, F: Fn(&T) + Sync>(items: &[T], threads: usize, f: F) {
-    if items.is_empty() {
-        return;
-    }
-    let next = AtomicUsize::new(0);
-    let workers = threads.min(items.len()).max(1);
-    std::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= items.len() {
-                    break;
-                }
-                f(&items[i]);
-            });
-        }
-    });
 }
 
 #[cfg(test)]

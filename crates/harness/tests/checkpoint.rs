@@ -14,17 +14,14 @@ use std::process::{Command, Stdio};
 use std::time::{Duration, Instant};
 
 use harness::checkpoint::{
-    load_failure, plan_fingerprint, render_failure_snapshot, resume_sweep,
-    run_sweep_checkpointed, sweep_specs, CheckpointDir, CheckpointError, SweepCheckpoint,
+    load_failure, plan_fingerprint, render_failure_snapshot, resume_sweep, run_sweep_checkpointed,
+    sweep_specs, CheckpointDir, CheckpointError, SweepCheckpoint,
 };
 use harness::error::CaseError;
 use harness::scale::RunScale;
 
 fn tmp_dir(tag: &str) -> PathBuf {
-    let dir = std::env::temp_dir().join(format!(
-        "fgqos-checkpoint-{tag}-{}",
-        std::process::id()
-    ));
+    let dir = std::env::temp_dir().join(format!("fgqos-checkpoint-{tag}-{}", std::process::id()));
     let _ = std::fs::remove_dir_all(&dir);
     dir
 }
@@ -162,10 +159,7 @@ fn watchdog_abort_persists_a_loadable_failure_snapshot() {
         .expect("sweep survives the faulty case");
     assert_eq!(outcome.outcomes.len(), 4);
     assert!(
-        matches!(
-            &outcome.outcomes[1],
-            Err(CaseError::Sim(gpu_sim::SimError::Watchdog(_)))
-        ),
+        matches!(&outcome.outcomes[1], Err(CaseError::Sim(gpu_sim::SimError::Watchdog(_)))),
         "the injected livelock must trip the watchdog: {:?}",
         outcome.outcomes[1]
     );
@@ -194,10 +188,7 @@ fn watchdog_abort_persists_a_loadable_failure_snapshot() {
 // ----------------------------------------------------------------------
 
 fn repro(args: &[&str]) -> std::process::Output {
-    Command::new(env!("CARGO_BIN_EXE_repro"))
-        .args(args)
-        .output()
-        .expect("repro spawns")
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("repro spawns")
 }
 
 #[test]
@@ -209,8 +200,14 @@ fn sigkilled_sweep_resumes_to_an_identical_report() {
 
     // The uninterrupted reference run.
     let baseline = repro(&[
-        "run", "smoke", "--scale", "bench", "--checkpoint-dir", &baseline_path,
-        "--checkpoint-every", "1",
+        "run",
+        "smoke",
+        "--scale",
+        "bench",
+        "--checkpoint-dir",
+        &baseline_path,
+        "--checkpoint-every",
+        "1",
     ]);
     assert!(baseline.status.success(), "baseline run fails: {baseline:?}");
     assert!(!baseline.stdout.is_empty(), "report goes to stdout");
@@ -219,8 +216,14 @@ fn sigkilled_sweep_resumes_to_an_identical_report() {
     // as a mid-case checkpoint exists.
     let mut victim = Command::new(env!("CARGO_BIN_EXE_repro"))
         .args([
-            "run", "smoke", "--scale", "bench", "--checkpoint-dir", &killed_path,
-            "--checkpoint-every", "1",
+            "run",
+            "smoke",
+            "--scale",
+            "bench",
+            "--checkpoint-dir",
+            &killed_path,
+            "--checkpoint-every",
+            "1",
         ])
         .stdout(Stdio::null())
         .stderr(Stdio::null())

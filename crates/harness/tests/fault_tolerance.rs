@@ -15,12 +15,7 @@ fn smoke_sweep(n: usize, cycles: u64) -> Vec<CaseSpec> {
         .into_iter()
         .take(n)
         .map(|(q, b)| {
-            CaseSpec::new(
-                &[q, b],
-                &[Some(0.5), None],
-                Policy::Quota(QuotaScheme::Rollover),
-                cycles,
-            )
+            CaseSpec::new(&[q, b], &[Some(0.5), None], Policy::Quota(QuotaScheme::Rollover), cycles)
         })
         .collect()
 }
@@ -41,15 +36,12 @@ fn sweep_with_injected_panic_and_livelock_completes_with_18_of_20() {
     let mut failures = Vec::new();
     for (index, (result, spec)) in results.iter().zip(&specs).enumerate() {
         match result {
-            Ok(r) => assert!(
-                r.ipc.iter().all(|&v| v > 0.0),
-                "healthy case {index} must make progress"
-            ),
-            Err(error) => failures.push(FailedCase {
-                index,
-                spec: spec.clone(),
-                error: error.clone(),
-            }),
+            Ok(r) => {
+                assert!(r.ipc.iter().all(|&v| v > 0.0), "healthy case {index} must make progress")
+            }
+            Err(error) => {
+                failures.push(FailedCase { index, spec: spec.clone(), error: error.clone() })
+            }
         }
     }
     assert_eq!(results.iter().filter(|r| r.is_ok()).count(), 18);

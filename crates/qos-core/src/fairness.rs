@@ -69,11 +69,7 @@ impl FairnessController {
 
     fn init(&mut self, gpu: &mut Gpu) {
         let nk = gpu.num_kernels();
-        assert_eq!(
-            self.isolated_ipc.len(),
-            nk,
-            "one isolated-IPC baseline per launched kernel"
-        );
+        assert_eq!(self.isolated_ipc.len(), nk, "one isolated-IPC baseline per launched kernel");
         self.cum_insts = vec![0; nk];
         gpu.set_sharing_mode(gpu_sim::SharingMode::Smk);
         // Everybody is "best effort" under fairness: symmetric placement.
@@ -82,11 +78,11 @@ impl FairnessController {
         for sm in gpu.sm_ids().collect::<Vec<_>>() {
             for k in 0..nk {
                 let kid = KernelId::new(k);
-                let sm_ref = gpu.sm_mut(sm);
-                sm_ref.set_gated(kid, true);
+                let mut view = gpu.sm_quota(sm);
+                view.set_gated(kid, true);
                 // Non-QoS classification enables slack scavenging, keeping
                 // the fairness caps work-conserving.
-                sm_ref.set_qos_kernel(kid, false);
+                view.set_qos_kernel(kid, false);
             }
         }
         self.initialized = true;
@@ -132,7 +128,7 @@ impl FairnessController {
             let parts = distribute_quota(quota, &shares);
             for (i, part) in parts.into_iter().enumerate() {
                 let part = part as i64;
-                gpu.sm_mut(SmId::new(i)).set_epoch_quota(kid, part, QuotaCarry::Reset, part);
+                gpu.sm_quota(SmId::new(i)).set_epoch_quota(kid, part, QuotaCarry::Reset, part);
             }
         }
     }
@@ -222,11 +218,8 @@ mod tests {
             gpu.set_tb_target(sm, kids[1], 1);
         }
         gpu.run(cycles, &mut NullController);
-        let unmanaged: Vec<f64> = kids
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| gpu.stats().ipc(k) / iso[i])
-            .collect();
+        let unmanaged: Vec<f64> =
+            kids.iter().enumerate().map(|(i, &k)| gpu.stats().ipc(k) / iso[i]).collect();
 
         // Managed fairness.
         let mut gpu = Gpu::new(GpuConfig::paper_table1());
@@ -234,11 +227,8 @@ mod tests {
             names.iter().map(|n| gpu.launch(workloads::by_name(n).expect("known"))).collect();
         let mut ctrl = FairnessController::new(iso.clone());
         gpu.run(cycles, &mut ctrl);
-        let managed: Vec<f64> = kids
-            .iter()
-            .enumerate()
-            .map(|(i, &k)| gpu.stats().ipc(k) / iso[i])
-            .collect();
+        let managed: Vec<f64> =
+            kids.iter().enumerate().map(|(i, &k)| gpu.stats().ipc(k) / iso[i]).collect();
 
         let (ju, jm) = (jain_index(&unmanaged), jain_index(&managed));
         assert!(

@@ -27,10 +27,7 @@ impl QosSpec {
     ///
     /// Panics if `goal_ipc` is not finite and positive.
     pub fn qos(goal_ipc: f64) -> Self {
-        assert!(
-            goal_ipc.is_finite() && goal_ipc > 0.0,
-            "IPC goal must be finite and positive"
-        );
+        assert!(goal_ipc.is_finite() && goal_ipc > 0.0, "IPC goal must be finite and positive");
         QosSpec { goal_ipc: Some(goal_ipc) }
     }
 

@@ -141,11 +141,11 @@ impl QosManager {
         for sm in gpu.sm_ids().collect::<Vec<_>>() {
             for k in 0..nk {
                 let kid = KernelId::new(k);
-                let sm_ref = gpu.sm_mut(sm);
-                sm_ref.set_gated(kid, true);
-                sm_ref.set_qos_kernel(kid, self.specs[k].is_qos());
-                sm_ref.set_elastic(elastic);
-                sm_ref.set_priority_block(priority);
+                let mut view = gpu.sm_quota(sm);
+                view.set_gated(kid, true);
+                view.set_qos_kernel(kid, self.specs[k].is_qos());
+                view.set_elastic(elastic);
+                view.set_priority_block(priority);
             }
         }
         self.initialized = true;
@@ -259,7 +259,7 @@ impl QosManager {
         for (i, part) in parts.into_iter().enumerate() {
             let part = part as i64;
             let refill = if refillable { part } else { 0 };
-            gpu.sm_mut(SmId::new(i)).set_epoch_quota(k, part, carry, refill);
+            gpu.sm_quota(SmId::new(i)).set_epoch_quota(k, part, carry, refill);
         }
     }
 
@@ -357,8 +357,7 @@ impl QosManager {
                     VictimCandidate {
                         kernel: v,
                         is_qos: self.specs[v].is_qos(),
-                        idle_tbs: (gpu.sms()[si].idle_warp_avg(vid) / f64::from(v_warps))
-                            as u32,
+                        idle_tbs: (gpu.sms()[si].idle_warp_avg(vid) / f64::from(v_warps)) as u32,
                         history_ipc: self.history_ipc(vid),
                         goal_ipc: self.specs[v].goal_ipc(),
                         total_tbs: total_tbs[v],
@@ -460,10 +459,7 @@ mod tests {
             .with_kernel(b, QosSpec::best_effort());
         gpu.run(60_000, &mut mgr);
         let got = gpu.stats().ipc(q);
-        assert!(
-            got >= goal * 0.95,
-            "QoS kernel must be close to goal: got {got}, goal {goal}"
-        );
+        assert!(got >= goal * 0.95, "QoS kernel must be close to goal: got {got}, goal {goal}");
         assert!(
             got <= goal * 1.25,
             "quota gating must stop well-resourced kernels from overshooting \
@@ -501,10 +497,7 @@ mod tests {
         };
         let naive = run(QuotaScheme::Naive);
         let rollover = run(QuotaScheme::Rollover);
-        assert!(
-            rollover >= naive * 0.999,
-            "rollover ({rollover}) must not trail naive ({naive})"
-        );
+        assert!(rollover >= naive * 0.999, "rollover ({rollover}) must not trail naive ({naive})");
     }
 
     #[test]
@@ -569,10 +562,7 @@ mod tests {
         };
         let naive = run(QuotaScheme::Naive);
         let elastic = run(QuotaScheme::Elastic);
-        assert!(
-            elastic >= naive * 0.99,
-            "elastic ({elastic}) must not trail naive ({naive})"
-        );
+        assert!(elastic >= naive * 0.99, "elastic ({elastic}) must not trail naive ({naive})");
     }
 
     #[test]
@@ -594,15 +584,9 @@ mod tests {
             .with_kernel(q, QosSpec::qos(1_400.0))
             .with_kernel(b, QosSpec::best_effort());
         gpu.run(1, &mut mgr); // initialize
-        let before: Vec<u16> = gpu
-            .sm_ids()
-            .map(|sm| gpu.tb_target(sm, q))
-            .collect();
+        let before: Vec<u16> = gpu.sm_ids().map(|sm| gpu.tb_target(sm, q)).collect();
         gpu.run(50_000, &mut mgr);
-        let after: Vec<u16> = gpu
-            .sm_ids()
-            .map(|sm| gpu.tb_target(sm, q))
-            .collect();
+        let after: Vec<u16> = gpu.sm_ids().map(|sm| gpu.tb_target(sm, q)).collect();
         assert_eq!(before, after, "targets must stay at the initial plan");
     }
 

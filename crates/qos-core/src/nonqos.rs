@@ -80,10 +80,8 @@ mod tests {
 
     #[test]
     fn multiple_qos_kernels_multiply() {
-        let next = artificial_goal(
-            100.0,
-            &[standing(120.0, 1.0, 100.0), standing(90.0, 1.0, 100.0)],
-        );
+        let next =
+            artificial_goal(100.0, &[standing(120.0, 1.0, 100.0), standing(90.0, 1.0, 100.0)]);
         assert!((next - 100.0 * 1.2 * 0.9).abs() < 1e-9);
     }
 

@@ -77,10 +77,7 @@ impl SpartController {
     /// Reassigns one SM from `from` to `to`; picks the highest-indexed SM of
     /// the donor. Returns whether a move happened.
     fn move_sm(&self, gpu: &mut Gpu, from: KernelId, to: KernelId) -> bool {
-        let victim_sm = gpu
-            .sm_ids()
-            .filter(|&sm| gpu.sm_owner(sm) == Some(from))
-            .last();
+        let victim_sm = gpu.sm_ids().filter(|&sm| gpu.sm_owner(sm) == Some(from)).last();
         match victim_sm {
             Some(sm) => {
                 gpu.set_sm_owner(sm, Some(to));
@@ -94,8 +91,7 @@ impl SpartController {
     /// kernel, or releases capacity from an over-achieving one.
     fn climb(&mut self, gpu: &mut Gpu) {
         let nk = gpu.num_kernels();
-        let sms_of: Vec<usize> =
-            (0..nk).map(|k| self.sms_of(gpu, KernelId::new(k))).collect();
+        let sms_of: Vec<usize> = (0..nk).map(|k| self.sms_of(gpu, KernelId::new(k))).collect();
 
         // Most-lagging QoS kernel by relative deficit.
         let lagging = (0..nk)
@@ -119,8 +115,7 @@ impl SpartController {
                         }
                         let goal = self.specs[k].goal_ipc().expect("QoS kernel has goal");
                         let s = sms_of[k] as f64;
-                        self.history_ipc(KernelId::new(k)) * (s - 1.0) / s
-                            > goal * RELEASE_MARGIN
+                        self.history_ipc(KernelId::new(k)) * (s - 1.0) / s > goal * RELEASE_MARGIN
                     })
                 });
             if let Some(donor) = donor {
@@ -130,9 +125,8 @@ impl SpartController {
         }
 
         // All QoS goals met: return surplus SMs to the non-QoS kernels.
-        let Some(beneficiary) = (0..nk)
-            .filter(|&k| !self.specs[k].is_qos())
-            .min_by_key(|&k| sms_of[k])
+        let Some(beneficiary) =
+            (0..nk).filter(|&k| !self.specs[k].is_qos()).min_by_key(|&k| sms_of[k])
         else {
             return;
         };

@@ -87,9 +87,8 @@ pub fn initial_plan(gpu: &Gpu, specs: &[QosSpec]) -> InitialPlan {
 
     let mut targets = vec![vec![0u16; nk]; num_sms];
     for (sm, row) in targets.iter_mut().enumerate() {
-        let resident: Vec<usize> = (0..nk)
-            .filter(|&k| specs[k].is_qos() || owner_of_sm(sm) == Some(k))
-            .collect();
+        let resident: Vec<usize> =
+            (0..nk).filter(|&k| specs[k].is_qos() || owner_of_sm(sm) == Some(k)).collect();
         let share = max_threads / resident.len().max(1) as u32;
         for &k in &resident {
             let kid = KernelId::new(k);
@@ -336,10 +335,7 @@ mod tests {
         plan.apply(&mut gpu);
         for sm in 0..16 {
             for k in 0..2 {
-                assert_eq!(
-                    gpu.tb_target(SmId::new(sm), KernelId::new(k)),
-                    plan.targets[sm][k]
-                );
+                assert_eq!(gpu.tb_target(SmId::new(sm), KernelId::new(k)), plan.targets[sm][k]);
             }
         }
     }

@@ -9,12 +9,12 @@ use std::time::Instant;
 use gpu_sim::{Gpu, GpuConfig, NullController};
 
 fn main() {
-    let cycles: u64 = std::env::args()
-        .nth(1)
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(100_000);
+    let cycles: u64 = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(100_000);
     println!("isolated IPC over {cycles} cycles (Table 1 config, 16 SMs)\n");
-    println!("{:<10} {:>8} {:>8} {:>10} {:>8} {:>9}", "kernel", "class", "IPC", "tbs done", "L1 hit", "wall ms");
+    println!(
+        "{:<10} {:>8} {:>8} {:>10} {:>8} {:>9}",
+        "kernel", "class", "IPC", "tbs done", "L1 hit", "wall ms"
+    );
     for desc in workloads::all() {
         let name = desc.name().to_string();
         let class = if desc.memory_intensive() { "M" } else { "C" };
@@ -24,9 +24,11 @@ fn main() {
         gpu.run(cycles, &mut NullController);
         let wall = t0.elapsed().as_millis();
         let stats = gpu.stats();
-        let l1 = gpu.sms().iter().map(|s| s.l1_stats()).fold((0u64, 0u64), |acc, s| {
-            (acc.0 + s.hits, acc.1 + s.accesses())
-        });
+        let l1 = gpu
+            .sms()
+            .iter()
+            .map(|s| s.l1_stats())
+            .fold((0u64, 0u64), |acc, s| (acc.0 + s.hits, acc.1 + s.accesses()));
         let l1_rate = if l1.1 == 0 { 0.0 } else { l1.0 as f64 / l1.1 as f64 };
         println!(
             "{:<10} {:>8} {:>8.1} {:>10} {:>7.1}% {:>9}",

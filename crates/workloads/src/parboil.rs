@@ -13,9 +13,8 @@ const KIB: u64 = 1024;
 const MIB: u64 = 1024 * 1024;
 
 /// The benchmark names, in the order of the paper's Fig. 7.
-pub const NAMES: [&str; 10] = [
-    "cutcp", "histo", "lbm", "mri-gm", "mri-q", "sad", "sgemm", "spmv", "stencil", "tpacf",
-];
+pub const NAMES: [&str; 10] =
+    ["cutcp", "histo", "lbm", "mri-gm", "mri-q", "sad", "sgemm", "spmv", "stencil", "tpacf"];
 
 /// Builds all ten benchmark kernels.
 pub fn all() -> Vec<KernelDesc> {
@@ -245,20 +244,12 @@ pub fn tpacf() -> KernelDesc {
 
 /// Names of the compute-intensive ("C") benchmarks.
 pub fn compute_names() -> Vec<&'static str> {
-    NAMES
-        .iter()
-        .copied()
-        .filter(|n| !by_name(n).expect("known").memory_intensive())
-        .collect()
+    NAMES.iter().copied().filter(|n| !by_name(n).expect("known").memory_intensive()).collect()
 }
 
 /// Names of the memory-intensive ("M") benchmarks.
 pub fn memory_names() -> Vec<&'static str> {
-    NAMES
-        .iter()
-        .copied()
-        .filter(|n| by_name(n).expect("known").memory_intensive())
-        .collect()
+    NAMES.iter().copied().filter(|n| by_name(n).expect("known").memory_intensive()).collect()
 }
 
 #[cfg(test)]
@@ -303,12 +294,7 @@ mod tests {
             let mut gpu = Gpu::new(cfg.clone());
             let kid = gpu.launch(k.clone());
             let max = gpu.max_resident_tbs(kid);
-            assert!(
-                (2..=32).contains(&max),
-                "{} occupancy {} outside sane range",
-                k.name(),
-                max
-            );
+            assert!((2..=32).contains(&max), "{} occupancy {} outside sane range", k.name(), max);
         }
     }
 

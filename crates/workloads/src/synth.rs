@@ -15,10 +15,7 @@ pub fn compute_bound(name: &str, alu_burst: u16) -> KernelDesc {
         .grid_tbs(1024)
         .iterations(32)
         .seed(hash_name(name))
-        .body(vec![
-            Op::mem_load(AccessPattern::tile(8 * 1024)),
-            Op::alu(4, alu_burst.max(1)),
-        ])
+        .body(vec![Op::mem_load(AccessPattern::tile(8 * 1024)), Op::alu(4, alu_burst.max(1))])
         .build()
 }
 

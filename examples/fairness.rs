@@ -22,10 +22,8 @@ fn main() {
 
     // Unmanaged: first-come dispatch monopolizes SM capacity.
     let mut gpu = Gpu::new(GpuConfig::paper_table1());
-    let kids: Vec<KernelId> = names
-        .iter()
-        .map(|n| gpu.launch(fgqos::workloads::by_name(n).expect("bundled")))
-        .collect();
+    let kids: Vec<KernelId> =
+        names.iter().map(|n| gpu.launch(fgqos::workloads::by_name(n).expect("bundled"))).collect();
     gpu.set_sharing_mode(SharingMode::Smk);
     gpu.run(cycles, &mut NullController);
     let unmanaged: Vec<f64> =
@@ -33,23 +31,15 @@ fn main() {
 
     // Managed fairness.
     let mut gpu = Gpu::new(GpuConfig::paper_table1());
-    let kids: Vec<KernelId> = names
-        .iter()
-        .map(|n| gpu.launch(fgqos::workloads::by_name(n).expect("bundled")))
-        .collect();
+    let kids: Vec<KernelId> =
+        names.iter().map(|n| gpu.launch(fgqos::workloads::by_name(n).expect("bundled"))).collect();
     let mut ctrl = FairnessController::new(iso.clone());
     gpu.run(cycles, &mut ctrl);
-    let managed: Vec<f64> =
-        kids.iter().zip(&iso).map(|(&k, &i)| gpu.stats().ipc(k) / i).collect();
+    let managed: Vec<f64> = kids.iter().zip(&iso).map(|(&k, &i)| gpu.stats().ipc(k) / i).collect();
 
     println!("{:<10} {:>12} {:>12}", "kernel", "unmanaged", "fair quotas");
     for (i, name) in names.iter().enumerate() {
-        println!(
-            "{:<10} {:>11.1}% {:>11.1}%",
-            name,
-            100.0 * unmanaged[i],
-            100.0 * managed[i]
-        );
+        println!("{:<10} {:>11.1}% {:>11.1}%", name, 100.0 * unmanaged[i], 100.0 * managed[i]);
     }
     println!(
         "\nJain fairness index: unmanaged {:.3} -> managed {:.3} (1.0 = perfectly fair)",

@@ -28,9 +28,8 @@ fn main() {
         pcie_bytes_per_us: 16_000.0, // ~16 GB/s effective PCIe 3.0 x16
         fixed_latency_us: 50.0,
     };
-    let goal_ipc = translation
-        .ipc_goal_for_rate(60.0)
-        .expect("60 fps is feasible after transfer overhead");
+    let goal_ipc =
+        translation.ipc_goal_for_rate(60.0).expect("60 fps is feasible after transfer overhead");
     println!(
         "frame kernel: {insts_per_frame} thread-instructions/frame, \
          {:.0} us non-kernel overhead -> IPC goal {goal_ipc:.1} for 60 fps",

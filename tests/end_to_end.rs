@@ -103,19 +103,12 @@ fn rollover_reaches_goals_at_least_as_often_as_naive() {
             }
         }
     }
-    let results: Vec<_> = run_cases(&specs, &iso)
-        .into_iter()
-        .map(|r| r.expect("healthy cases"))
-        .collect();
-    let reach = |p: Policy| {
-        qos_reach(results.iter().filter(|r| r.spec.policy == p))
-    };
+    let results: Vec<_> =
+        run_cases(&specs, &iso).into_iter().map(|r| r.expect("healthy cases")).collect();
+    let reach = |p: Policy| qos_reach(results.iter().filter(|r| r.spec.policy == p));
     let naive = reach(Policy::Quota(QuotaScheme::Naive));
     let rollover = reach(Policy::Quota(QuotaScheme::Rollover));
-    assert!(
-        rollover >= naive,
-        "Rollover QoSreach ({rollover}) must be >= Naive ({naive})"
-    );
+    assert!(rollover >= naive, "Rollover QoSreach ({rollover}) must be >= Naive ({naive})");
 }
 
 #[test]

@@ -18,7 +18,9 @@
 use fgqos::sim::rng::SplitMix64;
 use fgqos::sim::snap::{decode_from_slice, encode_to_vec};
 use fgqos::sim::trace::{records_hash, EpochRecord, Tracer};
-use fgqos::{Controller, Gpu, GpuConfig, KernelDesc, QosManager, QosSpec, QuotaScheme, SpartController};
+use fgqos::{
+    Controller, Gpu, GpuConfig, KernelDesc, QosManager, QosSpec, QuotaScheme, SpartController,
+};
 use gpu_sim::{AccessPattern, KernelStats, Op, Snap, SnapshotBlob};
 use proptest::prelude::*;
 
@@ -213,9 +215,8 @@ fn run_split(
     }
     if snapshot_restore {
         assert_eq!(gpu.cycle(), split, "healthy try_run advances exactly `cycles`");
-        let blob = gpu
-            .snapshot()
-            .expect("split is a multiple of epoch_cycles, so the snapshot is legal");
+        let blob =
+            gpu.snapshot().expect("split is a multiple of epoch_cycles, so the snapshot is legal");
         // Round-trip the blob through its wire form, like a checkpoint does.
         let blob = SnapshotBlob::from_bytes(&blob.to_bytes()).expect("wire round-trip");
         let (ctrl, records) = tracer.into_parts();

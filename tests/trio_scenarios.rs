@@ -109,20 +109,11 @@ fn fairness_mode_handles_trios() {
     let names = ["sgemm", "lbm", "spmv"];
     let iso: Vec<f64> = names.iter().map(|n| isolated_ipc(n)).collect();
     let mut gpu = Gpu::new(GpuConfig::paper_table1());
-    let kids: Vec<_> = names
-        .iter()
-        .map(|n| gpu.launch(workloads::by_name(n).expect("known")))
-        .collect();
+    let kids: Vec<_> =
+        names.iter().map(|n| gpu.launch(workloads::by_name(n).expect("known"))).collect();
     let mut ctrl = FairnessController::new(iso.clone());
     gpu.run(CYCLES, &mut ctrl);
-    let norm: Vec<f64> = kids
-        .iter()
-        .zip(&iso)
-        .map(|(&k, &i)| gpu.stats().ipc(k) / i)
-        .collect();
+    let norm: Vec<f64> = kids.iter().zip(&iso).map(|(&k, &i)| gpu.stats().ipc(k) / i).collect();
     assert!(norm.iter().all(|&n| n > 0.0), "no kernel starves under fairness: {norm:?}");
-    assert!(
-        jain_index(&norm) > 0.5,
-        "three-way fairness should be reasonably even: {norm:?}"
-    );
+    assert!(jain_index(&norm) > 0.5, "three-way fairness should be reasonably even: {norm:?}");
 }

@@ -112,11 +112,7 @@ where
     let secs = b.elapsed.as_secs_f64();
     match throughput {
         Some(Throughput::Elements(n)) if secs > 0.0 => {
-            println!(
-                "bench {id}: {:?} ({:.0} elem/s)",
-                b.elapsed,
-                n as f64 / secs
-            );
+            println!("bench {id}: {:?} ({:.0} elem/s)", b.elapsed, n as f64 / secs);
         }
         Some(Throughput::Bytes(n)) if secs > 0.0 => {
             println!("bench {id}: {:?} ({:.0} B/s)", b.elapsed, n as f64 / secs);
