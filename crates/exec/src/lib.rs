@@ -375,6 +375,51 @@ mod tests {
     }
 
     #[test]
+    fn pool_run_survives_a_worker_only_panic_without_deadlocking() {
+        // Regression for the dead-fleet-device failure mode: a panic on a
+        // *worker* thread (never the caller, which defers and re-raises its
+        // own panics) must still be surfaced by the barrier as the summary
+        // panic, and the barrier itself must not deadlock on the worker's
+        // abandoned round slot. Panic only off the caller thread so the
+        // worker-only path is exercised deterministically.
+        let caller = std::thread::current().id();
+        let worker_fired = std::sync::atomic::AtomicBool::new(false);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            scope(2, |pool| {
+                let mut items = [0u8; 64];
+                pool.run(&mut items, |_, _| {
+                    if std::thread::current().id() != caller {
+                        worker_fired.store(true, Ordering::Release);
+                        panic!("worker-thread fault");
+                    }
+                    // Hold the caller on its first claim until the worker has
+                    // panicked at least once, so the caller cannot drain the
+                    // whole round before the worker wakes up.
+                    while !worker_fired.load(Ordering::Acquire) {
+                        std::thread::yield_now();
+                    }
+                });
+            });
+        }));
+        let payload = result.expect_err("the worker panic must propagate to the caller");
+        let msg = payload
+            .downcast_ref::<&str>()
+            .copied()
+            .map(String::from)
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .expect("panic carries a message");
+        assert!(
+            msg.contains("pool worker panicked"),
+            "worker-only panics surface as the summary panic, got: {msg}"
+        );
+        // The pool remains usable after the failed round: the scope below
+        // must complete (no wedged worker, no stuck barrier).
+        let mut items = [1u64; 8];
+        scope(2, |pool| pool.run(&mut items, |_, v| *v += 1));
+        assert!(items.iter().all(|&v| v == 2));
+    }
+
+    #[test]
     fn pool_empty_round_is_a_no_op() {
         scope(2, |pool| {
             let mut items: [u64; 0] = [];

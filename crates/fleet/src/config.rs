@@ -1,0 +1,271 @@
+//! Fleet configuration: tenants, devices, scheduler policy knobs, and the
+//! fleet-level fault schedule.
+
+use gpu_sim::{FaultKind, FaultPlan, GpuConfig};
+use qos_core::TenantClass;
+use serde::{Deserialize, Serialize};
+use workloads::arrival::ArrivalModel;
+
+/// Where queued requests land when several devices could take them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum Placement {
+    /// Fill one device to its kernel/memory limits before using the next:
+    /// maximizes idle (power-gateable) devices, worst tail latency.
+    Binpack,
+    /// Round-robin one request per idle device: spreads interference and
+    /// blast radius, keeps every device warm.
+    Spread,
+}
+
+gpu_sim::impl_snap_enum!(Placement { Binpack = 0, Spread = 1 });
+
+/// One tenant's request stream and contract.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenantSpec {
+    /// Tenant name; also labels its request kernels and RNG stream.
+    pub name: String,
+    /// Guaranteed (SLO-protected) or best-effort.
+    pub class: TenantClass,
+    /// Open- or closed-loop arrival model.
+    pub arrival: ArrivalModel,
+    /// Total requests the tenant will issue over the run.
+    pub requests: u64,
+    /// Grid size of each request kernel (thread blocks).
+    pub grid_tbs: u32,
+    /// Device memory held while a request is resident, in bytes.
+    pub mem_bytes: u64,
+}
+
+gpu_sim::impl_snap_struct!(TenantSpec { name, class, arrival, requests, grid_tbs, mem_bytes });
+
+/// One scheduled fleet-level fault: at `at_cycle`, `device` suffers `kind`.
+///
+/// Faults are injected into the device's *next* simulated batch (translated
+/// to device-relative cycles), so a fault aimed at an idle device is
+/// discovered on first use — the way real device loss is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FleetFault {
+    /// Fleet cycle at which the fault is due.
+    pub at_cycle: u64,
+    /// Device index it strikes.
+    pub device: u32,
+    /// What breaks (typically [`FaultKind::DeviceLoss`] or
+    /// [`FaultKind::DeviceWedge`]).
+    pub kind: FaultKind,
+}
+
+gpu_sim::impl_snap_struct!(FleetFault { at_cycle, device, kind });
+
+/// Top-level fleet configuration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FleetConfig {
+    /// Number of simulated GPUs in the fleet.
+    pub devices: u32,
+    /// Device memory capacity, in bytes, limiting co-resident requests.
+    pub device_mem_bytes: u64,
+    /// Placement policy for queued requests.
+    pub placement: Placement,
+    /// Master seed; every stream/jitter seed derives from it.
+    pub seed: u64,
+    /// Device epoch length; the per-device watchdog window is two epochs.
+    pub epoch_cycles: u64,
+    /// Fleet scheduler tick, in cycles. Must be a multiple of the watchdog
+    /// window (`2 * epoch_cycles`) so every busy device sits at an epoch
+    /// boundary — and is therefore snapshottable — at tick boundaries, and
+    /// at least two windows long: the device watchdog re-arms on every
+    /// `try_run` call, so a call must span a full window *beyond* the first
+    /// check point for a stalled device to ever be classified (the same
+    /// floor the harness applies to its sweep chunks).
+    pub tick_cycles: u64,
+    /// Per-request timeout while running on a device, in fleet cycles.
+    pub timeout_cycles: u64,
+    /// Bounded retry budget per request (timeouts and device failures).
+    pub max_retries: u32,
+    /// Exponential backoff base, in cycles; retry `n` waits
+    /// `base << (n-1)` plus deterministic jitter in `[0, base)`.
+    pub backoff_base: u64,
+    /// Scheduler-visible runtime estimate per request, in device cycles —
+    /// the online structural runtime prediction admission control projects
+    /// occupancy with.
+    pub est_service_cycles: u64,
+    /// Load shedding engages when projected load exceeds this (permille).
+    pub shed_enter_permille: u32,
+    /// Load shedding disengages when projected load drops below this
+    /// (permille); must be below `shed_enter_permille` — the hysteresis
+    /// band that keeps shedding from flapping.
+    pub shed_exit_permille: u32,
+    /// Safety net: after this many ticks the fleet sheds whatever is still
+    /// queued (with an explicit reason) and finishes.
+    pub max_ticks: u64,
+    /// The tenants served by this fleet.
+    pub tenants: Vec<TenantSpec>,
+    /// Scheduled device faults.
+    pub faults: Vec<FleetFault>,
+}
+
+gpu_sim::impl_snap_struct!(FleetConfig {
+    devices,
+    device_mem_bytes,
+    placement,
+    seed,
+    epoch_cycles,
+    tick_cycles,
+    timeout_cycles,
+    max_retries,
+    backoff_base,
+    est_service_cycles,
+    shed_enter_permille,
+    shed_exit_permille,
+    max_ticks,
+    tenants,
+    faults,
+});
+
+impl FleetConfig {
+    /// The watchdog window each device runs with (two epochs, matching the
+    /// harness's sweep configuration).
+    pub fn watchdog_window(&self) -> u64 {
+        2 * self.epoch_cycles
+    }
+
+    /// Builds the [`GpuConfig`] for one device batch carrying `faults`
+    /// (already translated to device-relative cycles).
+    pub fn device_config(&self, faults: FaultPlan) -> GpuConfig {
+        let mut cfg = GpuConfig::tiny();
+        cfg.epoch_cycles = self.epoch_cycles;
+        cfg.samples_per_epoch = 10;
+        cfg.health.watchdog_window = self.watchdog_window();
+        cfg.faults = faults;
+        cfg
+    }
+
+    /// Validates internal consistency; returns the first violated
+    /// constraint.
+    ///
+    /// # Errors
+    ///
+    /// A human-readable description of the violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.devices == 0 {
+            return Err("a fleet needs at least one device".into());
+        }
+        if self.epoch_cycles == 0 {
+            return Err("epoch_cycles must be positive".into());
+        }
+        if !self.tick_cycles.is_multiple_of(self.watchdog_window())
+            || self.tick_cycles < 2 * self.watchdog_window()
+        {
+            return Err(format!(
+                "tick_cycles ({}) must be a multiple of the watchdog window ({}) and at \
+                 least two windows long, or wedged devices are never classified",
+                self.tick_cycles,
+                self.watchdog_window()
+            ));
+        }
+        if self.timeout_cycles == 0 || self.est_service_cycles == 0 || self.backoff_base == 0 {
+            return Err("timeout, service estimate and backoff base must be positive".into());
+        }
+        if self.shed_exit_permille >= self.shed_enter_permille {
+            return Err(format!(
+                "hysteresis band is inverted: exit {}‰ must be below enter {}‰",
+                self.shed_exit_permille, self.shed_enter_permille
+            ));
+        }
+        if self.tenants.is_empty() {
+            return Err("a fleet needs at least one tenant".into());
+        }
+        for t in &self.tenants {
+            if t.mem_bytes > self.device_mem_bytes {
+                return Err(format!(
+                    "tenant {} requests {} bytes, more than a whole device ({})",
+                    t.name, t.mem_bytes, self.device_mem_bytes
+                ));
+            }
+        }
+        for f in &self.faults {
+            if f.device >= self.devices {
+                return Err(format!("fault targets nonexistent device {}", f.device));
+            }
+        }
+        self.device_config(FaultPlan::none()).validate().map_err(|e| e.to_string())?;
+        Ok(())
+    }
+
+    /// Stable 64-bit fingerprint of the configuration, for checkpoint
+    /// compatibility checks.
+    pub fn fingerprint(&self) -> u64 {
+        gpu_sim::snap::fnv1a(&gpu_sim::snap::encode_to_vec(self))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use qos_core::SloTarget;
+
+    fn base() -> FleetConfig {
+        FleetConfig {
+            devices: 2,
+            device_mem_bytes: 1 << 30,
+            placement: Placement::Spread,
+            seed: 1,
+            epoch_cycles: 1_000,
+            tick_cycles: 4_000,
+            timeout_cycles: 40_000,
+            max_retries: 3,
+            backoff_base: 2_000,
+            est_service_cycles: 10_000,
+            shed_enter_permille: 900,
+            shed_exit_permille: 600,
+            max_ticks: 1_000,
+            tenants: vec![TenantSpec {
+                name: "t".into(),
+                class: TenantClass::guaranteed(SloTarget::new(60_000, 900_000)),
+                arrival: ArrivalModel::Open { mean_gap: 4_000 },
+                requests: 10,
+                grid_tbs: 8,
+                mem_bytes: 1 << 20,
+            }],
+            faults: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn base_config_validates() {
+        base().validate().expect("base config is sound");
+    }
+
+    #[test]
+    fn tick_must_span_two_watchdog_windows() {
+        let mut cfg = base();
+        cfg.tick_cycles = 1_000; // one epoch: not even a full window
+        assert!(cfg.validate().is_err());
+        cfg.tick_cycles = 2_000; // exactly one window: the per-call watchdog
+        assert!(cfg.validate().is_err()); // check point is never reached
+        cfg.tick_cycles = 6_000; // three windows: fine
+        cfg.validate().expect("two or more windows are legal");
+    }
+
+    #[test]
+    fn inverted_hysteresis_band_is_rejected() {
+        let mut cfg = base();
+        cfg.shed_exit_permille = cfg.shed_enter_permille;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fault_on_missing_device_is_rejected() {
+        let mut cfg = base();
+        cfg.faults.push(FleetFault { at_cycle: 10, device: 9, kind: FaultKind::DeviceLoss });
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn fingerprint_tracks_content() {
+        let a = base();
+        let mut b = base();
+        assert_eq!(a.fingerprint(), b.fingerprint());
+        b.seed = 2;
+        assert_ne!(a.fingerprint(), b.fingerprint());
+    }
+}

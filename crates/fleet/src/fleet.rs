@@ -1,0 +1,1260 @@
+//! The fleet proper: many simulated GPUs behind one cluster scheduler.
+//!
+//! Execution is tick-based. One tick = [`FleetConfig::tick_cycles`] device
+//! cycles, a multiple of the per-device watchdog window, so every busy
+//! device sits at an epoch boundary — and is therefore snapshottable — at
+//! every tick boundary. Each tick:
+//!
+//! 1. **arrivals** are collected from every tenant stream (deterministic,
+//!    per-tenant seeded) and pass **admission control**: best-effort
+//!    requests are rejected outright when projected occupancy would push
+//!    queue drain past the guaranteed tenants' SLO horizon;
+//! 2. the **load-shedding hysteresis** updates (enter above
+//!    `shed_enter_permille`, exit below `shed_exit_permille`) and, while
+//!    engaged, sheds queued best-effort work oldest-first;
+//! 3. **placement** fills idle devices with queued requests (binpack or
+//!    spread), each device batch running up to [`gpu_sim::MAX_KERNELS`]
+//!    request kernels under SMK sharing;
+//! 4. busy devices are **stepped in parallel** via
+//!    [`exec::parallel_for_each`];
+//! 5. results are harvested in stable device order: completions retire (and
+//!    feed closed-loop streams), per-request **timeouts** and **device
+//!    failures** (loss / wedge, classified by the typed [`SimError`]) send
+//!    requests through **bounded retry with exponential backoff and
+//!    deterministic jitter**, and dead devices' survivors are re-placed on
+//!    healthy ones.
+//!
+//! Every decision is a pure function of the config and the master seed, so
+//! the final report is byte-identical across runs — and across a
+//! kill+resume through [`Fleet::snapshot`]/[`Fleet::restore`].
+
+use std::collections::VecDeque;
+use std::fmt::Write as _;
+use std::sync::Mutex;
+
+use gpu_sim::rng::{derive_seed, SplitMix64};
+use gpu_sim::snap::{self, Snap, SnapError, SnapReader};
+use gpu_sim::{
+    CounterEntry, CounterKind, CounterScope, FaultKind, FaultPlan, Gpu, KernelId, NullController,
+    SimError, SnapshotBlob, MAX_KERNELS,
+};
+use workloads::arrival::{request_kernel, ArrivalStream};
+
+use crate::config::{FleetConfig, FleetFault, Placement};
+use crate::request::{Request, RequestState, ShedReason};
+
+/// Schema version of the fleet snapshot encoding.
+pub const FLEET_SNAPSHOT_VERSION: u32 = 1;
+
+/// What ultimately happened to a device.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeviceFate {
+    /// Alive and serving.
+    Healthy,
+    /// Killed by a device-loss fault at the given fleet cycle.
+    Lost {
+        /// Fleet cycle at which the loss was detected.
+        at: u64,
+    },
+    /// Wedged (watchdog-classified) at the given fleet cycle.
+    Wedged {
+        /// Fleet cycle at which the watchdog classified it.
+        at: u64,
+    },
+}
+
+impl DeviceFate {
+    fn is_healthy(self) -> bool {
+        matches!(self, DeviceFate::Healthy)
+    }
+}
+
+impl Snap for DeviceFate {
+    fn encode(&self, out: &mut Vec<u8>) {
+        match *self {
+            DeviceFate::Healthy => out.push(0),
+            DeviceFate::Lost { at } => {
+                out.push(1);
+                at.encode(out);
+            }
+            DeviceFate::Wedged { at } => {
+                out.push(2);
+                at.encode(out);
+            }
+        }
+    }
+    fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
+        match u8::decode(r)? {
+            0 => Ok(DeviceFate::Healthy),
+            1 => Ok(DeviceFate::Lost { at: u64::decode(r)? }),
+            2 => Ok(DeviceFate::Wedged { at: u64::decode(r)? }),
+            _ => Err(SnapError::Invalid("DeviceFate")),
+        }
+    }
+}
+
+/// One in-flight batch: a fresh [`Gpu`] running up to [`MAX_KERNELS`]
+/// request kernels under SMK sharing. Kernel slot `i` serves request
+/// `requests[i]`.
+#[derive(Debug)]
+struct Batch {
+    /// Request ids, in kernel launch order.
+    requests: Vec<usize>,
+    /// Whether slot `i` is still live (not yet completed / timed out).
+    active: Vec<bool>,
+    /// Fleet cycle at which the batch was created.
+    started_at: u64,
+    /// Device-relative fault plan installed in this batch's GPU.
+    faults: FaultPlan,
+    /// The simulated device.
+    gpu: Gpu,
+    /// Error from the last tick's step, harvested after the parallel phase.
+    step_err: Option<SimError>,
+}
+
+/// One fleet device: a slot that hosts consecutive batches until a fault
+/// retires it.
+#[derive(Debug)]
+struct Device {
+    id: u32,
+    fate: DeviceFate,
+    /// Batches created on this device so far.
+    batches: u64,
+    /// Requests completed on this device.
+    served: u64,
+    /// Scheduled faults not yet injected, fleet-absolute.
+    pending_faults: Vec<FleetFault>,
+    batch: Option<Batch>,
+}
+
+impl Device {
+    fn idle_healthy(&self) -> bool {
+        self.fate.is_healthy() && self.batch.is_none()
+    }
+
+    fn busy_healthy(&self) -> bool {
+        self.fate.is_healthy() && self.batch.is_some()
+    }
+
+    /// Steps this device's batch by `cycles`; called from worker threads.
+    fn step(&mut self, cycles: u64) {
+        if let Some(batch) = &mut self.batch {
+            batch.step_err = batch.gpu.try_run(cycles, &mut NullController).err();
+        }
+    }
+}
+
+/// Cumulative per-tenant serving metrics.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TenantCounters {
+    /// Requests that arrived (entered the fleet).
+    pub arrived: u64,
+    /// Requests completed.
+    pub completed: u64,
+    /// Completed requests that met the tenant's SLO deadline (guaranteed
+    /// tenants only; stays 0 for best-effort).
+    pub slo_met: u64,
+    /// Per-request timeouts observed.
+    pub timeouts: u64,
+    /// Retries consumed (each timeout or device failure that re-queued).
+    pub retries: u64,
+    /// Requests shed at admission.
+    pub shed_admission: u64,
+    /// Requests shed under overload.
+    pub shed_overload: u64,
+    /// Requests shed with the retry budget exhausted.
+    pub shed_retries: u64,
+    /// Requests shed for any other reason (fleet dead, unfinished).
+    pub shed_other: u64,
+    /// Sum of completion latencies, for the mean.
+    pub latency_sum: u64,
+    /// Worst completion latency.
+    pub latency_max: u64,
+}
+
+gpu_sim::impl_snap_struct!(TenantCounters {
+    arrived,
+    completed,
+    slo_met,
+    timeouts,
+    retries,
+    shed_admission,
+    shed_overload,
+    shed_retries,
+    shed_other,
+    latency_sum,
+    latency_max,
+});
+
+impl TenantCounters {
+    /// Total requests shed, over all reasons.
+    pub fn shed_total(&self) -> u64 {
+        self.shed_admission + self.shed_overload + self.shed_retries + self.shed_other
+    }
+}
+
+/// One per-tick observability sample for one tenant (cumulative counters
+/// plus the instantaneous queue depth) — the raw material of the Perfetto
+/// per-tenant tracks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TenantSample {
+    /// Cumulative completions.
+    pub completed: u64,
+    /// Cumulative SLO-met completions.
+    pub slo_met: u64,
+    /// Cumulative retries.
+    pub retries: u64,
+    /// Cumulative sheds.
+    pub shed: u64,
+    /// Requests of this tenant queued right now.
+    pub queued: u64,
+}
+
+gpu_sim::impl_snap_struct!(TenantSample { completed, slo_met, retries, shed, queued });
+
+/// One per-tick observability sample across the fleet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TickSample {
+    /// Fleet cycle at the end of the tick.
+    pub cycle: u64,
+    /// Queue depth across all tenants.
+    pub queue_depth: u64,
+    /// Healthy device count.
+    pub healthy_devices: u64,
+    /// Whether load shedding was engaged.
+    pub shedding: bool,
+    /// Per-tenant cumulative counters, in tenant order.
+    pub tenants: Vec<TenantSample>,
+}
+
+gpu_sim::impl_snap_struct!(TickSample { cycle, queue_depth, healthy_devices, shedding, tenants });
+
+/// The fleet: devices, tenants, queue, and the scheduler state machine.
+#[derive(Debug)]
+pub struct Fleet {
+    cfg: FleetConfig,
+    cycle: u64,
+    tick_index: u64,
+    shedding: bool,
+    finished: bool,
+    devices: Vec<Device>,
+    requests: Vec<Request>,
+    queue: VecDeque<usize>,
+    streams: Vec<ArrivalStream>,
+    tenants: Vec<TenantCounters>,
+    /// Requests evicted from failed devices.
+    evictions: u64,
+    samples: Vec<TickSample>,
+}
+
+impl Fleet {
+    /// Builds a fleet from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration does not validate.
+    pub fn new(cfg: FleetConfig) -> Self {
+        cfg.validate().expect("fleet config must validate");
+        let devices = (0..cfg.devices)
+            .map(|id| Device {
+                id,
+                fate: DeviceFate::Healthy,
+                batches: 0,
+                served: 0,
+                pending_faults: cfg.faults.iter().copied().filter(|f| f.device == id).collect(),
+                batch: None,
+            })
+            .collect();
+        let streams = cfg
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let seed =
+                    derive_seed(cfg.seed, workloads::arrival::hash_label(&t.name) ^ i as u64);
+                ArrivalStream::new(t.arrival, seed, t.requests)
+            })
+            .collect();
+        let tenants = vec![TenantCounters::default(); cfg.tenants.len()];
+        Fleet {
+            cfg,
+            cycle: 0,
+            tick_index: 0,
+            shedding: false,
+            finished: false,
+            devices,
+            requests: Vec::new(),
+            queue: VecDeque::new(),
+            streams,
+            tenants,
+            evictions: 0,
+            samples: Vec::new(),
+        }
+    }
+
+    /// The configuration this fleet runs under.
+    pub fn config(&self) -> &FleetConfig {
+        &self.cfg
+    }
+
+    /// Current fleet cycle (a multiple of the tick length).
+    pub fn cycle(&self) -> u64 {
+        self.cycle
+    }
+
+    /// Ticks executed so far.
+    pub fn ticks(&self) -> u64 {
+        self.tick_index
+    }
+
+    /// Whether the run is over (all streams drained and all requests
+    /// terminal, or the fleet is dead / out of ticks).
+    pub fn finished(&self) -> bool {
+        self.finished
+    }
+
+    /// Whether load shedding is currently engaged.
+    pub fn shedding(&self) -> bool {
+        self.shedding
+    }
+
+    /// The request table (arrival order).
+    pub fn requests(&self) -> &[Request] {
+        &self.requests
+    }
+
+    /// Cumulative per-tenant counters, in config tenant order.
+    pub fn tenant_counters(&self) -> &[TenantCounters] {
+        &self.tenants
+    }
+
+    /// Per-tick observability samples recorded so far.
+    pub fn samples(&self) -> &[TickSample] {
+        &self.samples
+    }
+
+    /// Arrived requests that are in no terminal state. Zero once
+    /// [`Fleet::finished`] — the zero-lost-requests invariant.
+    pub fn lost_requests(&self) -> usize {
+        self.requests.iter().filter(|r| !r.is_terminal()).count()
+    }
+
+    /// Whether every guaranteed tenant meets its SLO attainment floor.
+    pub fn all_guaranteed_met(&self) -> bool {
+        self.cfg.tenants.iter().zip(&self.tenants).all(|(spec, c)| match spec.class.slo() {
+            Some(slo) => slo.satisfied_by(c.slo_met, c.arrived),
+            None => true,
+        })
+    }
+
+    /// Runs to completion (bounded by the config's tick safety net).
+    pub fn run_to_completion(&mut self) {
+        while !self.finished {
+            self.step();
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // The tick state machine
+    // ------------------------------------------------------------------
+
+    /// Executes one tick; returns `true` when the fleet has finished.
+    pub fn step(&mut self) -> bool {
+        if self.finished {
+            return true;
+        }
+        let now = self.cycle;
+        let end = now + self.cfg.tick_cycles;
+
+        self.collect_arrivals(now);
+        self.update_shedding(now);
+        self.place(now);
+        self.step_devices();
+        for di in 0..self.devices.len() {
+            self.harvest_device(di, end);
+        }
+        self.cycle = end;
+        self.tick_index += 1;
+        self.record_sample();
+        self.check_finished();
+        self.finished
+    }
+
+    /// Pulls every arrival due at or before `now` from the tenant streams,
+    /// running admission control on best-effort work.
+    fn collect_arrivals(&mut self, now: u64) {
+        for t in 0..self.streams.len() {
+            for (seq, at) in self.streams[t].arrivals_before(now + 1) {
+                let id = self.requests.len();
+                self.tenants[t].arrived += 1;
+                let guaranteed = self.cfg.tenants[t].class.is_guaranteed();
+                let state = if guaranteed {
+                    RequestState::Queued { not_before: 0 }
+                } else if self.shedding {
+                    self.tenants[t].shed_overload += 1;
+                    RequestState::Shed { reason: ShedReason::Overload, at: now }
+                } else if self.load_permille(1) > 1000 {
+                    // Projected drain of one more request would overrun the
+                    // guaranteed SLO horizon: reject at the door.
+                    self.tenants[t].shed_admission += 1;
+                    RequestState::Shed { reason: ShedReason::Admission, at: now }
+                } else {
+                    RequestState::Queued { not_before: 0 }
+                };
+                let queued = matches!(state, RequestState::Queued { .. });
+                self.requests.push(Request {
+                    id,
+                    tenant: t,
+                    seq,
+                    arrived_at: at,
+                    retries: 0,
+                    state,
+                });
+                if queued {
+                    self.queue.push_back(id);
+                }
+            }
+        }
+    }
+
+    /// Projected fleet load in permille of the guaranteed SLO horizon:
+    /// outstanding work (running + queued + `extra` hypothetical requests,
+    /// each costing the scheduler-visible service estimate) over what the
+    /// healthy devices can drain within the horizon. 1000‰ means the last
+    /// queued request is projected to finish exactly at the horizon.
+    fn load_permille(&self, extra: u64) -> u64 {
+        let healthy_slots =
+            self.devices.iter().filter(|d| d.fate.is_healthy()).count() as u64 * MAX_KERNELS as u64;
+        if healthy_slots == 0 {
+            return u64::MAX;
+        }
+        let running = self
+            .requests
+            .iter()
+            .filter(|r| matches!(r.state, RequestState::Running { .. }))
+            .count() as u64;
+        let work = (running + self.queue.len() as u64 + extra) * self.cfg.est_service_cycles;
+        work.saturating_mul(1000) / (healthy_slots * self.admission_horizon())
+    }
+
+    /// The SLO horizon admission control defends: the tightest guaranteed
+    /// deadline, or the request timeout when no tenant holds a guarantee.
+    fn admission_horizon(&self) -> u64 {
+        self.cfg
+            .tenants
+            .iter()
+            .filter_map(|t| t.class.slo())
+            .map(|slo| slo.deadline_cycles)
+            .min()
+            .unwrap_or(self.cfg.timeout_cycles)
+            .max(1)
+    }
+
+    /// Updates the load-shedding hysteresis and sheds queued best-effort
+    /// work while engaged.
+    fn update_shedding(&mut self, now: u64) {
+        let load = self.load_permille(0);
+        if !self.shedding && load > u64::from(self.cfg.shed_enter_permille) {
+            self.shedding = true;
+        } else if self.shedding && load < u64::from(self.cfg.shed_exit_permille) {
+            self.shedding = false;
+        }
+        if !self.shedding {
+            return;
+        }
+        // Shed queued best-effort oldest-first until the projection drops
+        // back to the engage threshold (guaranteed work is never shed).
+        while self.load_permille(0) > u64::from(self.cfg.shed_enter_permille) {
+            let Some(pos) = self
+                .queue
+                .iter()
+                .position(|&id| !self.cfg.tenants[self.requests[id].tenant].class.is_guaranteed())
+            else {
+                break;
+            };
+            let id = self.queue.remove(pos).expect("position is in range");
+            let t = self.requests[id].tenant;
+            self.requests[id].state = RequestState::Shed { reason: ShedReason::Overload, at: now };
+            self.tenants[t].shed_overload += 1;
+        }
+    }
+
+    /// Fills idle healthy devices with queued, backoff-eligible requests.
+    fn place(&mut self, now: u64) {
+        let idle: Vec<usize> =
+            (0..self.devices.len()).filter(|&di| self.devices[di].idle_healthy()).collect();
+        if idle.is_empty() {
+            return;
+        }
+        // Tentative assignment: device -> request ids.
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); idle.len()];
+        let mut mem_left: Vec<u64> = vec![self.cfg.device_mem_bytes; idle.len()];
+        let mut eligible: VecDeque<usize> = VecDeque::new();
+        let mut rest: VecDeque<usize> = VecDeque::new();
+        for &id in &self.queue {
+            match self.requests[id].state {
+                RequestState::Queued { not_before } if not_before <= now => {
+                    eligible.push_back(id);
+                }
+                _ => rest.push_back(id),
+            }
+        }
+        let fits = |slot: &Vec<usize>, mem: u64, need: u64| slot.len() < MAX_KERNELS && need <= mem;
+        match self.cfg.placement {
+            Placement::Binpack => {
+                'fill: for (slot, mem) in assigned.iter_mut().zip(&mut mem_left) {
+                    loop {
+                        let Some(&id) = eligible.front() else { break 'fill };
+                        let need = self.cfg.tenants[self.requests[id].tenant].mem_bytes;
+                        if !fits(slot, *mem, need) {
+                            break;
+                        }
+                        eligible.pop_front();
+                        slot.push(id);
+                        *mem -= need;
+                    }
+                }
+            }
+            Placement::Spread => {
+                let mut progress = true;
+                while progress && !eligible.is_empty() {
+                    progress = false;
+                    for (slot, mem) in assigned.iter_mut().zip(&mut mem_left) {
+                        let Some(&id) = eligible.front() else { break };
+                        let need = self.cfg.tenants[self.requests[id].tenant].mem_bytes;
+                        if fits(slot, *mem, need) {
+                            eligible.pop_front();
+                            slot.push(id);
+                            *mem -= need;
+                            progress = true;
+                        }
+                    }
+                }
+            }
+        }
+        // Whatever was not placed stays queued, in order.
+        rest.extend(eligible);
+        self.queue = rest;
+        for (&di, ids) in idle.iter().zip(assigned) {
+            if ids.is_empty() {
+                continue;
+            }
+            self.start_batch(di, ids, now);
+        }
+    }
+
+    /// Creates a batch on device `di` serving `ids`, translating the
+    /// device's pending faults into the new GPU's device-relative plan.
+    fn start_batch(&mut self, di: usize, ids: Vec<usize>, now: u64) {
+        let mut faults = FaultPlan::none();
+        for f in &self.devices[di].pending_faults {
+            faults = faults.with(f.at_cycle.saturating_sub(now), f.kind);
+        }
+        let mut gpu = Gpu::new(self.cfg.device_config(faults.clone()));
+        gpu.set_sharing_mode(gpu_sim::SharingMode::Smk);
+        for &id in &ids {
+            let req = &self.requests[id];
+            let spec = &self.cfg.tenants[req.tenant];
+            gpu.launch(request_kernel(&spec.name, req.seq, spec.grid_tbs));
+        }
+        for &id in &ids {
+            self.requests[id].state =
+                RequestState::Running { device: self.devices[di].id, started_at: now };
+        }
+        let device = &mut self.devices[di];
+        device.batches += 1;
+        let active = vec![true; ids.len()];
+        device.batch =
+            Some(Batch { requests: ids, active, started_at: now, faults, gpu, step_err: None });
+    }
+
+    /// Steps every busy healthy device by one tick, in parallel.
+    fn step_devices(&mut self) {
+        let tick = self.cfg.tick_cycles;
+        let busy: Vec<Mutex<&mut Device>> =
+            self.devices.iter_mut().filter(|d| d.busy_healthy()).map(Mutex::new).collect();
+        if busy.is_empty() {
+            return;
+        }
+        let threads = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(busy.len());
+        exec::parallel_for_each(&busy, threads, |cell| {
+            cell.lock().expect("device mutex").step(tick);
+        });
+    }
+
+    /// Harvests one device after the parallel step: completions, timeouts,
+    /// and device failures. Runs in stable device order.
+    fn harvest_device(&mut self, di: usize, end: u64) {
+        if !self.devices[di].busy_healthy() {
+            return;
+        }
+        let Some(mut batch) = self.devices[di].batch.take() else { return };
+
+        if let Some(err) = batch.step_err.take() {
+            // Device failure: classify by the typed error, retire the
+            // device, and send every in-flight request back for re-placement.
+            self.devices[di].fate = match err {
+                SimError::DeviceLost(_) => DeviceFate::Lost { at: end },
+                _ => DeviceFate::Wedged { at: end },
+            };
+            self.devices[di].pending_faults.clear();
+            let victims: Vec<usize> = batch
+                .requests
+                .iter()
+                .zip(&batch.active)
+                .filter_map(|(&id, &live)| live.then_some(id))
+                .collect();
+            drop(batch);
+            for id in victims {
+                self.evictions += 1;
+                self.retry_or_shed(id, end);
+            }
+            return;
+        }
+
+        let stats = batch.gpu.stats();
+        let sm_ids: Vec<_> = batch.gpu.sm_ids().collect();
+        for slot in 0..batch.requests.len() {
+            if !batch.active[slot] {
+                continue;
+            }
+            let id = batch.requests[slot];
+            let k = KernelId::new(slot);
+            let started_at = match self.requests[id].state {
+                RequestState::Running { started_at, .. } => started_at,
+                _ => unreachable!("active slots hold running requests"),
+            };
+            let done = stats.kernel(k).launches_completed >= 1;
+            let timed_out = !done && end.saturating_sub(started_at) >= self.cfg.timeout_cycles;
+            if !done && !timed_out {
+                continue;
+            }
+            // Either way the slot retires: gate the kernel everywhere so it
+            // stops consuming issue slots for the rest of the batch.
+            for &sm in &sm_ids {
+                batch.gpu.sm_quota(sm).set_gated(k, true);
+            }
+            batch.active[slot] = false;
+            if done {
+                self.complete(id, end);
+                self.devices[di].served += 1;
+            } else {
+                let t = self.requests[id].tenant;
+                self.tenants[t].timeouts += 1;
+                self.retry_or_shed(id, end);
+            }
+        }
+
+        if batch.active.iter().any(|&a| a) {
+            self.devices[di].batch = Some(batch);
+        } else {
+            // Batch over: drop the GPU and retire transient faults that
+            // fired inside it. Device-terminal faults (loss, wedge) stay
+            // pending even if they technically fired — a batch whose work
+            // happened to finish before the watchdog could trip must not
+            // launder the device back to health; the next batch on it will
+            // hit the fault at cycle zero and be classified properly.
+            let ran = batch.gpu.cycle();
+            let start = batch.started_at;
+            self.devices[di].pending_faults.retain(|f| {
+                matches!(f.kind, FaultKind::DeviceLoss | FaultKind::DeviceWedge)
+                    || f.at_cycle.saturating_sub(start) >= ran
+            });
+        }
+    }
+
+    /// Retires `id` as completed at `end`.
+    fn complete(&mut self, id: usize, end: u64) {
+        let req = &mut self.requests[id];
+        req.state = RequestState::Done { finished_at: end };
+        let t = req.tenant;
+        let latency = end - req.arrived_at;
+        let c = &mut self.tenants[t];
+        c.completed += 1;
+        c.latency_sum += latency;
+        c.latency_max = c.latency_max.max(latency);
+        if let Some(slo) = self.cfg.tenants[t].class.slo() {
+            if latency <= slo.deadline_cycles {
+                c.slo_met += 1;
+            }
+        }
+        self.streams[t].on_completion(end);
+    }
+
+    /// Sends `id` through bounded retry with exponential backoff and
+    /// deterministic jitter, or sheds it once the budget is exhausted.
+    fn retry_or_shed(&mut self, id: usize, end: u64) {
+        let req = &mut self.requests[id];
+        req.retries += 1;
+        let t = req.tenant;
+        if req.retries > self.cfg.max_retries {
+            req.state = RequestState::Shed { reason: ShedReason::RetriesExhausted, at: end };
+            self.tenants[t].shed_retries += 1;
+            return;
+        }
+        // Stateless jitter: re-derived from (seed, request, attempt), so it
+        // is identical no matter how the run was interrupted and resumed.
+        let exp = (req.retries - 1).min(16);
+        let jitter_seed = derive_seed(self.cfg.seed, (id as u64) << 8 | u64::from(req.retries));
+        let jitter = SplitMix64::new(jitter_seed).next_below(self.cfg.backoff_base);
+        let not_before = end + (self.cfg.backoff_base << exp) + jitter;
+        req.state = RequestState::Queued { not_before };
+        self.tenants[t].retries += 1;
+        self.queue.push_back(id);
+    }
+
+    /// Records the per-tick observability sample.
+    fn record_sample(&mut self) {
+        let mut queued_per_tenant = vec![0u64; self.cfg.tenants.len()];
+        for &id in &self.queue {
+            queued_per_tenant[self.requests[id].tenant] += 1;
+        }
+        let tenants = self
+            .tenants
+            .iter()
+            .zip(&queued_per_tenant)
+            .map(|(c, &queued)| TenantSample {
+                completed: c.completed,
+                slo_met: c.slo_met,
+                retries: c.retries,
+                shed: c.shed_total(),
+                queued,
+            })
+            .collect();
+        self.samples.push(TickSample {
+            cycle: self.cycle,
+            queue_depth: self.queue.len() as u64,
+            healthy_devices: self.devices.iter().filter(|d| d.fate.is_healthy()).count() as u64,
+            shedding: self.shedding,
+            tenants,
+        });
+    }
+
+    /// Decides whether the run is over, applying the graceful-degradation
+    /// endgames: a dead fleet sheds its queue, and the tick safety net
+    /// sheds whatever is still pending.
+    fn check_finished(&mut self) {
+        let healthy = self.devices.iter().filter(|d| d.fate.is_healthy()).count();
+        if healthy == 0 {
+            let now = self.cycle;
+            while let Some(id) = self.queue.pop_front() {
+                let t = self.requests[id].tenant;
+                self.requests[id].state =
+                    RequestState::Shed { reason: ShedReason::FleetDead, at: now };
+                self.tenants[t].shed_other += 1;
+            }
+            self.finished = true;
+            return;
+        }
+        if self.tick_index >= self.cfg.max_ticks {
+            let now = self.cycle;
+            // Evict still-running work first, then drain the queue.
+            for di in 0..self.devices.len() {
+                if let Some(batch) = self.devices[di].batch.take() {
+                    for (&id, &live) in batch.requests.iter().zip(&batch.active) {
+                        if live {
+                            let t = self.requests[id].tenant;
+                            self.requests[id].state =
+                                RequestState::Shed { reason: ShedReason::Unfinished, at: now };
+                            self.tenants[t].shed_other += 1;
+                        }
+                    }
+                }
+            }
+            while let Some(id) = self.queue.pop_front() {
+                let t = self.requests[id].tenant;
+                self.requests[id].state =
+                    RequestState::Shed { reason: ShedReason::Unfinished, at: now };
+                self.tenants[t].shed_other += 1;
+            }
+            self.finished = true;
+            return;
+        }
+        let drained = self.streams.iter().all(ArrivalStream::exhausted)
+            && self.queue.is_empty()
+            && self.devices.iter().all(|d| d.batch.is_none());
+        if drained {
+            self.finished = true;
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Observability
+    // ------------------------------------------------------------------
+
+    /// Every fleet counter, in stable order: machine scope first, then one
+    /// block per tenant, then one block per device — the fleet-level
+    /// extension of [`Gpu::counter_registry`].
+    pub fn counter_registry(&self) -> Vec<CounterEntry> {
+        use CounterKind::{Counter, Gauge};
+        let mut out = Vec::new();
+        let mut push = |name, scope, kind, value: i64| {
+            out.push(CounterEntry { name, scope, kind, value });
+        };
+        let machine = CounterScope::Machine;
+        let as_i64 = |v: u64| i64::try_from(v).unwrap_or(i64::MAX);
+        push("fleet_cycle", machine, Gauge, as_i64(self.cycle));
+        push("fleet_ticks", machine, Counter, as_i64(self.tick_index));
+        push("fleet_queue_depth", machine, Gauge, self.queue.len() as i64);
+        push(
+            "fleet_healthy_devices",
+            machine,
+            Gauge,
+            self.devices.iter().filter(|d| d.fate.is_healthy()).count() as i64,
+        );
+        push("fleet_shedding", machine, Gauge, i64::from(self.shedding));
+        push("fleet_evictions", machine, Counter, as_i64(self.evictions));
+        for (t, c) in self.tenants.iter().enumerate() {
+            let scope = CounterScope::Tenant(t);
+            push("arrived", scope, Counter, as_i64(c.arrived));
+            push("completed", scope, Counter, as_i64(c.completed));
+            push("slo_met", scope, Counter, as_i64(c.slo_met));
+            push("timeouts", scope, Counter, as_i64(c.timeouts));
+            push("retries", scope, Counter, as_i64(c.retries));
+            push("shed", scope, Counter, as_i64(c.shed_total()));
+        }
+        for (di, d) in self.devices.iter().enumerate() {
+            let scope = CounterScope::Device(di);
+            push("batches", scope, Counter, as_i64(d.batches));
+            push("served", scope, Counter, as_i64(d.served));
+            push("healthy", scope, Gauge, i64::from(d.fate.is_healthy()));
+        }
+        out
+    }
+
+    /// Jain's fairness index over per-tenant completion ratios (completed /
+    /// arrived). 1.0 is perfectly fair; tends to `1/n` as service collapses
+    /// onto one tenant. Tenants with no arrivals are excluded.
+    pub fn fairness_index(&self) -> f64 {
+        let ratios: Vec<f64> = self
+            .tenants
+            .iter()
+            .filter(|c| c.arrived > 0)
+            .map(|c| c.completed as f64 / c.arrived as f64)
+            .collect();
+        if ratios.is_empty() {
+            return 1.0;
+        }
+        let sum: f64 = ratios.iter().sum();
+        let sq: f64 = ratios.iter().map(|x| x * x).sum();
+        if sq == 0.0 {
+            return 1.0;
+        }
+        (sum * sum) / (ratios.len() as f64 * sq)
+    }
+
+    /// Renders the deterministic fleet report. Pure function of the fleet
+    /// state: two runs with the same config and seed — interrupted or not —
+    /// produce byte-identical output.
+    pub fn report(&self, title: &str) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet {title} [seed {}, {} device(s), {} tenant(s), {} tick(s), {} cycles]",
+            self.cfg.seed,
+            self.cfg.devices,
+            self.cfg.tenants.len(),
+            self.tick_index,
+            self.cycle
+        );
+        for (spec, c) in self.cfg.tenants.iter().zip(&self.tenants) {
+            let class = if spec.class.is_guaranteed() { "guaranteed " } else { "best-effort" };
+            let slo = match spec.class.slo() {
+                Some(slo) => {
+                    let pct = if c.arrived == 0 {
+                        100.0
+                    } else {
+                        c.slo_met as f64 * 100.0 / c.arrived as f64
+                    };
+                    let verdict =
+                        if slo.satisfied_by(c.slo_met, c.arrived) { "MET" } else { "MISSED" };
+                    format!(
+                        "slo {}/{} ({:.1}% >= {:.1}%) {}",
+                        c.slo_met,
+                        c.arrived,
+                        pct,
+                        slo.floor_fraction() * 100.0,
+                        verdict
+                    )
+                }
+                None => "slo -".to_string(),
+            };
+            let mean_latency = c.latency_sum.checked_div(c.completed).unwrap_or(0);
+            let _ = writeln!(
+                out,
+                "  tenant {:<12} {class}  arrived {:>4}  done {:>4}  {slo}  \
+                 retries {}  timeouts {}  shed {} (admission {}, overload {}, retries {}, other {})  \
+                 latency mean {} max {}",
+                spec.name,
+                c.arrived,
+                c.completed,
+                c.retries,
+                c.timeouts,
+                c.shed_total(),
+                c.shed_admission,
+                c.shed_overload,
+                c.shed_retries,
+                c.shed_other,
+                mean_latency,
+                c.latency_max
+            );
+        }
+        for d in &self.devices {
+            let fate = match d.fate {
+                DeviceFate::Healthy => "healthy".to_string(),
+                DeviceFate::Lost { at } => format!("lost at {at}"),
+                DeviceFate::Wedged { at } => format!("wedged at {at}"),
+            };
+            let _ = writeln!(
+                out,
+                "  device {}: {:<16} batches {:>3}  served {:>4}",
+                d.id, fate, d.batches, d.served
+            );
+        }
+        let arrived: u64 = self.tenants.iter().map(|c| c.arrived).sum();
+        let completed: u64 = self.tenants.iter().map(|c| c.completed).sum();
+        let shed: u64 = self.tenants.iter().map(|c| c.shed_total()).sum();
+        let _ = writeln!(
+            out,
+            "  goodput {completed}/{arrived} requests, {shed} shed, {} evicted, {} lost | \
+             fairness {:.3}",
+            self.evictions,
+            self.lost_requests(),
+            self.fairness_index()
+        );
+        let _ = writeln!(
+            out,
+            "  guaranteed SLOs: {}",
+            if self.all_guaranteed_met() { "MET" } else { "MISSED" }
+        );
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Snapshot / restore
+    // ------------------------------------------------------------------
+
+    /// Serializes the complete fleet state. Legal at tick boundaries only
+    /// (which is the only time callers can observe the fleet anyway): every
+    /// busy device then sits at an epoch boundary, so the embedded GPU
+    /// snapshots are legal too.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a busy device is somehow off an epoch boundary (a fleet
+    /// invariant violation).
+    pub fn snapshot(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        FLEET_SNAPSHOT_VERSION.encode(&mut out);
+        self.cfg.fingerprint().encode(&mut out);
+        self.cycle.encode(&mut out);
+        self.tick_index.encode(&mut out);
+        self.shedding.encode(&mut out);
+        self.finished.encode(&mut out);
+        self.requests.encode(&mut out);
+        let queue: Vec<u64> = self.queue.iter().map(|&id| id as u64).collect();
+        queue.encode(&mut out);
+        self.streams.encode(&mut out);
+        self.tenants.encode(&mut out);
+        self.evictions.encode(&mut out);
+        self.samples.encode(&mut out);
+        (self.devices.len() as u64).encode(&mut out);
+        for d in &self.devices {
+            d.id.encode(&mut out);
+            d.fate.encode(&mut out);
+            d.batches.encode(&mut out);
+            d.served.encode(&mut out);
+            d.pending_faults.encode(&mut out);
+            match &d.batch {
+                None => out.push(0),
+                Some(b) => {
+                    out.push(1);
+                    let ids: Vec<u64> = b.requests.iter().map(|&id| id as u64).collect();
+                    ids.encode(&mut out);
+                    b.active.encode(&mut out);
+                    b.started_at.encode(&mut out);
+                    b.faults.encode(&mut out);
+                    let blob =
+                        b.gpu.snapshot().expect("busy devices sit at epoch boundaries at ticks");
+                    blob.to_bytes().encode(&mut out);
+                }
+            }
+        }
+        out
+    }
+
+    /// Reconstructs a fleet from [`Fleet::snapshot`] bytes under `cfg`.
+    ///
+    /// # Errors
+    ///
+    /// A description of the mismatch: wrong snapshot version, a config
+    /// whose fingerprint differs from the one the snapshot was taken
+    /// under, or a corrupt encoding.
+    pub fn restore(cfg: FleetConfig, bytes: &[u8]) -> Result<Fleet, String> {
+        cfg.validate()?;
+        let mut r = SnapReader::new(bytes);
+        let fail = |e: SnapError| format!("fleet snapshot: {e:?}");
+        let version = u32::decode(&mut r).map_err(fail)?;
+        if version != FLEET_SNAPSHOT_VERSION {
+            return Err(format!(
+                "fleet snapshot version {version}, this build expects {FLEET_SNAPSHOT_VERSION}"
+            ));
+        }
+        let fingerprint = u64::decode(&mut r).map_err(fail)?;
+        if fingerprint != cfg.fingerprint() {
+            return Err("fleet snapshot was taken under a different configuration".to_string());
+        }
+        let cycle = u64::decode(&mut r).map_err(fail)?;
+        let tick_index = u64::decode(&mut r).map_err(fail)?;
+        let shedding = bool::decode(&mut r).map_err(fail)?;
+        let finished = bool::decode(&mut r).map_err(fail)?;
+        let requests = Vec::<Request>::decode(&mut r).map_err(fail)?;
+        let queue: VecDeque<usize> =
+            Vec::<u64>::decode(&mut r).map_err(fail)?.into_iter().map(|id| id as usize).collect();
+        let streams = Vec::<ArrivalStream>::decode(&mut r).map_err(fail)?;
+        let tenants = Vec::<TenantCounters>::decode(&mut r).map_err(fail)?;
+        let evictions = u64::decode(&mut r).map_err(fail)?;
+        let samples = Vec::<TickSample>::decode(&mut r).map_err(fail)?;
+        let n_devices = u64::decode(&mut r).map_err(fail)? as usize;
+        let mut devices = Vec::with_capacity(n_devices);
+        for _ in 0..n_devices {
+            let id = u32::decode(&mut r).map_err(fail)?;
+            let fate = DeviceFate::decode(&mut r).map_err(fail)?;
+            let batches = u64::decode(&mut r).map_err(fail)?;
+            let served = u64::decode(&mut r).map_err(fail)?;
+            let pending_faults = Vec::<FleetFault>::decode(&mut r).map_err(fail)?;
+            let batch = match u8::decode(&mut r).map_err(fail)? {
+                0 => None,
+                1 => {
+                    let ids: Vec<usize> = Vec::<u64>::decode(&mut r)
+                        .map_err(fail)?
+                        .into_iter()
+                        .map(|id| id as usize)
+                        .collect();
+                    let active = Vec::<bool>::decode(&mut r).map_err(fail)?;
+                    let started_at = u64::decode(&mut r).map_err(fail)?;
+                    let faults = FaultPlan::decode(&mut r).map_err(fail)?;
+                    let blob_bytes = Vec::<u8>::decode(&mut r).map_err(fail)?;
+                    let blob = SnapshotBlob::from_bytes(&blob_bytes)
+                        .map_err(|e| format!("fleet snapshot: device blob: {e}"))?;
+                    let mut gpu = Gpu::new(cfg.device_config(faults.clone()));
+                    gpu.restore(&blob)
+                        .map_err(|e| format!("fleet snapshot: device restore: {e}"))?;
+                    Some(Batch { requests: ids, active, started_at, faults, gpu, step_err: None })
+                }
+                _ => return Err("fleet snapshot: invalid batch tag".to_string()),
+            };
+            devices.push(Device { id, fate, batches, served, pending_faults, batch });
+        }
+        if devices.len() != cfg.devices as usize || tenants.len() != cfg.tenants.len() {
+            return Err("fleet snapshot shape does not match the configuration".to_string());
+        }
+        Ok(Fleet {
+            cfg,
+            cycle,
+            tick_index,
+            shedding,
+            finished,
+            devices,
+            requests,
+            queue,
+            streams,
+            tenants,
+            evictions,
+            samples,
+        })
+    }
+
+    /// Convenience: checksummed one-shot encoding of `snapshot` (FNV-1a
+    /// appended), for callers that persist fleet state without the
+    /// harness's framing.
+    pub fn snapshot_checksummed(&self) -> Vec<u8> {
+        let mut bytes = self.snapshot();
+        let sum = snap::fnv1a(&bytes);
+        sum.encode(&mut bytes);
+        bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{Placement, TenantSpec};
+    use crate::scenarios;
+    use gpu_sim::FaultKind;
+    use qos_core::{SloTarget, TenantClass};
+    use workloads::arrival::ArrivalModel;
+
+    #[test]
+    fn steady_scenario_serves_every_request() {
+        let mut fleet = Fleet::new(scenarios::steady(7));
+        fleet.run_to_completion();
+        assert!(fleet.finished());
+        assert_eq!(fleet.lost_requests(), 0, "every request must reach a terminal state");
+        let done: u64 = fleet.tenant_counters().iter().map(|c| c.completed).sum();
+        let arrived: u64 = fleet.tenant_counters().iter().map(|c| c.arrived).sum();
+        assert_eq!(done, arrived, "an unloaded healthy fleet completes everything");
+        assert!(fleet.all_guaranteed_met());
+    }
+
+    #[test]
+    fn same_seed_runs_produce_byte_identical_reports() {
+        let mut a = Fleet::new(scenarios::chaos(42));
+        let mut b = Fleet::new(scenarios::chaos(42));
+        a.run_to_completion();
+        b.run_to_completion();
+        assert_eq!(a.report("chaos"), b.report("chaos"));
+    }
+
+    #[test]
+    fn admission_control_rejects_best_effort_that_would_break_the_horizon() {
+        // One device (4 slots) defending a 5k-cycle guaranteed deadline with
+        // a 30k-cycle service estimate: slot capacity within the horizon is
+        // 4 * 5k = 20k cycles, so a single best-effort request (30k) already
+        // projects past it and must be rejected at the door.
+        let cfg = FleetConfig {
+            devices: 1,
+            device_mem_bytes: 1 << 30,
+            placement: Placement::Binpack,
+            seed: 3,
+            epoch_cycles: 1_000,
+            tick_cycles: 4_000,
+            timeout_cycles: 60_000,
+            max_retries: 2,
+            backoff_base: 2_000,
+            est_service_cycles: 30_000,
+            shed_enter_permille: 100_000, // hysteresis far out of the way
+            shed_exit_permille: 99_999,
+            max_ticks: 300,
+            tenants: vec![
+                TenantSpec {
+                    name: "gold".into(),
+                    class: TenantClass::guaranteed(SloTarget::new(5_000, 1)),
+                    arrival: ArrivalModel::Open { mean_gap: 50_000 },
+                    requests: 2,
+                    grid_tbs: 4,
+                    mem_bytes: 1 << 20,
+                },
+                TenantSpec {
+                    name: "riffraff".into(),
+                    class: TenantClass::best_effort(),
+                    arrival: ArrivalModel::Open { mean_gap: 2_000 },
+                    requests: 8,
+                    grid_tbs: 4,
+                    mem_bytes: 1 << 20,
+                },
+            ],
+            faults: Vec::new(),
+        };
+        let mut fleet = Fleet::new(cfg);
+        fleet.run_to_completion();
+        let be = &fleet.tenant_counters()[1];
+        assert_eq!(be.arrived, 8);
+        assert_eq!(
+            be.shed_admission, 8,
+            "every best-effort request should be rejected at admission"
+        );
+        let gold = &fleet.tenant_counters()[0];
+        assert_eq!(gold.shed_total(), 0, "guaranteed work is never shed");
+        assert_eq!(fleet.lost_requests(), 0);
+    }
+
+    #[test]
+    fn shedding_engages_under_overload_without_flapping() {
+        let mut fleet = Fleet::new(scenarios::overload(11));
+        fleet.run_to_completion();
+        let shed_overload: u64 =
+            fleet.tenant_counters().iter().map(|c| c.shed_overload + c.shed_admission).sum();
+        assert!(shed_overload > 0, "the flood tenant must lose work");
+        // Hysteresis: the shedding flag may engage and disengage, but must
+        // not oscillate tick to tick.
+        let transitions =
+            fleet.samples().windows(2).filter(|w| w[0].shedding != w[1].shedding).count();
+        assert!(transitions <= 4, "shedding flapped: {transitions} transitions");
+        assert!(fleet.all_guaranteed_met(), "overload must not break the guarantee");
+        assert_eq!(fleet.lost_requests(), 0);
+    }
+
+    #[test]
+    fn device_loss_evicts_and_replaces_on_healthy_devices() {
+        let mut fleet = Fleet::new(scenarios::chaos(scenarios::DEFAULT_SEED));
+        fleet.run_to_completion();
+        let fates: Vec<DeviceFate> = fleet.devices.iter().map(|d| d.fate).collect();
+        assert!(
+            fates.iter().any(|f| matches!(f, DeviceFate::Lost { .. })),
+            "the scheduled device loss must fire: {fates:?}"
+        );
+        assert!(
+            fates.iter().any(|f| matches!(f, DeviceFate::Wedged { .. })),
+            "the scheduled wedge must be watchdog-classified: {fates:?}"
+        );
+        assert!(fleet.evictions > 0, "in-flight work on the dead devices is evicted");
+        assert_eq!(fleet.lost_requests(), 0, "evicted requests retry or shed, never vanish");
+        assert!(fleet.all_guaranteed_met(), "survivors must absorb the guaranteed load");
+        // The survivors actually served re-placed work.
+        let healthy_served: u64 =
+            fleet.devices.iter().filter(|d| d.fate.is_healthy()).map(|d| d.served).sum();
+        assert!(healthy_served > 0);
+    }
+
+    #[test]
+    fn snapshot_round_trips_mid_run_and_converges_identically() {
+        let cfg = scenarios::chaos(99);
+        let mut live = Fleet::new(cfg.clone());
+        for _ in 0..12 {
+            if live.step() {
+                break;
+            }
+        }
+        let bytes = live.snapshot();
+        let mut restored = Fleet::restore(cfg, &bytes).expect("restore");
+        assert_eq!(restored.cycle(), live.cycle());
+        assert_eq!(restored.ticks(), live.ticks());
+        live.run_to_completion();
+        restored.run_to_completion();
+        assert_eq!(live.report("chaos"), restored.report("chaos"));
+        // And the counter registries agree row for row.
+        assert_eq!(live.counter_registry(), restored.counter_registry());
+    }
+
+    #[test]
+    fn restore_rejects_a_different_configuration() {
+        let mut fleet = Fleet::new(scenarios::steady(5));
+        fleet.step();
+        let bytes = fleet.snapshot();
+        let other = scenarios::steady(6); // different seed, different fingerprint
+        let err = Fleet::restore(other, &bytes).expect_err("must reject");
+        assert!(err.contains("different configuration"), "{err}");
+    }
+
+    #[test]
+    fn dead_fleet_sheds_the_queue_instead_of_losing_it() {
+        let mut cfg = scenarios::steady(13);
+        cfg.devices = 1;
+        cfg.faults =
+            vec![crate::config::FleetFault { at_cycle: 0, device: 0, kind: FaultKind::DeviceLoss }];
+        let mut fleet = Fleet::new(cfg);
+        fleet.run_to_completion();
+        assert!(fleet.finished());
+        assert_eq!(fleet.lost_requests(), 0);
+        let sheds: u64 = fleet.tenant_counters().iter().map(TenantCounters::shed_total).sum();
+        assert!(sheds > 0, "work that arrived before the fleet died must be shed explicitly");
+    }
+
+    #[test]
+    fn counter_registry_is_stably_ordered() {
+        let mut fleet = Fleet::new(scenarios::steady(21));
+        fleet.step();
+        let names: Vec<String> =
+            fleet.counter_registry().iter().map(|e| format!("{} {}", e.scope, e.name)).collect();
+        let machine = names.iter().position(|n| n == "machine fleet_cycle").expect("machine rows");
+        let tenant = names.iter().position(|n| n.starts_with("tenant[0]")).expect("tenant rows");
+        let device = names.iter().position(|n| n.starts_with("device[0]")).expect("device rows");
+        assert!(machine < tenant && tenant < device, "scope blocks out of order: {names:?}");
+        let mut sorted = names.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), names.len(), "duplicate counter rows");
+    }
+}

@@ -1,0 +1,173 @@
+//! Named, fully-deterministic fleet scenarios.
+//!
+//! Each scenario is a complete [`FleetConfig`] — tenants, policy knobs, and
+//! fault schedule — so `repro fleet <name>` needs nothing but a name and an
+//! optional seed override. The constants below are calibrated against the
+//! tiny device configuration: one 8-TB request kernel completes well inside
+//! 20k cycles solo, and inside ~3× that when sharing a device with three
+//! neighbours under SMK.
+
+use gpu_sim::FaultKind;
+use qos_core::{SloTarget, TenantClass};
+use workloads::arrival::ArrivalModel;
+
+use crate::config::{FleetConfig, FleetFault, Placement, TenantSpec};
+
+/// Default master seed for scenarios (overridable on the CLI).
+pub const DEFAULT_SEED: u64 = 0x000F_1EE7_CAFE;
+
+/// Scenario names, in presentation order.
+pub const SCENARIOS: [&str; 3] = ["steady", "overload", "chaos"];
+
+/// Builds the named scenario, or `None` for an unknown name.
+pub fn by_name(name: &str, seed: u64) -> Option<FleetConfig> {
+    match name {
+        "steady" => Some(steady(seed)),
+        "overload" => Some(overload(seed)),
+        "chaos" => Some(chaos(seed)),
+        _ => None,
+    }
+}
+
+fn base(seed: u64) -> FleetConfig {
+    FleetConfig {
+        devices: 2,
+        device_mem_bytes: 1 << 30,
+        placement: Placement::Spread,
+        seed,
+        epoch_cycles: 1_000,
+        tick_cycles: 4_000,
+        timeout_cycles: 60_000,
+        max_retries: 3,
+        backoff_base: 2_000,
+        est_service_cycles: 20_000,
+        shed_enter_permille: 900,
+        shed_exit_permille: 500,
+        max_ticks: 600,
+        tenants: Vec::new(),
+        faults: Vec::new(),
+    }
+}
+
+fn guaranteed(deadline: u64, floor_ppm: u32) -> TenantClass {
+    TenantClass::guaranteed(SloTarget::new(deadline, floor_ppm))
+}
+
+/// Two healthy devices, light load, no faults: every request should
+/// complete with headroom. The baseline the fault scenarios are read
+/// against.
+pub fn steady(seed: u64) -> FleetConfig {
+    let mut cfg = base(seed);
+    cfg.tenants = vec![
+        TenantSpec {
+            name: "latency".into(),
+            class: guaranteed(120_000, 900_000),
+            arrival: ArrivalModel::Open { mean_gap: 8_000 },
+            requests: 12,
+            grid_tbs: 8,
+            mem_bytes: 64 << 20,
+        },
+        TenantSpec {
+            name: "batch".into(),
+            class: TenantClass::best_effort(),
+            arrival: ArrivalModel::Open { mean_gap: 6_000 },
+            requests: 12,
+            grid_tbs: 8,
+            mem_bytes: 64 << 20,
+        },
+    ];
+    cfg
+}
+
+/// One device, a guaranteed closed-loop tenant, and a best-effort open
+/// tenant arriving far faster than the device can drain: admission control
+/// and load shedding must sacrifice best-effort work to keep the guarantee.
+pub fn overload(seed: u64) -> FleetConfig {
+    let mut cfg = base(seed);
+    cfg.devices = 1;
+    cfg.placement = Placement::Binpack;
+    cfg.tenants = vec![
+        TenantSpec {
+            name: "latency".into(),
+            class: guaranteed(120_000, 850_000),
+            arrival: ArrivalModel::Closed { think: 10_000, population: 2 },
+            requests: 10,
+            grid_tbs: 8,
+            mem_bytes: 64 << 20,
+        },
+        TenantSpec {
+            name: "flood".into(),
+            class: TenantClass::best_effort(),
+            arrival: ArrivalModel::Open { mean_gap: 1_000 },
+            requests: 60,
+            grid_tbs: 8,
+            mem_bytes: 64 << 20,
+        },
+    ];
+    cfg
+}
+
+/// The chaos soak: four devices, three tenants, and a fault schedule that
+/// kills one device outright and wedges another mid-run. The two surviving
+/// devices must absorb the re-placed work — every guaranteed tenant still
+/// meets its floor, every request ends completed or explicitly shed.
+pub fn chaos(seed: u64) -> FleetConfig {
+    let mut cfg = base(seed);
+    cfg.devices = 4;
+    cfg.tenants = vec![
+        TenantSpec {
+            name: "latency".into(),
+            class: guaranteed(200_000, 850_000),
+            arrival: ArrivalModel::Open { mean_gap: 8_000 },
+            requests: 15,
+            grid_tbs: 8,
+            mem_bytes: 64 << 20,
+        },
+        TenantSpec {
+            name: "interactive".into(),
+            class: guaranteed(200_000, 850_000),
+            arrival: ArrivalModel::Closed { think: 8_000, population: 2 },
+            requests: 12,
+            grid_tbs: 8,
+            mem_bytes: 64 << 20,
+        },
+        TenantSpec {
+            name: "batch".into(),
+            class: TenantClass::best_effort(),
+            arrival: ArrivalModel::Open { mean_gap: 4_000 },
+            requests: 20,
+            grid_tbs: 8,
+            mem_bytes: 64 << 20,
+        },
+    ];
+    cfg.faults = vec![
+        FleetFault { at_cycle: 30_000, device: 1, kind: FaultKind::DeviceLoss },
+        FleetFault { at_cycle: 50_000, device: 2, kind: FaultKind::DeviceWedge },
+    ];
+    cfg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_scenario_validates() {
+        for name in SCENARIOS {
+            let cfg = by_name(name, DEFAULT_SEED).expect("known scenario");
+            cfg.validate().unwrap_or_else(|e| panic!("scenario {name}: {e}"));
+        }
+    }
+
+    #[test]
+    fn unknown_scenario_is_none() {
+        assert!(by_name("nope", 1).is_none());
+    }
+
+    #[test]
+    fn chaos_schedules_a_loss_and_a_wedge() {
+        let cfg = chaos(DEFAULT_SEED);
+        assert!(cfg.faults.iter().any(|f| f.kind == FaultKind::DeviceLoss));
+        assert!(cfg.faults.iter().any(|f| f.kind == FaultKind::DeviceWedge));
+    }
+}

@@ -165,8 +165,10 @@ impl Gpu {
     /// [`SimError::Watchdog`] when no instruction issues machine-wide for a
     /// full watchdog window while kernels are resident;
     /// [`SimError::Audit`] when audit mode finds a violated invariant at an
-    /// epoch boundary. On error `self` is left at the failing cycle so the
-    /// state can be inspected.
+    /// epoch boundary;
+    /// [`SimError::DeviceLost`] when a [`FaultKind::DeviceLoss`] fault
+    /// fires. On error `self` is left at the failing cycle so the state can
+    /// be inspected.
     pub fn try_run(&mut self, cycles: Cycle, ctrl: &mut dyn Controller) -> Result<(), SimError> {
         let threads = self.step_threads();
         exec::scope(threads, |pool| self.run_loop(cycles, ctrl, pool))
@@ -208,7 +210,7 @@ impl Gpu {
         while self.cycle < end {
             let now = self.cycle;
             if self.fault_cursor < self.cfg.faults.faults.len() {
-                self.apply_faults(now);
+                self.apply_faults(now)?;
             }
             if now.is_multiple_of(self.cfg.epoch_cycles) {
                 self.record(now, TraceEventKind::EpochBoundary { epoch: self.epoch_index });
@@ -329,7 +331,13 @@ impl Gpu {
     }
 
     /// Applies every scheduled fault whose cycle has arrived.
-    fn apply_faults(&mut self, now: Cycle) {
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::DeviceLost`] when a [`FaultKind::DeviceLoss`] fault
+    /// fires; the run loop propagates it immediately (mid-epoch), modeling
+    /// a device that drops off the bus without warning.
+    fn apply_faults(&mut self, now: Cycle) -> Result<(), SimError> {
         while self.fault_cursor < self.cfg.faults.faults.len()
             && self.cfg.faults.faults[self.fault_cursor].at_cycle <= now
         {
@@ -351,8 +359,17 @@ impl Gpu {
                 FaultKind::Panic => {
                     panic!("injected fault: panic at cycle {now} (scheduled at {})", fault.at_cycle)
                 }
+                FaultKind::DeviceLoss => {
+                    return Err(SimError::DeviceLost(Box::new(self.health_report())));
+                }
+                FaultKind::DeviceWedge => {
+                    for sm in &mut self.sms {
+                        sm.freeze_schedulers();
+                    }
+                }
             }
         }
+        Ok(())
     }
 
     fn total_issued(&self) -> u64 {
@@ -1366,6 +1383,55 @@ mod tests {
         let payload = result.expect_err("the injected panic must surface");
         let msg = payload.downcast_ref::<String>().expect("panic carries a message");
         assert!(msg.contains("injected fault"), "{msg}");
+    }
+
+    #[test]
+    fn device_loss_surfaces_as_a_typed_error_mid_epoch() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.faults = FaultPlan::one(2_500, FaultKind::DeviceLoss);
+        let mut gpu = Gpu::new(cfg);
+        gpu.launch(compute_kernel("victim"));
+        let err =
+            gpu.try_run(50_000, &mut NullController).expect_err("a lost device must stop the run");
+        assert_eq!(err.kind(), "device-lost");
+        let SimError::DeviceLost(report) = err else {
+            panic!("expected a device-lost error, got {err}");
+        };
+        assert_eq!(gpu.cycle(), 2_500, "the loss fires mid-epoch, not at a boundary");
+        assert_eq!(report.cycle, 2_500);
+        assert!(report.total_issued > 0, "progress happened before the loss");
+    }
+
+    #[test]
+    fn watchdog_classifies_a_wedged_device_within_one_window() {
+        let mut cfg = GpuConfig::tiny();
+        cfg.health.watchdog_window = 2_000;
+        cfg.faults = FaultPlan::one(3_000, FaultKind::DeviceWedge);
+        let mut gpu = Gpu::new(cfg);
+        gpu.launch(compute_kernel("victim"));
+        let err = gpu
+            .try_run(50_000, &mut NullController)
+            .expect_err("a wedged device must trip the watchdog");
+        assert_eq!(err.kind(), "watchdog");
+        let SimError::Watchdog(report) = err else {
+            panic!("expected a watchdog trip, got {err}");
+        };
+        // The wedge fires at 3 000; the first full window with zero issues is
+        // (4 000, 6 000], so classification lands at 6 000 — one window after
+        // the first check that still saw pre-wedge progress.
+        assert!(
+            report.cycle <= 3_000 + 2 * 2_000,
+            "wedge must be classified within one window of the first silent check \
+             (tripped at {})",
+            report.cycle
+        );
+        assert!(
+            report.starved_kernels().count() == 0,
+            "a wedged device is not a quota livelock; no kernel is quota-starved"
+        );
+        for sm in &report.sms {
+            assert!(sm.warps.ready > 0, "ready warps that cannot issue mark a frozen scheduler");
+        }
     }
 
     #[test]

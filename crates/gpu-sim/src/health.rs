@@ -74,6 +74,16 @@ pub enum FaultKind {
     /// Panic inside the simulation loop (exercises the harness's
     /// panic-isolation and retry policy).
     Panic,
+    /// Kill the device outright: the run loop stops mid-epoch and returns
+    /// [`SimError::DeviceLost`] with a final [`HealthReport`]. Models a
+    /// fallen-off-the-bus GPU; everything resident on it is lost and a
+    /// fleet must re-place the work elsewhere.
+    DeviceLoss,
+    /// Wedge the device: every SM's warp schedulers freeze at once, so the
+    /// machine stops issuing but keeps consuming cycles. Unlike
+    /// [`FaultKind::DeviceLoss`] the failure is *silent* — only the
+    /// forward-progress watchdog can classify it, within one window.
+    DeviceWedge,
 }
 
 /// A deterministic schedule of injected faults, carried on
@@ -327,6 +337,10 @@ pub enum SimError {
     Watchdog(Box<HealthReport>),
     /// An audit-mode invariant check failed.
     Audit(AuditViolation),
+    /// The device was lost (a [`FaultKind::DeviceLoss`] fault fired): the
+    /// run loop stopped mid-epoch and nothing resident survives. The report
+    /// is the machine's final state, for post-mortems.
+    DeviceLost(Box<HealthReport>),
 }
 
 impl SimError {
@@ -335,6 +349,7 @@ impl SimError {
         match self {
             SimError::Watchdog(_) => "watchdog",
             SimError::Audit(_) => "audit-violation",
+            SimError::DeviceLost(_) => "device-lost",
         }
     }
 }
@@ -346,6 +361,9 @@ impl fmt::Display for SimError {
                 write!(f, "watchdog tripped at cycle {}: {}", report.cycle, report.summary())
             }
             SimError::Audit(v) => v.fmt(f),
+            SimError::DeviceLost(report) => {
+                write!(f, "device lost at cycle {}", report.cycle)
+            }
         }
     }
 }
@@ -366,6 +384,8 @@ impl Snap for FaultKind {
             }
             FaultKind::StallPreemption => out.push(2),
             FaultKind::Panic => out.push(3),
+            FaultKind::DeviceLoss => out.push(4),
+            FaultKind::DeviceWedge => out.push(5),
         }
     }
     fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
@@ -374,6 +394,8 @@ impl Snap for FaultKind {
             1 => Ok(FaultKind::FreezeScheduler { sm: usize::decode(r)? }),
             2 => Ok(FaultKind::StallPreemption),
             3 => Ok(FaultKind::Panic),
+            4 => Ok(FaultKind::DeviceLoss),
+            5 => Ok(FaultKind::DeviceWedge),
             _ => Err(SnapError::Invalid("FaultKind")),
         }
     }
@@ -428,12 +450,17 @@ impl Snap for SimError {
                 out.push(1);
                 v.encode(out);
             }
+            SimError::DeviceLost(report) => {
+                out.push(2);
+                (**report).encode(out);
+            }
         }
     }
     fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
         match u8::decode(r)? {
             0 => Ok(SimError::Watchdog(Box::new(HealthReport::decode(r)?))),
             1 => Ok(SimError::Audit(AuditViolation::decode(r)?)),
+            2 => Ok(SimError::DeviceLost(Box::new(HealthReport::decode(r)?))),
             _ => Err(SnapError::Invalid("SimError")),
         }
     }

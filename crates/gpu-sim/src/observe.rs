@@ -339,6 +339,10 @@ pub enum CounterScope {
     Sm(usize),
     /// Per memory channel (L2 slice / DRAM queue index).
     Channel(usize),
+    /// Per fleet tenant (cluster-level serving metrics).
+    Tenant(usize),
+    /// Per fleet device (one simulated GPU in a cluster).
+    Device(usize),
 }
 
 impl fmt::Display for CounterScope {
@@ -348,6 +352,8 @@ impl fmt::Display for CounterScope {
             CounterScope::Kernel(k) => write!(f, "kernel[{k}]"),
             CounterScope::Sm(s) => write!(f, "sm[{s}]"),
             CounterScope::Channel(c) => write!(f, "chan[{c}]"),
+            CounterScope::Tenant(t) => write!(f, "tenant[{t}]"),
+            CounterScope::Device(d) => write!(f, "device[{d}]"),
         }
     }
 }
@@ -429,6 +435,8 @@ mod tests {
             TraceEventKind::IdleStart,
             TraceEventKind::IdleEnd,
             TraceEventKind::FaultInjected { fault: FaultKind::StarveQuota },
+            TraceEventKind::FaultInjected { fault: FaultKind::DeviceLoss },
+            TraceEventKind::FaultInjected { fault: FaultKind::DeviceWedge },
         ];
         for kind in kinds {
             let event = TraceEvent { cycle: 999, sm: None, kind };

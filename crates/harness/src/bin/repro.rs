@@ -9,6 +9,9 @@
 //! repro resume <DIR> [--checkpoint-every N]
 //! repro inspect <failure-snapshot-file>
 //! repro trace <golden-scenario> [--out trace.json]
+//! repro fleet <scenario> [--seed N] [--checkpoint-dir DIR]
+//!             [--checkpoint-every TICKS] [--trace FILE]
+//! repro fleet resume <DIR>
 //! ```
 //!
 //! `run`/`resume`/`inspect` are the crash-resumable sweep commands: `run`
@@ -58,19 +61,27 @@ fn usage() -> String {
          \u{20}      repro resume <DIR> [--checkpoint-every N]\n\
          \u{20}      repro inspect <failure-snapshot-file>\n\
          \u{20}      repro trace <scenario> [--out FILE]\n\
+         \u{20}      repro fleet <scenario> [--seed N] [--checkpoint-dir DIR] \
+         [--checkpoint-every TICKS] [--trace FILE]\n\
+         \u{20}      repro fleet resume <DIR>\n\
          experiments: {}\n\
          sweeps: {}\n\
          scenarios: {}\n\
+         fleet scenarios: {}\n\
          golden: verify the golden-trace corpus (tests/golden/); \
          --bless regenerates it\n\
          run/resume: checkpointed sweep execution; resume continues a killed\n\
          sweep from the newest loadable checkpoint in DIR\n\
          inspect: pretty-print a failure-case-*.snap machine snapshot\n\
          trace: export a golden scenario's flight recording as Chrome-trace\n\
-         JSON (load at ui.perfetto.dev); stdout unless --out is given\n",
+         JSON (load at ui.perfetto.dev); stdout unless --out is given\n\
+         fleet: run a multi-GPU serving scenario (admission control, retries,\n\
+         device-fault tolerance); exit 0 iff every guaranteed SLO is met and\n\
+         no request is lost; `fleet resume` continues a killed run\n",
         EXPERIMENTS.join(" "),
         checkpoint::SWEEPS.join(" "),
-        harness::golden::SCENARIOS.join(" ")
+        harness::golden::SCENARIOS.join(" "),
+        fleet::scenarios::SCENARIOS.join(" ")
     )
 }
 
@@ -257,6 +268,86 @@ fn cmd_trace(mut args: impl Iterator<Item = String>) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+/// `repro fleet <scenario> ...` / `repro fleet resume <DIR>`: checkpointed
+/// fleet serving runs. The report is the only stdout, so a killed-then-
+/// resumed run's output is byte-identical to an uninterrupted one's.
+fn cmd_fleet(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut positional = Vec::new();
+    let mut seed = fleet::scenarios::DEFAULT_SEED;
+    let mut dir = None;
+    let mut every = harness::fleet_cli::DEFAULT_FLEET_EVERY;
+    let mut trace = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let Some(value) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--seed needs an unsigned integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                seed = value;
+            }
+            "--checkpoint-dir" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--checkpoint-dir needs a value\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                dir = Some(value);
+            }
+            "--checkpoint-every" => {
+                let Some(value) =
+                    args.next().and_then(|v| v.parse::<u64>().ok().filter(|&n| n > 0))
+                else {
+                    eprintln!("--checkpoint-every wants a positive tick count\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                every = value;
+            }
+            "--trace" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--trace needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                trace = Some(value);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let outcome = match positional.as_slice() {
+        [cmd, dir_arg] if cmd == "resume" => {
+            harness::fleet_cli::resume(std::path::Path::new(dir_arg))
+        }
+        [name] => {
+            eprintln!("[fleet {name}, seed {seed}]");
+            harness::fleet_cli::run_scenario(
+                name,
+                seed,
+                dir.as_deref().map(std::path::Path::new),
+                every,
+                trace.as_deref().map(std::path::Path::new),
+            )
+        }
+        _ => {
+            eprintln!("`repro fleet` wants one scenario name or `resume <DIR>`\n{}", usage());
+            return ExitCode::FAILURE;
+        }
+    };
+    match outcome {
+        Ok(outcome) => {
+            // The report is the only stdout: killed + resumed == uninterrupted.
+            print!("{}", outcome.report);
+            if outcome.ok {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Verifies (or with `bless` regenerates) the golden-trace corpus.
 fn run_golden(bless: bool) -> ExitCode {
     if bless {
@@ -322,6 +413,7 @@ fn main() -> ExitCode {
         Some("resume") => return cmd_resume(args.skip(1)),
         Some("inspect") => return cmd_inspect(args.skip(1)),
         Some("trace") => return cmd_trace(args.skip(1)),
+        Some("fleet") => return cmd_fleet(args.skip(1)),
         _ => {}
     }
     let mut scale = RunScale::Quick;

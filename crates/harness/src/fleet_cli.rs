@@ -1,0 +1,283 @@
+//! CLI driver for `repro fleet`: checkpointed, crash-resumable runs of the
+//! named fleet scenarios.
+//!
+//! The fleet serializes its own state ([`fleet::Fleet::snapshot`]); this
+//! module wraps those bytes in a small framed file — magic, frame version,
+//! scenario name, seed, checkpoint cadence, payload, FNV-1a checksum — and
+//! persists it through [`crate::export::write_atomic`], so a SIGKILL at any
+//! moment leaves either the previous complete checkpoint or the new one,
+//! never a torn file. `repro fleet resume <DIR>` rebuilds the scenario
+//! config from the frame header and continues; because every scheduler
+//! decision is a pure function of config, seed, and tick, the resumed run's
+//! final report is byte-identical to an uninterrupted run's.
+
+use std::path::{Path, PathBuf};
+
+use fleet::{scenarios, Fleet};
+use gpu_sim::snap::{fnv1a, Snap, SnapReader};
+
+use crate::export::write_atomic;
+
+/// File name of the fleet checkpoint inside a checkpoint directory. A
+/// single rolling generation: [`write_atomic`] makes each save all-or-
+/// nothing, and the fleet snapshot is self-validating (version + config
+/// fingerprint) on top of the frame checksum.
+pub const FLEET_CHECKPOINT_FILE: &str = "fleet-ckpt.bin";
+
+/// Default checkpoint cadence, in fleet ticks.
+pub const DEFAULT_FLEET_EVERY: u64 = 5;
+
+const MAGIC: &[u8; 4] = b"FGFL";
+const FRAME_VERSION: u32 = 1;
+
+/// A framed fleet checkpoint: everything needed to resume a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetCheckpoint {
+    /// Scenario name (must be in [`fleet::scenarios::SCENARIOS`]).
+    pub scenario: String,
+    /// Master seed the run was started with.
+    pub seed: u64,
+    /// Checkpoint cadence the run was started with, in ticks.
+    pub every_ticks: u64,
+    /// Opaque [`fleet::Fleet::snapshot`] bytes.
+    pub state: Vec<u8>,
+}
+
+fn frame(ckpt: &FleetCheckpoint) -> Vec<u8> {
+    let mut out = Vec::with_capacity(ckpt.state.len() + 64);
+    out.extend_from_slice(MAGIC);
+    FRAME_VERSION.encode(&mut out);
+    ckpt.scenario.encode(&mut out);
+    ckpt.seed.encode(&mut out);
+    ckpt.every_ticks.encode(&mut out);
+    ckpt.state.encode(&mut out);
+    let sum = fnv1a(&out);
+    sum.encode(&mut out);
+    out
+}
+
+/// Parses a framed fleet checkpoint, verifying magic, version and checksum.
+///
+/// # Errors
+///
+/// A description of the first structural problem.
+pub fn unframe(bytes: &[u8]) -> Result<FleetCheckpoint, String> {
+    if bytes.len() < MAGIC.len() + 12 || &bytes[..MAGIC.len()] != MAGIC {
+        return Err("not a fleet checkpoint (bad magic)".to_string());
+    }
+    let body_len = bytes.len() - 8;
+    let mut tail = SnapReader::new(&bytes[body_len..]);
+    let stored = u64::decode(&mut tail).map_err(|e| format!("checksum field: {e}"))?;
+    if fnv1a(&bytes[..body_len]) != stored {
+        return Err("fleet checkpoint is corrupt (checksum mismatch)".to_string());
+    }
+    let mut r = SnapReader::new(&bytes[MAGIC.len()..body_len]);
+    let fail = |e: gpu_sim::snap::SnapError| format!("fleet checkpoint frame: {e}");
+    let version = u32::decode(&mut r).map_err(fail)?;
+    if version != FRAME_VERSION {
+        return Err(format!(
+            "fleet checkpoint frame version {version}, this build expects {FRAME_VERSION}"
+        ));
+    }
+    let scenario = String::decode(&mut r).map_err(fail)?;
+    let seed = u64::decode(&mut r).map_err(fail)?;
+    let every_ticks = u64::decode(&mut r).map_err(fail)?;
+    let state = Vec::<u8>::decode(&mut r).map_err(fail)?;
+    if !r.is_exhausted() {
+        return Err("fleet checkpoint frame has trailing bytes".to_string());
+    }
+    Ok(FleetCheckpoint { scenario, seed, every_ticks, state })
+}
+
+/// Atomically persists `ckpt` into `dir` (creating it if needed) and
+/// returns the file path.
+///
+/// # Errors
+///
+/// Propagates filesystem errors.
+pub fn save_checkpoint(dir: &Path, ckpt: &FleetCheckpoint) -> std::io::Result<PathBuf> {
+    std::fs::create_dir_all(dir)?;
+    let path = dir.join(FLEET_CHECKPOINT_FILE);
+    write_atomic(&path, &frame(ckpt))?;
+    Ok(path)
+}
+
+/// Loads and verifies the checkpoint in `dir`.
+///
+/// # Errors
+///
+/// A description of what failed: missing file, corrupt frame, or a frame
+/// from a different build.
+pub fn load_checkpoint(dir: &Path) -> Result<FleetCheckpoint, String> {
+    let path = dir.join(FLEET_CHECKPOINT_FILE);
+    let bytes = std::fs::read(&path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    unframe(&bytes)
+}
+
+/// Outcome of a fleet run: the rendered report plus whether the run held
+/// its contract (every guaranteed tenant met its floor, no request lost).
+#[derive(Debug, Clone)]
+pub struct FleetOutcome {
+    /// The deterministic fleet report (the command's only stdout).
+    pub report: String,
+    /// Whether every guaranteed SLO was met and no request was lost.
+    pub ok: bool,
+}
+
+/// Runs scenario `name` from the start, checkpointing every `every` ticks
+/// into `dir` when given, optionally exporting a Perfetto trace at the end.
+///
+/// # Errors
+///
+/// Unknown scenario names, filesystem errors, or a trace document failing
+/// its own schema check.
+pub fn run_scenario(
+    name: &str,
+    seed: u64,
+    dir: Option<&Path>,
+    every: u64,
+    trace: Option<&Path>,
+) -> Result<FleetOutcome, String> {
+    let cfg = scenarios::by_name(name, seed).ok_or_else(|| {
+        format!("unknown scenario {name:?} (known: {})", scenarios::SCENARIOS.join(", "))
+    })?;
+    let fleet = Fleet::new(cfg);
+    drive(fleet, name, seed, dir, every.max(1), trace)
+}
+
+/// Resumes the run checkpointed in `dir` and finishes it, continuing the
+/// checkpoint cadence recorded in the frame.
+///
+/// # Errors
+///
+/// Checkpoint loading/validation failures, or errors from the continued
+/// run.
+pub fn resume(dir: &Path) -> Result<FleetOutcome, String> {
+    let ckpt = load_checkpoint(dir)?;
+    let cfg = scenarios::by_name(&ckpt.scenario, ckpt.seed).ok_or_else(|| {
+        format!("checkpointed scenario {:?} is unknown to this build", ckpt.scenario)
+    })?;
+    let fleet = Fleet::restore(cfg, &ckpt.state)?;
+    drive(fleet, &ckpt.scenario, ckpt.seed, Some(dir), ckpt.every_ticks, None)
+}
+
+fn drive(
+    mut fleet: Fleet,
+    scenario: &str,
+    seed: u64,
+    dir: Option<&Path>,
+    every: u64,
+    trace: Option<&Path>,
+) -> Result<FleetOutcome, String> {
+    while !fleet.finished() {
+        if let Some(dir) = dir {
+            if fleet.ticks().is_multiple_of(every) {
+                let ckpt = FleetCheckpoint {
+                    scenario: scenario.to_string(),
+                    seed,
+                    every_ticks: every,
+                    state: fleet.snapshot(),
+                };
+                save_checkpoint(dir, &ckpt)
+                    .map_err(|e| format!("cannot save fleet checkpoint: {e}"))?;
+            }
+        }
+        fleet.step();
+    }
+    if let Some(dir) = dir {
+        // Final checkpoint: a resume of a finished run just reprints the
+        // report instead of re-simulating anything.
+        let ckpt = FleetCheckpoint {
+            scenario: scenario.to_string(),
+            seed,
+            every_ticks: every,
+            state: fleet.snapshot(),
+        };
+        save_checkpoint(dir, &ckpt).map_err(|e| format!("cannot save fleet checkpoint: {e}"))?;
+    }
+    if let Some(path) = trace {
+        let doc = crate::perfetto::render_fleet_trace(&fleet, scenario);
+        crate::perfetto::check_chrome_trace(&doc)
+            .map_err(|e| format!("internal error: fleet trace fails its own schema check: {e}"))?;
+        write_atomic(path, doc.as_bytes())
+            .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    }
+    let ok = fleet.all_guaranteed_met() && fleet.lost_requests() == 0;
+    Ok(FleetOutcome { report: fleet.report(scenario), ok })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("fgqos-fleet-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpoint_frame_round_trips() {
+        let ckpt = FleetCheckpoint {
+            scenario: "chaos".to_string(),
+            seed: 42,
+            every_ticks: 5,
+            state: vec![1, 2, 3, 4, 5],
+        };
+        let back = unframe(&frame(&ckpt)).expect("round trip");
+        assert_eq!(back, ckpt);
+    }
+
+    #[test]
+    fn corrupt_frame_is_rejected_by_checksum() {
+        let ckpt = FleetCheckpoint {
+            scenario: "steady".to_string(),
+            seed: 1,
+            every_ticks: 1,
+            state: vec![9; 64],
+        };
+        let mut bytes = frame(&ckpt);
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        let err = unframe(&bytes).expect_err("must reject");
+        assert!(err.contains("checksum"), "{err}");
+        assert!(unframe(b"nope").is_err(), "bad magic");
+    }
+
+    #[test]
+    fn run_save_and_resume_report_identically() {
+        let dir = tmp_dir("resume");
+        let full = run_scenario("steady", 7, None, 1, None).expect("full run");
+        // Simulate a crash: run the same scenario but snapshot mid-run,
+        // then resume from the persisted state only.
+        let cfg = scenarios::by_name("steady", 7).expect("known");
+        let mut partial = Fleet::new(cfg);
+        for _ in 0..4 {
+            partial.step();
+        }
+        save_checkpoint(
+            &dir,
+            &FleetCheckpoint {
+                scenario: "steady".to_string(),
+                seed: 7,
+                every_ticks: 1,
+                state: partial.snapshot(),
+            },
+        )
+        .expect("save");
+        drop(partial);
+        let resumed = resume(&dir).expect("resume");
+        assert_eq!(resumed.report, full.report, "resume converges byte-identically");
+        assert_eq!(resumed.ok, full.ok);
+        // Resuming the now-finished checkpoint reprints the same report.
+        let again = resume(&dir).expect("resume finished");
+        assert_eq!(again.report, full.report);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unknown_scenario_is_an_error() {
+        let err = run_scenario("nope", 1, None, 1, None).expect_err("unknown");
+        assert!(err.contains("unknown scenario"), "{err}");
+    }
+}

@@ -27,7 +27,10 @@
 //!   checker,
 //! * [`checkpoint`] — crash-resumable sweeps: a checksummed, rotated journal
 //!   of completed cases plus periodic mid-case machine snapshots, driven by
-//!   `repro run --checkpoint-dir` / `repro resume` / `repro inspect`.
+//!   `repro run --checkpoint-dir` / `repro resume` / `repro inspect`,
+//! * [`fleet_cli`] — `repro fleet <scenario>`: checkpointed, crash-resumable
+//!   runs of the multi-GPU serving scenarios from the `fleet` crate, with
+//!   per-tenant Perfetto export.
 //!
 //! # Example
 //!
@@ -49,6 +52,7 @@ pub mod checkpoint;
 pub mod error;
 pub mod experiments;
 pub mod export;
+pub mod fleet_cli;
 pub mod golden;
 pub mod metrics;
 pub mod perfetto;

@@ -150,6 +150,74 @@ fn event_args(kind: &TraceEventKind) -> String {
     }
 }
 
+/// Renders a finished fleet run as Chrome-trace JSON: one counter track per
+/// tenant (cumulative SLO-met / completed / retry / shed series plus the
+/// instantaneous queue depth, one sample per fleet tick) and a machine
+/// track with fleet-wide queue depth, healthy-device count and the
+/// load-shedding flag. The full fleet counter registry rides along under
+/// the `counters` key, exactly like the single-GPU export.
+#[must_use]
+pub fn render_fleet_trace(fleet: &fleet::Fleet, name: &str) -> String {
+    let mut out = String::new();
+    out.push_str("{\n");
+    let _ = writeln!(out, "  \"displayTimeUnit\": \"ms\",");
+    let _ = writeln!(out, "  \"scenario\": \"fleet/{}\",", escape(name));
+    out.push_str("  \"traceEvents\": [\n");
+
+    let mut events: Vec<String> = Vec::new();
+    events.push(
+        "{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": 0, \"tid\": 0, \
+         \"args\": {\"name\": \"fleet\"}}"
+            .to_string(),
+    );
+    for (t, spec) in fleet.config().tenants.iter().enumerate() {
+        events.push(format!(
+            "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {}, \"tid\": 0, \
+             \"args\": {{\"name\": \"tenant/{}\"}}}}",
+            t + 1,
+            escape(&spec.name)
+        ));
+    }
+    for s in fleet.samples() {
+        events.push(format!(
+            "{{\"name\": \"fleet\", \"ph\": \"C\", \"ts\": {}, \"pid\": 0, \
+             \"args\": {{\"queue_depth\": {}, \"healthy_devices\": {}, \"shedding\": {}}}}}",
+            s.cycle,
+            s.queue_depth,
+            s.healthy_devices,
+            u8::from(s.shedding)
+        ));
+        for (t, ts) in s.tenants.iter().enumerate() {
+            events.push(format!(
+                "{{\"name\": \"tenant{t}\", \"ph\": \"C\", \"ts\": {}, \"pid\": {}, \
+                 \"args\": {{\"completed\": {}, \"slo_met\": {}, \"retries\": {}, \
+                 \"shed\": {}, \"queued\": {}}}}}",
+                s.cycle,
+                t + 1,
+                ts.completed,
+                ts.slo_met,
+                ts.retries,
+                ts.shed,
+                ts.queued
+            ));
+        }
+    }
+
+    for (i, e) in events.iter().enumerate() {
+        let comma = if i + 1 == events.len() { "" } else { "," };
+        let _ = writeln!(out, "    {e}{comma}");
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"counters\": {\n");
+    let registry = fleet.counter_registry();
+    for (i, entry) in registry.iter().enumerate() {
+        let comma = if i + 1 == registry.len() { "" } else { "," };
+        let _ = writeln!(out, "    \"{}/{}\": {}{comma}", entry.scope, entry.name, entry.value);
+    }
+    out.push_str("  }\n}\n");
+    out
+}
+
 fn escape(s: &str) -> String {
     let mut out = String::with_capacity(s.len());
     for c in s.chars() {
@@ -456,5 +524,18 @@ mod tests {
         assert!(events > 10, "a busy scenario must export real events, got {events}");
         assert!(doc.contains("\"ph\": \"C\""), "counter samples present");
         assert!(doc.contains("\"ph\": \"i\""), "instants present");
+    }
+
+    #[test]
+    fn exported_fleet_trace_passes_the_schema_check() {
+        let mut f = fleet::Fleet::new(fleet::scenarios::steady(3));
+        f.run_to_completion();
+        let doc = render_fleet_trace(&f, "steady");
+        let events = check_chrome_trace(&doc).expect("fleet trace must be valid");
+        assert!(events > 10, "per-tick tenant samples must be present, got {events}");
+        assert!(doc.contains("tenant/latency"), "tenant tracks are named");
+        assert!(doc.contains("\"slo_met\""), "SLO series present");
+        assert!(doc.contains("\"shed\""), "shed series present");
+        assert!(doc.contains("tenant[0]/slo_met"), "registry rides along");
     }
 }

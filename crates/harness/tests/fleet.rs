@@ -1,0 +1,123 @@
+//! End-to-end crash-recovery and chaos-soak tests for `repro fleet`.
+//!
+//! The fast test SIGKILLs a checkpointing fleet run mid-flight and asserts
+//! the resumed run's report is byte-identical to an uninterrupted one's.
+//! The `--ignored` soak (run in CI's fleet-chaos job) replays the chaos
+//! scenario across seeds and asserts the serving contract: every guaranteed
+//! tenant meets its SLO floor and no request is ever lost.
+
+use std::path::PathBuf;
+use std::process::{Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro")).args(args).output().expect("repro spawns")
+}
+
+fn tmp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("fgqos-fleet-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn sigkilled_fleet_run_resumes_to_an_identical_report() {
+    let dir = tmp_dir("sigkill");
+    let baseline = repro(&["fleet", "chaos"]);
+    assert!(
+        baseline.status.success(),
+        "baseline run failed: {}",
+        String::from_utf8_lossy(&baseline.stderr)
+    );
+
+    let mut victim = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fleet", "chaos", "--checkpoint-dir"])
+        .arg(&dir)
+        .args(["--checkpoint-every", "1"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("victim spawns");
+
+    // Kill as soon as a checkpoint lands. write_atomic renames the file
+    // into place, so existence implies a complete frame. The chaos run is
+    // fast, so tolerate the victim finishing first: the final checkpoint
+    // then makes resume a pure reprint, which must still match.
+    let ckpt = dir.join("fleet-ckpt.bin");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut victim_finished = false;
+    loop {
+        if ckpt.exists() {
+            break;
+        }
+        if victim.try_wait().expect("try_wait works").is_some() {
+            victim_finished = true;
+            break;
+        }
+        assert!(Instant::now() < deadline, "victim produced no checkpoint within the deadline");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if !victim_finished {
+        victim.kill().expect("SIGKILL delivered");
+    }
+    let _ = victim.wait();
+
+    let resumed = repro(&["fleet", "resume", dir.to_str().expect("utf8 dir")]);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&baseline.stdout),
+        "resumed report must be byte-identical to the uninterrupted run's"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn fleet_trace_export_writes_a_schema_clean_document() {
+    let dir = tmp_dir("trace");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("fleet.json");
+    let out = repro(&["fleet", "steady", "--trace", path.to_str().expect("utf8 path")]);
+    assert!(out.status.success(), "traced run failed: {}", String::from_utf8_lossy(&out.stderr));
+    let doc = std::fs::read_to_string(&path).expect("trace written");
+    harness::perfetto::check_chrome_trace(&doc).expect("exported trace passes the schema check");
+    assert!(doc.contains("tenant/latency"), "per-tenant track present");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn unknown_fleet_scenario_exits_nonzero() {
+    let out = repro(&["fleet", "definitely-not-a-scenario"]);
+    assert!(!out.status.success());
+    assert!(
+        String::from_utf8_lossy(&out.stderr).contains("unknown scenario"),
+        "stderr names the problem"
+    );
+}
+
+#[test]
+#[ignore = "chaos soak: several full fleet runs; exercised by CI's fleet-chaos job"]
+fn chaos_soak_is_deterministic_and_loses_nothing() {
+    // Determinism: two runs with the same seed agree byte-for-byte.
+    let a = repro(&["fleet", "chaos", "--seed", "20260807"]);
+    let b = repro(&["fleet", "chaos", "--seed", "20260807"]);
+    assert!(a.status.success(), "chaos run failed: {}", String::from_utf8_lossy(&a.stderr));
+    assert_eq!(a.stdout, b.stdout, "same seed must yield the same report");
+    let report = String::from_utf8_lossy(&a.stdout);
+    assert!(report.contains("guaranteed SLOs: MET"), "{report}");
+    assert!(report.contains(", 0 lost"), "{report}");
+
+    // Accounting invariant across seeds: device loss, wedges, timeouts and
+    // shedding may reshuffle work, but no request is ever silently dropped —
+    // every arrival completes, is retried to completion, or is shed with a
+    // recorded reason.
+    for seed in ["1", "2", "3"] {
+        let out = repro(&["fleet", "chaos", "--seed", seed]);
+        let report = String::from_utf8_lossy(&out.stdout);
+        assert!(report.contains(", 0 lost"), "seed {seed} lost requests:\n{report}");
+    }
+}

@@ -121,6 +121,85 @@ impl GoalTranslation {
     }
 }
 
+/// Per-tenant latency SLO for fleet-level serving: a per-request deadline
+/// plus the fraction of requests that must meet it.
+///
+/// Attainment is tracked in parts-per-million so the floor check is pure
+/// integer arithmetic — byte-identical across runs and platforms, which the
+/// fleet's deterministic reports depend on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SloTarget {
+    /// Per-request latency deadline, in fleet cycles (arrival to completion).
+    pub deadline_cycles: u64,
+    /// Minimum fraction of arrived requests that must complete within the
+    /// deadline, in parts per million (e.g. `990_000` = 99%).
+    pub attainment_floor_ppm: u32,
+}
+
+impl SloTarget {
+    /// An SLO requiring `floor_ppm`/1e6 of requests within `deadline_cycles`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the deadline is zero or the floor exceeds 1e6.
+    pub fn new(deadline_cycles: u64, attainment_floor_ppm: u32) -> Self {
+        assert!(deadline_cycles > 0, "SLO deadline must be positive");
+        assert!(attainment_floor_ppm <= 1_000_000, "attainment floor is at most 1e6 ppm");
+        SloTarget { deadline_cycles, attainment_floor_ppm }
+    }
+
+    /// Whether `met` deadline hits out of `total` arrived requests satisfy
+    /// the floor. Exact integer comparison; `total == 0` trivially passes.
+    pub fn satisfied_by(&self, met: u64, total: u64) -> bool {
+        u128::from(met) * 1_000_000 >= u128::from(total) * u128::from(self.attainment_floor_ppm)
+    }
+
+    /// The attainment floor as a fraction in `[0, 1]`, for display.
+    pub fn floor_fraction(&self) -> f64 {
+        f64::from(self.attainment_floor_ppm) / 1e6
+    }
+}
+
+/// Fleet-level tenant service class: guaranteed (admission-protected, never
+/// shed, must meet its [`SloTarget`]) or best-effort (admitted and shed
+/// according to cluster load).
+///
+/// The same `Option` shape as [`QosSpec`], one level up: `QosSpec` classifies
+/// a *kernel* on one GPU, `TenantClass` classifies a *request stream* across
+/// a fleet.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantClass {
+    slo: Option<SloTarget>,
+}
+
+impl TenantClass {
+    /// A guaranteed tenant with an SLO floor the fleet must defend.
+    pub fn guaranteed(slo: SloTarget) -> Self {
+        TenantClass { slo: Some(slo) }
+    }
+
+    /// A best-effort tenant: no guarantee; first to be shed under overload.
+    pub fn best_effort() -> Self {
+        TenantClass { slo: None }
+    }
+
+    /// The SLO target, or `None` for best-effort tenants.
+    pub fn slo(&self) -> Option<SloTarget> {
+        self.slo
+    }
+
+    /// Whether this tenant holds a guarantee.
+    pub fn is_guaranteed(&self) -> bool {
+        self.slo.is_some()
+    }
+}
+
+impl Default for TenantClass {
+    fn default() -> Self {
+        TenantClass::best_effort()
+    }
+}
+
 /// Builds the paper's goal sweep: fractions of isolated IPC from 50% to 95%
 /// in 5% steps (§4.1).
 pub fn paper_goal_fractions() -> Vec<f64> {
@@ -133,6 +212,10 @@ pub fn paper_dual_goal_fractions() -> Vec<f64> {
 }
 
 gpu_sim::impl_snap_struct!(QosSpec { goal_ipc });
+
+gpu_sim::impl_snap_struct!(SloTarget { deadline_cycles, attainment_floor_ppm });
+
+gpu_sim::impl_snap_struct!(TenantClass { slo });
 
 #[cfg(test)]
 mod tests {
@@ -153,6 +236,46 @@ mod tests {
     #[should_panic(expected = "finite and positive")]
     fn spec_rejects_nonpositive_goal() {
         let _ = QosSpec::qos(0.0);
+    }
+
+    #[test]
+    fn tenant_class_accessors() {
+        let slo = SloTarget::new(40_000, 990_000);
+        let g = TenantClass::guaranteed(slo);
+        assert!(g.is_guaranteed());
+        assert_eq!(g.slo(), Some(slo));
+        let b = TenantClass::best_effort();
+        assert!(!b.is_guaranteed());
+        assert_eq!(b.slo(), None);
+        assert_eq!(TenantClass::default(), b);
+    }
+
+    #[test]
+    fn slo_floor_check_is_exact() {
+        let slo = SloTarget::new(10_000, 990_000); // 99%
+        assert!(slo.satisfied_by(0, 0), "no arrivals trivially satisfies");
+        assert!(slo.satisfied_by(99, 100));
+        assert!(!slo.satisfied_by(98, 100));
+        assert!(slo.satisfied_by(990_000, 1_000_000));
+        assert!(!slo.satisfied_by(989_999, 1_000_000));
+        assert!((slo.floor_fraction() - 0.99).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "deadline must be positive")]
+    fn slo_rejects_zero_deadline() {
+        let _ = SloTarget::new(0, 1_000);
+    }
+
+    #[test]
+    fn tenant_class_round_trips_through_the_codec() {
+        use gpu_sim::snap::{decode_from_slice, encode_to_vec};
+        for class in
+            [TenantClass::guaranteed(SloTarget::new(25_000, 950_000)), TenantClass::best_effort()]
+        {
+            let back: TenantClass = decode_from_slice(&encode_to_vec(&class)).expect("codec");
+            assert_eq!(back, class);
+        }
     }
 
     #[test]

@@ -50,7 +50,7 @@ pub mod spart;
 pub mod static_alloc;
 
 pub use fairness::FairnessController;
-pub use goals::{GoalTranslation, QosSpec};
+pub use goals::{GoalTranslation, QosSpec, SloTarget, TenantClass};
 pub use manager::QosManager;
 pub use scheme::QuotaScheme;
 pub use spart::SpartController;
