@@ -96,12 +96,37 @@ fn preemption_churn(c: &mut Criterion) {
     g.finish();
 }
 
+fn trace_replay(c: &mut Criterion) {
+    let mut g = c.benchmark_group("trace_replay");
+    // Capture once outside the timing loop; the benchmarks measure the
+    // codec (encode + strict decode) and a replayed run separately.
+    let desc = workloads::by_name("sgemm").expect("known");
+    let kt =
+        trace::capture(&desc, &GpuConfig::tiny(), trace::DEFAULT_CAPTURE_CYCLES).expect("capture");
+    let bytes = trace::to_bytes(&kt);
+    g.throughput(Throughput::Bytes(bytes.len() as u64));
+    g.bench_function("fgtr_round_trip", |b| {
+        b.iter(|| trace::from_bytes(&trace::to_bytes(&kt)).expect("strict reader"))
+    });
+    g.throughput(Throughput::Elements(CYCLES));
+    g.bench_function("replayed_sgemm", |b| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuConfig::paper_table1());
+            let k = gpu.launch(kt.kernel());
+            gpu.run(CYCLES, &mut NullController);
+            gpu.stats().ipc(k)
+        })
+    });
+    g.finish();
+}
+
 fn simulator(c: &mut Criterion) {
     isolated(c, "compute_sgemm", "sgemm");
     isolated(c, "memory_lbm", "lbm");
     isolated(c, "irregular_spmv", "spmv");
     corun_smk(c);
     preemption_churn(c);
+    trace_replay(c);
 }
 
 criterion_group! {

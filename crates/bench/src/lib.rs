@@ -13,6 +13,12 @@
 //!   scenarios, asserting bit-identical results and writing the timings to
 //!   `BENCH_fastforward.json` (CI uploads it; the repo root holds the
 //!   blessed baseline).
+//!
+//! `simulator` also carries a `trace_replay` group timing the FGTR codec
+//! round trip and a replayed-trace kernel run against its synthetic twin.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 /// Re-exported so the benches share one definition of the bench scale.
 pub use harness::RunScale;

@@ -20,6 +20,8 @@
 //! stable order.
 
 #![deny(unsafe_op_in_unsafe_fn)]
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
 
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -129,6 +131,12 @@ pub struct Pool {
     next: AtomicUsize,
     /// Items published but not yet completed this round.
     pending: AtomicUsize,
+}
+
+impl std::fmt::Debug for Pool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Pool").field("threads", &self.threads).finish_non_exhaustive()
+    }
 }
 
 impl Pool {

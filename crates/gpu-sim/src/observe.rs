@@ -268,20 +268,24 @@ impl fmt::Display for TraceEvent {
 /// A bounded, overwrite-oldest ring of [`TraceEvent`]s.
 ///
 /// A zero-capacity ring drops everything — that (plus the callers' cached
-/// `trace_on` flag) is what makes [`TraceLevel::Off`] free.
+/// `trace_on` flag) is what makes [`TraceLevel::Off`] free. The ring counts
+/// how many events it has discarded (overwritten or dropped at zero
+/// capacity), so lossless consumers — the FGTR trace capture in particular —
+/// can tell a complete recording from a wrapped one.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct EventRing {
     cap: u32,
     start: u32,
+    dropped: u64,
     events: Vec<TraceEvent>,
 }
 
-crate::impl_snap_struct!(EventRing { cap, start, events });
+crate::impl_snap_struct!(EventRing { cap, start, dropped, events });
 
 impl EventRing {
     /// Creates an empty ring holding at most `cap` events.
     pub fn new(cap: u32) -> Self {
-        EventRing { cap, start: 0, events: Vec::new() }
+        EventRing { cap, start: 0, dropped: 0, events: Vec::new() }
     }
 
     /// Ring capacity.
@@ -299,9 +303,19 @@ impl EventRing {
         self.events.is_empty()
     }
 
+    /// Number of events discarded so far (overwritten once the ring was
+    /// full, or dropped outright at zero capacity). Zero means [`iter`]
+    /// returns every event ever pushed.
+    ///
+    /// [`iter`]: EventRing::iter
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
     /// Records an event, overwriting the oldest once full.
     pub fn push(&mut self, event: TraceEvent) {
         if self.cap == 0 {
+            self.dropped += 1;
             return;
         }
         if self.events.len() < self.cap as usize {
@@ -309,6 +323,7 @@ impl EventRing {
         } else {
             self.events[self.start as usize] = event;
             self.start = (self.start + 1) % self.cap;
+            self.dropped += 1;
         }
     }
 
@@ -318,6 +333,66 @@ impl EventRing {
         self.events[split..].iter().chain(self.events[..split].iter())
     }
 }
+
+/// One completed TB execution reconstructed from the flight recorder — the
+/// unit of the FGTR trace capture (DESIGN.md §15).
+///
+/// Built by [`Gpu::tb_lifecycles`](crate::Gpu::tb_lifecycles) from paired
+/// [`TraceEventKind::TbDispatch`] / [`TraceEventKind::TbDrain`] events in the
+/// per-SM rings. TBs still resident when the recording ends have no drain
+/// event and are not reported.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbLifecycle {
+    /// Grid index of the TB.
+    pub tb: u32,
+    /// SM the TB executed (and drained) on.
+    pub sm: u32,
+    /// Cycle the TB was dispatched onto the SM.
+    pub dispatch_cycle: Cycle,
+    /// Cycle the TB retired its last warp and drained.
+    pub drain_cycle: Cycle,
+    /// Whether the dispatch restored a previously saved context.
+    pub resumed: bool,
+}
+
+/// Why a TB-lifecycle extraction could not be trusted.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TbLogError {
+    /// An event ring wrapped during the recording, so dispatch/drain pairs
+    /// may be missing. Re-record with a larger
+    /// [`TraceConfig::ring_capacity`].
+    RingOverflow {
+        /// SM whose ring overflowed.
+        sm: u32,
+        /// Events the ring discarded.
+        dropped: u64,
+    },
+    /// A drain event arrived for a TB with no open dispatch — recording
+    /// started mid-flight or the ring lost the dispatch.
+    UnmatchedDrain {
+        /// SM that recorded the orphan drain.
+        sm: u32,
+        /// Grid index of the drained TB.
+        tb: u32,
+    },
+}
+
+impl fmt::Display for TbLogError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TbLogError::RingOverflow { sm, dropped } => write!(
+                f,
+                "event ring of sm {sm} discarded {dropped} events; \
+                 raise TraceConfig::ring_capacity for lossless capture"
+            ),
+            TbLogError::UnmatchedDrain { sm, tb } => {
+                write!(f, "sm {sm} recorded a drain for tb {tb} without a dispatch")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TbLogError {}
 
 /// Whether a registry entry accumulates or reads instantaneously.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -401,6 +476,7 @@ mod tests {
         let cycles: Vec<Cycle> = ring.iter().map(|e| e.cycle).collect();
         assert_eq!(cycles, vec![2, 3, 4], "the newest `cap` events survive, in order");
         assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2, "two events were overwritten");
     }
 
     #[test]
@@ -408,6 +484,18 @@ mod tests {
         let mut ring = EventRing::new(0);
         ring.push(ev(1));
         assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn unwrapped_ring_reports_zero_dropped() {
+        let mut ring = EventRing::new(8);
+        for c in 0..8 {
+            ring.push(ev(c));
+        }
+        assert_eq!(ring.dropped(), 0, "filling to capacity discards nothing");
+        ring.push(ev(8));
+        assert_eq!(ring.dropped(), 1);
     }
 
     #[test]

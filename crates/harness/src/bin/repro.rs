@@ -12,6 +12,7 @@
 //! repro fleet <scenario> [--seed N] [--checkpoint-dir DIR]
 //!             [--checkpoint-every TICKS] [--trace FILE]
 //! repro fleet resume <DIR>
+//! repro validate [--bless | --recapture] [--out report.txt]
 //! ```
 //!
 //! `run`/`resume`/`inspect` are the crash-resumable sweep commands: `run`
@@ -64,6 +65,7 @@ fn usage() -> String {
          \u{20}      repro fleet <scenario> [--seed N] [--checkpoint-dir DIR] \
          [--checkpoint-every TICKS] [--trace FILE]\n\
          \u{20}      repro fleet resume <DIR>\n\
+         \u{20}      repro validate [--bless | --recapture] [--out FILE]\n\
          experiments: {}\n\
          sweeps: {}\n\
          scenarios: {}\n\
@@ -77,7 +79,12 @@ fn usage() -> String {
          JSON (load at ui.perfetto.dev); stdout unless --out is given\n\
          fleet: run a multi-GPU serving scenario (admission control, retries,\n\
          device-fault tolerance); exit 0 iff every guaranteed SLO is met and\n\
-         no request is lost; `fleet resume` continues a killed run\n",
+         no request is lost; `fleet resume` continues a killed run\n\
+         validate: replay the committed trace corpus (tests/golden/validate/)\n\
+         and correlate IPC/residency/quota/cache metrics against committed\n\
+         expectations; exit 0 iff every metric passes; --bless re-pins the\n\
+         expectations, --recapture re-records the traces first, --out also\n\
+         writes the correlation report to FILE\n",
         EXPERIMENTS.join(" "),
         checkpoint::SWEEPS.join(" "),
         harness::golden::SCENARIOS.join(" "),
@@ -348,6 +355,72 @@ fn cmd_fleet(mut args: impl Iterator<Item = String>) -> ExitCode {
     }
 }
 
+/// `repro validate [--bless | --recapture] [--out FILE]`: replay the trace
+/// corpus and correlate against committed expectations. The correlation
+/// table is the only stdout; `--out` additionally writes it to a file (pass
+/// or fail — CI uploads it as the failure artifact).
+fn cmd_validate(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut bless = false;
+    let mut recapture = false;
+    let mut out = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--bless" => bless = true,
+            "--recapture" => recapture = true,
+            "--out" | "-o" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                out = Some(path);
+            }
+            other => {
+                eprintln!("`repro validate` does not take {other:?}\n{}", usage());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if recapture {
+        if let Err(e) = harness::validate::recapture() {
+            eprintln!("recapture failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("re-recorded trace corpus under {}", harness::validate::validate_dir().display());
+    } else if bless {
+        if let Err(e) = harness::validate::bless() {
+            eprintln!("bless failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    if bless || recapture {
+        eprintln!("blessed {}", harness::validate::expectations_path().display());
+    }
+    match harness::validate::run_validation() {
+        Ok(report) => {
+            let table = report.render();
+            if let Some(path) = out {
+                if let Err(e) =
+                    harness::export::write_atomic(std::path::Path::new(&path), table.as_bytes())
+                {
+                    eprintln!("cannot write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {path}");
+            }
+            print!("{table}");
+            if report.ok() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
 /// Verifies (or with `bless` regenerates) the golden-trace corpus.
 fn run_golden(bless: bool) -> ExitCode {
     if bless {
@@ -414,6 +487,7 @@ fn main() -> ExitCode {
         Some("inspect") => return cmd_inspect(args.skip(1)),
         Some("trace") => return cmd_trace(args.skip(1)),
         Some("fleet") => return cmd_fleet(args.skip(1)),
+        Some("validate") => return cmd_validate(args.skip(1)),
         _ => {}
     }
     let mut scale = RunScale::Quick;

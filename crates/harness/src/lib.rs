@@ -30,7 +30,12 @@
 //!   `repro run --checkpoint-dir` / `repro resume` / `repro inspect`,
 //! * [`fleet_cli`] — `repro fleet <scenario>`: checkpointed, crash-resumable
 //!   runs of the multi-GPU serving scenarios from the `fleet` crate, with
-//!   per-tenant Perfetto export.
+//!   per-tenant Perfetto export,
+//! * [`validate`] — `repro validate`: replay the committed FGTR trace corpus
+//!   (`tests/golden/validate/`) and correlate IPC, residency, quota grants,
+//!   and cache hit rates against committed expectations (Pearson ≥ 0.99 plus
+//!   a relative-error gate); `--bless` re-pins expectations, `--recapture`
+//!   re-records the traces.
 //!
 //! # Example
 //!
@@ -59,6 +64,7 @@ pub mod perfetto;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod validate;
 
 pub use cases::{CaseSpec, ConfigKind, Policy};
 pub use checkpoint::{

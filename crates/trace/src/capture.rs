@@ -1,0 +1,149 @@
+//! Capturing traces from the gpu-sim observe layer.
+//!
+//! Capture runs a kernel alone on a simulated machine with the flight
+//! recorder on and rings sized for lossless recording, then pairs the
+//! recorded TB dispatch/drain events into [`TbRecord`]s via
+//! [`Gpu::tb_lifecycles`]. The synthetic Parboil models bootstrap the
+//! committed corpus this way with zero CUDA dependency; any
+//! [`KernelDesc`], however obtained, captures the same way.
+
+use std::fmt;
+
+use gpu_sim::{Gpu, GpuConfig, KernelDesc, NullController, TbLogError, TraceLevel};
+
+use crate::format::{KernelTrace, TbRecord, TbShape, TraceMeta};
+
+/// Default simulated cycles a capture run executes. Long enough for every
+/// Parboil model to complete at least a handful of TBs on
+/// [`GpuConfig::tiny`] (`spmv` is the slowest starter, needing ~40k cycles
+/// for its first drains); short enough to keep capture (and the
+/// differential tests that re-capture) cheap.
+pub const DEFAULT_CAPTURE_CYCLES: u64 = 40_000;
+
+/// Flight-recorder ring capacity used during capture. Sized so a capture
+/// run can never wrap a ring (which [`Gpu::tb_lifecycles`] would reject):
+/// a TB occupies an SM for many cycles, so even a degenerate kernel cannot
+/// generate this many dispatch/drain pairs per SM in a bounded run.
+pub const CAPTURE_RING_CAPACITY: u32 = 1 << 16;
+
+/// The provenance string capture writes into [`TraceMeta::source`].
+pub const CAPTURE_SOURCE: &str = "gpu-sim/observe-capture";
+
+/// Why a capture run produced no usable trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CaptureError {
+    /// The flight recorder lost events (see [`TbLogError`]).
+    Log(TbLogError),
+    /// No TB completed inside the capture window — the window is too short
+    /// for this kernel on this configuration.
+    NoCompletedTbs,
+}
+
+impl fmt::Display for CaptureError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaptureError::Log(e) => write!(f, "capture recording unusable: {e}"),
+            CaptureError::NoCompletedTbs => {
+                write!(f, "no TB completed inside the capture window")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CaptureError {}
+
+/// Captures a trace of `desc` by running it alone for `cycles` simulated
+/// cycles on a machine configured like `cfg` (with the flight recorder
+/// forced on and rings sized for lossless capture).
+///
+/// The returned trace embeds everything replay needs:
+/// [`KernelTrace::kernel`] rebuilds a description equal to `desc`, so a
+/// replayed run on the same configuration is bit-identical to the
+/// original.
+///
+/// # Errors
+///
+/// [`CaptureError::Log`] if the recording cannot be trusted and
+/// [`CaptureError::NoCompletedTbs`] if the window was too short.
+pub fn capture(
+    desc: &KernelDesc,
+    cfg: &GpuConfig,
+    cycles: u64,
+) -> Result<KernelTrace, CaptureError> {
+    let mut cfg = cfg.clone();
+    cfg.trace.level = TraceLevel::Events;
+    cfg.trace.ring_capacity = CAPTURE_RING_CAPACITY;
+    let mut gpu = Gpu::new(cfg);
+    let k = gpu.launch(desc.clone());
+    gpu.run(cycles, &mut NullController);
+    let lifecycles = gpu.tb_lifecycles(k).map_err(CaptureError::Log)?;
+    if lifecycles.is_empty() {
+        return Err(CaptureError::NoCompletedTbs);
+    }
+    Ok(KernelTrace {
+        meta: TraceMeta {
+            name: desc.name().to_string(),
+            source: CAPTURE_SOURCE.to_string(),
+            seed: desc.seed(),
+            capture_cycles: cycles,
+            config_fingerprint: gpu.config_fingerprint(),
+        },
+        shape: TbShape {
+            threads_per_tb: desc.threads_per_tb(),
+            regs_per_thread: desc.regs_per_thread(),
+            smem_per_tb: desc.smem_per_tb(),
+            grid_tbs: desc.grid_tbs(),
+            iterations: desc.iterations(),
+            memory_intensive: desc.memory_intensive(),
+        },
+        warp_ops: desc.body().to_vec(),
+        tbs: lifecycles
+            .into_iter()
+            .map(|l| TbRecord {
+                tb: l.tb,
+                sm: l.sm,
+                dispatch_cycle: l.dispatch_cycle,
+                drain_cycle: l.drain_cycle,
+                resumed: l.resumed,
+            })
+            .collect(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::{AccessPattern, Op};
+
+    fn small_kernel() -> KernelDesc {
+        KernelDesc::builder("capture-test")
+            .threads_per_tb(64)
+            .regs_per_thread(16)
+            .grid_tbs(8)
+            .iterations(2)
+            .seed(99)
+            .body(vec![Op::alu(4, 4), Op::mem_load(AccessPattern::tile(2048))])
+            .build()
+    }
+
+    #[test]
+    fn capture_is_deterministic_and_exact() {
+        let desc = small_kernel();
+        let a = capture(&desc, &GpuConfig::tiny(), 4_000).expect("capture");
+        let b = capture(&desc, &GpuConfig::tiny(), 4_000).expect("capture");
+        assert_eq!(a, b, "capture is a pure function of (desc, cfg, cycles)");
+        a.validate().expect("captured traces are valid");
+        assert_eq!(a.kernel(), desc, "replay rebuilds the identical kernel");
+        assert!(!a.tbs.is_empty());
+        assert!(a.tbs.iter().all(|r| r.drain_cycle > r.dispatch_cycle));
+        assert_eq!(a.meta.source, CAPTURE_SOURCE);
+    }
+
+    #[test]
+    fn too_short_window_is_a_typed_error() {
+        // 10 cycles cannot drain a TB.
+        let err = capture(&small_kernel(), &GpuConfig::tiny(), 10).unwrap_err();
+        assert_eq!(err, CaptureError::NoCompletedTbs);
+        assert!(!format!("{err}").is_empty());
+    }
+}

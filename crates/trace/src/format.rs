@@ -1,0 +1,265 @@
+//! Trace content: what an FGTR file records about one kernel.
+//!
+//! A [`KernelTrace`] is self-contained: everything needed to replay the
+//! kernel — name, seed, per-TB resource shape, and the per-warp
+//! instruction-mix/locality events — travels inside the trace, alongside
+//! the *observed* per-TB lifecycle records from the capture run. Replay
+//! ([`KernelTrace::kernel`]) rebuilds the exact [`KernelDesc`]; the
+//! lifecycle records are the ground truth the `repro validate` harness
+//! correlates against.
+
+use gpu_sim::kernel::{KernelDesc, MemSpace, Op};
+
+use crate::frame::TraceError;
+
+/// Provenance and reproduction context of a capture.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Kernel name (also the replayed kernel's name).
+    pub name: String,
+    /// Free-form provenance, e.g. `"synthetic-parboil/gpu-sim-observe"`.
+    pub source: String,
+    /// Base RNG seed of the traced kernel's address streams.
+    pub seed: u64,
+    /// Simulated cycles the capture run executed.
+    pub capture_cycles: u64,
+    /// [`gpu_sim::Gpu::config_fingerprint`] of the capture machine.
+    pub config_fingerprint: u64,
+}
+
+gpu_sim::impl_snap_struct!(TraceMeta { name, source, seed, capture_cycles, config_fingerprint });
+
+/// The traced kernel's static per-TB resource shape ("length" in grid and
+/// loop terms).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbShape {
+    /// Threads per thread block (positive multiple of the warp size).
+    pub threads_per_tb: u32,
+    /// Registers per thread.
+    pub regs_per_thread: u32,
+    /// Shared memory per TB in bytes.
+    pub smem_per_tb: u64,
+    /// TBs per grid execution.
+    pub grid_tbs: u32,
+    /// Loop iterations of the body each warp executes.
+    pub iterations: u32,
+    /// Whether the kernel is classified memory-intensive.
+    pub memory_intensive: bool,
+}
+
+gpu_sim::impl_snap_struct!(TbShape {
+    threads_per_tb,
+    regs_per_thread,
+    smem_per_tb,
+    grid_tbs,
+    iterations,
+    memory_intensive,
+});
+
+/// One observed TB execution from the capture run (see
+/// [`gpu_sim::TbLifecycle`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TbRecord {
+    /// Grid index of the TB.
+    pub tb: u32,
+    /// SM the TB executed on.
+    pub sm: u32,
+    /// Cycle the TB was dispatched.
+    pub dispatch_cycle: u64,
+    /// Cycle the TB drained.
+    pub drain_cycle: u64,
+    /// Whether the dispatch restored a saved context.
+    pub resumed: bool,
+}
+
+gpu_sim::impl_snap_struct!(TbRecord { tb, sm, dispatch_cycle, drain_cycle, resumed });
+
+/// A complete kernel trace: metadata, static shape, the per-warp
+/// instruction-mix/locality event stream, and the observed TB lifecycles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelTrace {
+    /// Provenance and capture context.
+    pub meta: TraceMeta,
+    /// Static per-TB resource shape.
+    pub shape: TbShape,
+    /// The per-warp body: instruction-mix (ALU/SFU/memory/barrier) and
+    /// locality ([`gpu_sim::AccessPattern`]) events, one loop pass.
+    pub warp_ops: Vec<Op>,
+    /// Observed per-TB lifecycle records, ordered by
+    /// (dispatch cycle, SM, TB).
+    pub tbs: Vec<TbRecord>,
+}
+
+gpu_sim::impl_snap_struct!(KernelTrace { meta, shape, warp_ops, tbs });
+
+impl KernelTrace {
+    /// Semantic validation: every invariant [`KernelDesc`]'s builder
+    /// enforces, checked without panicking, plus trace-level ordering
+    /// invariants. The strict reader runs this after decoding, so a trace
+    /// obtained from [`crate::from_bytes`] always satisfies it and
+    /// [`KernelTrace::kernel`] cannot panic on it.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceError::Invalid`] naming the first violated invariant.
+    pub fn validate(&self) -> Result<(), TraceError> {
+        let fail = |msg: &'static str| Err(TraceError::Invalid(msg));
+        if self.meta.name.is_empty() {
+            return fail("empty kernel name");
+        }
+        if self.warp_ops.is_empty() {
+            return fail("empty warp-op stream");
+        }
+        if matches!(self.warp_ops.last(), Some(Op::Bar)) {
+            return fail("warp-op stream ends in a barrier");
+        }
+        if self.shape.iterations == 0 {
+            return fail("zero iterations");
+        }
+        if self.shape.grid_tbs == 0 {
+            return fail("empty grid");
+        }
+        if self.shape.threads_per_tb == 0
+            || !self.shape.threads_per_tb.is_multiple_of(gpu_sim::WARP_SIZE)
+        {
+            return fail("threads_per_tb not a positive multiple of the warp size");
+        }
+        for op in &self.warp_ops {
+            let lanes = match *op {
+                Op::Alu { active_lanes, .. }
+                | Op::Sfu { active_lanes, .. }
+                | Op::Mem { active_lanes, .. } => active_lanes,
+                Op::Bar => 32,
+            };
+            if !(1..=gpu_sim::WARP_SIZE as u8).contains(&lanes) {
+                return fail("active_lanes outside 1..=32");
+            }
+            if let Op::Mem { space: MemSpace::Global, pattern, .. } = op {
+                if !(1..=gpu_sim::WARP_SIZE as u8).contains(&pattern.transactions) {
+                    return fail("transactions outside 1..=32");
+                }
+                if pattern.footprint_bytes == 0 {
+                    return fail("zero access footprint");
+                }
+            }
+        }
+        for r in &self.tbs {
+            if r.drain_cycle < r.dispatch_cycle {
+                return fail("TB drains before its dispatch");
+            }
+        }
+        if !self.tbs.is_sorted_by_key(|r| (r.dispatch_cycle, r.sm, r.tb)) {
+            return fail("TB records out of (dispatch, sm, tb) order");
+        }
+        Ok(())
+    }
+
+    /// Rebuilds the traced kernel. The result is byte-for-byte the
+    /// description that was captured, so replaying it on an identically
+    /// configured machine reproduces the original run exactly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the trace violates [`KernelTrace::validate`]; traces from
+    /// the strict reader never do.
+    #[must_use]
+    pub fn kernel(&self) -> KernelDesc {
+        KernelDesc::builder(self.meta.name.clone())
+            .threads_per_tb(self.shape.threads_per_tb)
+            .regs_per_thread(self.shape.regs_per_thread)
+            .smem_per_tb(self.shape.smem_per_tb)
+            .grid_tbs(self.shape.grid_tbs)
+            .iterations(self.shape.iterations)
+            .seed(self.meta.seed)
+            .memory_intensive(self.shape.memory_intensive)
+            .body(self.warp_ops.clone())
+            .build()
+    }
+
+    /// One-line human summary (name, shape, op and TB record counts).
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} TBs/grid x {} threads, {} warp ops x {} iterations, \
+             {} observed TB executions over {} cycles",
+            self.meta.name,
+            self.shape.grid_tbs,
+            self.shape.threads_per_tb,
+            self.warp_ops.len(),
+            self.shape.iterations,
+            self.tbs.len(),
+            self.meta.capture_cycles
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_sim::AccessPattern;
+
+    pub(crate) fn sample() -> KernelTrace {
+        KernelTrace {
+            meta: TraceMeta {
+                name: "sample".into(),
+                source: "unit-test".into(),
+                seed: 7,
+                capture_cycles: 1_000,
+                config_fingerprint: 0xfeed,
+            },
+            shape: TbShape {
+                threads_per_tb: 64,
+                regs_per_thread: 32,
+                smem_per_tb: 1024,
+                grid_tbs: 8,
+                iterations: 2,
+                memory_intensive: true,
+            },
+            warp_ops: vec![Op::mem_load(AccessPattern::tile(4096)), Op::Bar, Op::alu(4, 3)],
+            tbs: vec![
+                TbRecord { tb: 0, sm: 0, dispatch_cycle: 1, drain_cycle: 90, resumed: false },
+                TbRecord { tb: 1, sm: 1, dispatch_cycle: 1, drain_cycle: 95, resumed: false },
+            ],
+        }
+    }
+
+    #[test]
+    fn valid_trace_reconstructs_the_kernel() {
+        let kt = sample();
+        kt.validate().expect("sample is valid");
+        let k = kt.kernel();
+        assert_eq!(k.name(), "sample");
+        assert_eq!(k.grid_tbs(), 8);
+        assert_eq!(k.iterations(), 2);
+        assert_eq!(k.seed(), 7);
+        assert!(k.memory_intensive());
+        assert_eq!(k.body(), kt.warp_ops.as_slice());
+        assert!(!kt.summary().is_empty());
+    }
+
+    #[test]
+    fn validation_names_the_violated_invariant() {
+        let mut kt = sample();
+        kt.warp_ops.clear();
+        assert_eq!(kt.validate(), Err(TraceError::Invalid("empty warp-op stream")));
+
+        let mut kt = sample();
+        kt.warp_ops.push(Op::Bar);
+        assert_eq!(kt.validate(), Err(TraceError::Invalid("warp-op stream ends in a barrier")));
+
+        let mut kt = sample();
+        kt.shape.threads_per_tb = 100;
+        assert!(kt.validate().is_err());
+
+        let mut kt = sample();
+        kt.tbs[1].drain_cycle = 0;
+        assert_eq!(kt.validate(), Err(TraceError::Invalid("TB drains before its dispatch")));
+
+        let mut kt = sample();
+        kt.tbs.swap(0, 1);
+        assert_eq!(
+            kt.validate(),
+            Err(TraceError::Invalid("TB records out of (dispatch, sm, tb) order"))
+        );
+    }
+}

@@ -277,6 +277,66 @@ mod tests {
     }
 
     #[test]
+    fn zero_rate_tenants_emit_nothing_and_stay_inert() {
+        // A tenant provisioned with total = 0 is a valid degenerate stream:
+        // born exhausted, never emits, and completion feedback is a no-op.
+        for model in [
+            ArrivalModel::Open { mean_gap: 100 },
+            ArrivalModel::Closed { think: 50, population: 4 },
+        ] {
+            let mut s = ArrivalStream::new(model, 9, 0);
+            assert!(s.exhausted(), "a zero-request stream is exhausted at birth");
+            assert_eq!(s.emitted(), 0);
+            assert!(s.arrivals_before(u64::MAX).is_empty());
+            s.on_completion(123);
+            s.on_completion(456);
+            assert!(s.arrivals_before(u64::MAX).is_empty(), "completions cannot revive it");
+            assert!(s.exhausted());
+            assert_eq!(s.emitted(), 0);
+        }
+    }
+
+    #[test]
+    fn closed_loop_population_one_alternates_strictly() {
+        // With a single client, every request is gated on the previous
+        // completion: exactly one arrival per completion, never two in
+        // flight, and the arrival cycle is completion + think exactly.
+        let mut s = ArrivalStream::new(ArrivalModel::Closed { think: 25, population: 1 }, 4, 4);
+        assert_eq!(s.arrivals_before(u64::MAX), vec![(0, 0)], "the lone client starts at 0");
+        assert!(s.arrivals_before(u64::MAX).is_empty(), "nothing until the completion");
+        let mut done_at = 100;
+        for seq in 1..4u64 {
+            s.on_completion(done_at);
+            let batch = s.arrivals_before(u64::MAX);
+            assert_eq!(batch, vec![(seq, done_at + 25)], "one completion, one arrival");
+            done_at += 100;
+        }
+        assert!(s.exhausted());
+        s.on_completion(done_at);
+        assert!(s.arrivals_before(u64::MAX).is_empty(), "total caps the stream");
+    }
+
+    #[test]
+    fn per_tenant_streams_are_seed_stable_across_construction_orders() {
+        // Each tenant's schedule depends only on its own derived seed, so
+        // building the fleet's streams in a different order (or alone) must
+        // reproduce identical per-tenant schedules.
+        let fleet_seed = 0xF1EE7;
+        let schedule = |tenant: &str| {
+            let seed = derive_seed(fleet_seed, hash_label(tenant));
+            let mut s = ArrivalStream::new(ArrivalModel::Open { mean_gap: 300 }, seed, 20);
+            s.arrivals_before(u64::MAX)
+        };
+        let tenants = ["alpha", "bravo", "charlie"];
+        let forward: Vec<_> = tenants.iter().map(|t| schedule(t)).collect();
+        let mut reverse: Vec<_> = tenants.iter().rev().map(|t| schedule(t)).collect();
+        reverse.reverse();
+        assert_eq!(forward, reverse, "construction order must not leak into schedules");
+        assert_ne!(forward[0], forward[1], "distinct tenants decorrelate");
+        assert_ne!(forward[1], forward[2], "distinct tenants decorrelate");
+    }
+
+    #[test]
     fn one_request_grid_completes_quickly_on_a_tiny_device() {
         let mut gpu = Gpu::new(GpuConfig::tiny());
         let k = gpu.launch(request_kernel("t", 0, 8));
