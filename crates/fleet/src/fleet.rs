@@ -8,29 +8,38 @@
 //! 1. **arrivals** are collected from every tenant stream (deterministic,
 //!    per-tenant seeded) and pass **admission control**: best-effort
 //!    requests are rejected outright when projected occupancy would push
-//!    queue drain past the guaranteed tenants' SLO horizon;
+//!    queue drain past the guaranteed tenants' SLO horizon, or when the
+//!    fleet's **working-set estimates** project device memory past
+//!    capacity;
 //! 2. the **load-shedding hysteresis** updates (enter above
 //!    `shed_enter_permille`, exit below `shed_exit_permille`) and, while
 //!    engaged, sheds queued best-effort work oldest-first;
-//! 3. **placement** fills idle devices with queued requests (binpack or
-//!    spread), each device batch running up to [`gpu_sim::MAX_KERNELS`]
-//!    request kernels under SMK sharing;
-//! 4. busy devices are **stepped in parallel** via
+//! 3. **planned drains** retire their devices, snapshotting any running
+//!    batch into the pending-migration queue;
+//! 4. **placement** first services pending migrations (restoring batch
+//!    snapshots onto idle devices of the same migration class), may
+//!    preempt one all-best-effort batch under shed pressure to free a
+//!    device for waiting guaranteed work, then routes queued requests
+//!    through the configured [`PlacementPolicy`] object;
+//! 5. busy devices are **stepped in parallel** via
 //!    [`exec::parallel_for_each`];
-//! 5. results are harvested in stable device order: completions retire (and
-//!    feed closed-loop streams), per-request **timeouts** and **device
-//!    failures** (loss / wedge, classified by the typed [`SimError`]) send
-//!    requests through **bounded retry with exponential backoff and
-//!    deterministic jitter**, and dead devices' survivors are re-placed on
-//!    healthy ones.
+//! 6. results are harvested in stable device order: device failures are
+//!    **classified first** (loss / wedge, by the typed [`SimError`]),
+//!    *then* accounted — completions that beat the fault in the same tick
+//!    still count, and survivors resume from their last **checkpoint** on
+//!    a compatible spare with retries untouched; clean completions retire
+//!    (feeding closed-loop streams and the working-set trackers),
+//!    timeouts go through **bounded retry with exponential backoff and
+//!    deterministic jitter**.
 //!
 //! Every decision is a pure function of the config and the master seed, so
 //! the final report is byte-identical across runs — and across a
-//! kill+resume through [`Fleet::snapshot`]/[`Fleet::restore`].
+//! kill+resume through [`Fleet::snapshot`]/[`Fleet::restore`], even with
+//! migrations in flight.
 
 use std::collections::VecDeque;
 use std::fmt::Write as _;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 use gpu_sim::rng::{derive_seed, SplitMix64};
 use gpu_sim::snap::{self, Snap, SnapError, SnapReader};
@@ -38,13 +47,19 @@ use gpu_sim::{
     CounterEntry, CounterKind, CounterScope, FaultKind, FaultPlan, Gpu, KernelId, NullController,
     SimError, SnapshotBlob, MAX_KERNELS,
 };
+use qos_core::{kernel_footprint_bytes, WorkingSetTracker};
 use workloads::arrival::{request_kernel, ArrivalStream};
 
-use crate::config::{FleetConfig, FleetFault, Placement};
+use crate::config::FleetConfig;
+use crate::migrate::{MigrationReason, MigrationRecord, PendingMigration};
+use crate::placement::{self, DeviceView, PlacementCtx, PlacementPolicy, RequestView};
 use crate::request::{Request, RequestState, ShedReason};
 
-/// Schema version of the fleet snapshot encoding.
-pub const FLEET_SNAPSHOT_VERSION: u32 = 1;
+/// Schema version of the fleet snapshot encoding. v2 added heterogeneous
+/// device classes, live migration state (per-batch checkpoints, the
+/// pending-migration queue, migration records), planned drains, and the
+/// per-tenant working-set trackers.
+pub const FLEET_SNAPSHOT_VERSION: u32 = 2;
 
 /// What ultimately happened to a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -59,6 +74,11 @@ pub enum DeviceFate {
     /// Wedged (watchdog-classified) at the given fleet cycle.
     Wedged {
         /// Fleet cycle at which the watchdog classified it.
+        at: u64,
+    },
+    /// Retired by a planned drain at the given fleet cycle.
+    Drained {
+        /// Fleet cycle at which the drain took effect.
         at: u64,
     },
 }
@@ -81,6 +101,10 @@ impl Snap for DeviceFate {
                 out.push(2);
                 at.encode(out);
             }
+            DeviceFate::Drained { at } => {
+                out.push(3);
+                at.encode(out);
+            }
         }
     }
     fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
@@ -88,10 +112,22 @@ impl Snap for DeviceFate {
             0 => Ok(DeviceFate::Healthy),
             1 => Ok(DeviceFate::Lost { at: u64::decode(r)? }),
             2 => Ok(DeviceFate::Wedged { at: u64::decode(r)? }),
+            3 => Ok(DeviceFate::Drained { at: u64::decode(r)? }),
             _ => Err(SnapError::Invalid("DeviceFate")),
         }
     }
 }
+
+/// A batch's migration checkpoint: a serialized device snapshot plus the
+/// device-relative cycle it was taken at (needed to translate fleet-cycle
+/// fault schedules onto a restore target).
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct Ckpt {
+    blob: Vec<u8>,
+    gpu_cycle: u64,
+}
+
+gpu_sim::impl_snap_struct!(Ckpt { blob, gpu_cycle });
 
 /// One in-flight batch: a fresh [`Gpu`] running up to [`MAX_KERNELS`]
 /// request kernels under SMK sharing. Kernel slot `i` serves request
@@ -102,10 +138,18 @@ struct Batch {
     requests: Vec<usize>,
     /// Whether slot `i` is still live (not yet completed / timed out).
     active: Vec<bool>,
-    /// Fleet cycle at which the batch was created.
+    /// Fleet cycle at which the batch was originally placed (the timeout
+    /// base its requests keep, even across migrations).
     started_at: u64,
+    /// Fleet cycle that maps to this GPU's cycle zero: fleet cycle `F` is
+    /// device cycle `F - fault_base`. Equals `started_at` for fresh
+    /// batches; differs after a migration restores mid-flight state.
+    fault_base: u64,
     /// Device-relative fault plan installed in this batch's GPU.
     faults: FaultPlan,
+    /// Latest migration checkpoint (present whenever migration is
+    /// enabled — taken at placement, refreshed on the checkpoint cadence).
+    ckpt: Option<Ckpt>,
     /// The simulated device.
     gpu: Gpu,
     /// Error from the last tick's step, harvested after the parallel phase.
@@ -113,19 +157,26 @@ struct Batch {
 }
 
 /// One fleet device: a slot that hosts consecutive batches until a fault
-/// retires it.
+/// or a planned drain retires it.
 #[derive(Debug)]
 struct Device {
     id: u32,
+    /// Index into `FleetConfig::classes` (derived from `id`, not
+    /// snapshotted).
+    class: usize,
     fate: DeviceFate,
-    /// Batches created on this device so far.
+    /// Batches created on this device so far (including migrated-in ones).
     batches: u64,
     /// Requests completed on this device.
     served: u64,
     /// Scheduled faults not yet injected, fleet-absolute.
     pending_faults: Vec<FleetFault>,
+    /// Scheduled planned drains not yet taken, fleet-absolute cycles.
+    pending_drains: Vec<u64>,
     batch: Option<Batch>,
 }
+
+use crate::config::FleetFault;
 
 impl Device {
     fn idle_healthy(&self) -> bool {
@@ -158,6 +209,8 @@ pub struct TenantCounters {
     pub timeouts: u64,
     /// Retries consumed (each timeout or device failure that re-queued).
     pub retries: u64,
+    /// Requests live-migrated to another device (retries untouched).
+    pub migrated: u64,
     /// Requests shed at admission.
     pub shed_admission: u64,
     /// Requests shed under overload.
@@ -178,6 +231,7 @@ gpu_sim::impl_snap_struct!(TenantCounters {
     slo_met,
     timeouts,
     retries,
+    migrated,
     shed_admission,
     shed_overload,
     shed_retries,
@@ -206,11 +260,13 @@ pub struct TenantSample {
     pub retries: u64,
     /// Cumulative sheds.
     pub shed: u64,
+    /// Cumulative live migrations.
+    pub migrated: u64,
     /// Requests of this tenant queued right now.
     pub queued: u64,
 }
 
-gpu_sim::impl_snap_struct!(TenantSample { completed, slo_met, retries, shed, queued });
+gpu_sim::impl_snap_struct!(TenantSample { completed, slo_met, retries, shed, migrated, queued });
 
 /// One per-tick observability sample across the fleet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -223,16 +279,30 @@ pub struct TickSample {
     pub healthy_devices: u64,
     /// Whether load shedding was engaged.
     pub shedding: bool,
+    /// Batches waiting in the pending-migration queue.
+    pub pending_migrations: u64,
     /// Per-tenant cumulative counters, in tenant order.
     pub tenants: Vec<TenantSample>,
 }
 
-gpu_sim::impl_snap_struct!(TickSample { cycle, queue_depth, healthy_devices, shedding, tenants });
+gpu_sim::impl_snap_struct!(TickSample {
+    cycle,
+    queue_depth,
+    healthy_devices,
+    shedding,
+    pending_migrations,
+    tenants,
+});
 
 /// The fleet: devices, tenants, queue, and the scheduler state machine.
 #[derive(Debug)]
 pub struct Fleet {
     cfg: FleetConfig,
+    policy: Arc<dyn PlacementPolicy>,
+    /// Per-class compat fingerprints (migration classes), config-derived.
+    class_compat: Vec<u64>,
+    /// Per-class DRAM line size, config-derived (footprint samples).
+    line_bytes: Vec<u32>,
     cycle: u64,
     tick_index: u64,
     shedding: bool,
@@ -242,7 +312,17 @@ pub struct Fleet {
     queue: VecDeque<usize>,
     streams: Vec<ArrivalStream>,
     tenants: Vec<TenantCounters>,
-    /// Requests evicted from failed devices.
+    /// Per-tenant measured working-set estimates.
+    ws: Vec<WorkingSetTracker>,
+    /// Batches waiting for a compatible spare, oldest first.
+    pending_migrations: Vec<PendingMigration>,
+    /// Completed migrations, for reports and trace export.
+    migrations: Vec<MigrationRecord>,
+    /// Pending migrations that fell back to bounded retry (patience or
+    /// timeout expired before a spare appeared).
+    migration_fallbacks: u64,
+    /// Requests evicted into retry-from-scratch (no checkpoint, migration
+    /// disabled, or fallback).
     evictions: u64,
     samples: Vec<TickSample>,
 }
@@ -255,13 +335,27 @@ impl Fleet {
     /// Panics if the configuration does not validate.
     pub fn new(cfg: FleetConfig) -> Self {
         cfg.validate().expect("fleet config must validate");
-        let devices = (0..cfg.devices)
+        let policy = placement::resolve(&cfg.placement).expect("validated placement resolves");
+        let class_compat: Vec<u64> =
+            (0..cfg.classes.len()).map(|ci| cfg.class_compat_fingerprint(ci)).collect();
+        let line_bytes: Vec<u32> = (0..cfg.classes.len())
+            .map(|ci| cfg.device_config(ci, FaultPlan::none()).mem.line_bytes)
+            .collect();
+        let ws_floor = u64::from(line_bytes.iter().copied().min().unwrap_or(32));
+        let devices = (0..cfg.total_devices())
             .map(|id| Device {
                 id,
+                class: cfg.class_of(id),
                 fate: DeviceFate::Healthy,
                 batches: 0,
                 served: 0,
                 pending_faults: cfg.faults.iter().copied().filter(|f| f.device == id).collect(),
+                pending_drains: cfg
+                    .drains
+                    .iter()
+                    .filter(|d| d.device == id)
+                    .map(|d| d.at_cycle)
+                    .collect(),
                 batch: None,
             })
             .collect();
@@ -276,8 +370,13 @@ impl Fleet {
             })
             .collect();
         let tenants = vec![TenantCounters::default(); cfg.tenants.len()];
+        let ws =
+            cfg.tenants.iter().map(|t| WorkingSetTracker::new(t.mem_bytes, ws_floor)).collect();
         Fleet {
             cfg,
+            policy,
+            class_compat,
+            line_bytes,
             cycle: 0,
             tick_index: 0,
             shedding: false,
@@ -287,6 +386,10 @@ impl Fleet {
             queue: VecDeque::new(),
             streams,
             tenants,
+            ws,
+            pending_migrations: Vec::new(),
+            migrations: Vec::new(),
+            migration_fallbacks: 0,
             evictions: 0,
             samples: Vec::new(),
         }
@@ -333,6 +436,37 @@ impl Fleet {
         &self.samples
     }
 
+    /// Completed migrations, oldest first.
+    pub fn migrations(&self) -> &[MigrationRecord] {
+        &self.migrations
+    }
+
+    /// Batches currently waiting in the pending-migration queue.
+    pub fn pending_migration_count(&self) -> usize {
+        self.pending_migrations.len()
+    }
+
+    /// Pending migrations that fell back to bounded retry.
+    pub fn migration_fallbacks(&self) -> u64 {
+        self.migration_fallbacks
+    }
+
+    /// Requests evicted into retry-from-scratch over the run.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Requests resumed via live migration over the run (one count per
+    /// request per successful migration).
+    pub fn migrated_requests(&self) -> u64 {
+        self.tenants.iter().map(|c| c.migrated).sum()
+    }
+
+    /// Tenant `t`'s current measured working-set estimate, in bytes.
+    pub fn working_set_estimate(&self, t: usize) -> u64 {
+        self.ws[t].estimate()
+    }
+
     /// Arrived requests that are in no terminal state. Zero once
     /// [`Fleet::finished`] — the zero-lost-requests invariant.
     pub fn lost_requests(&self) -> usize {
@@ -368,6 +502,7 @@ impl Fleet {
 
         self.collect_arrivals(now);
         self.update_shedding(now);
+        self.process_drains(now);
         self.place(now);
         self.step_devices();
         for di in 0..self.devices.len() {
@@ -375,6 +510,7 @@ impl Fleet {
         }
         self.cycle = end;
         self.tick_index += 1;
+        self.expire_migrations(end);
         self.record_sample();
         self.check_finished();
         self.finished
@@ -393,9 +529,13 @@ impl Fleet {
                 } else if self.shedding {
                     self.tenants[t].shed_overload += 1;
                     RequestState::Shed { reason: ShedReason::Overload, at: now }
-                } else if self.load_permille(1) > 1000 {
+                } else if self.load_permille(1) > 1000
+                    || self.mem_load_permille(self.ws[t].estimate()) > 1000
+                {
                     // Projected drain of one more request would overrun the
-                    // guaranteed SLO horizon: reject at the door.
+                    // guaranteed SLO horizon — or its measured working set
+                    // would not fit the healthy fleet's memory: reject at
+                    // the door.
                     self.tenants[t].shed_admission += 1;
                     RequestState::Shed { reason: ShedReason::Admission, at: now }
                 } else {
@@ -418,10 +558,11 @@ impl Fleet {
     }
 
     /// Projected fleet load in permille of the guaranteed SLO horizon:
-    /// outstanding work (running + queued + `extra` hypothetical requests,
-    /// each costing the scheduler-visible service estimate) over what the
-    /// healthy devices can drain within the horizon. 1000‰ means the last
-    /// queued request is projected to finish exactly at the horizon.
+    /// outstanding work (running + migrating + queued + `extra`
+    /// hypothetical requests, each costing the scheduler-visible service
+    /// estimate) over what the healthy devices can drain within the
+    /// horizon. 1000‰ means the last queued request is projected to finish
+    /// exactly at the horizon.
     fn load_permille(&self, extra: u64) -> u64 {
         let healthy_slots =
             self.devices.iter().filter(|d| d.fate.is_healthy()).count() as u64 * MAX_KERNELS as u64;
@@ -431,10 +572,42 @@ impl Fleet {
         let running = self
             .requests
             .iter()
-            .filter(|r| matches!(r.state, RequestState::Running { .. }))
+            .filter(|r| {
+                matches!(r.state, RequestState::Running { .. } | RequestState::Migrating { .. })
+            })
             .count() as u64;
         let work = (running + self.queue.len() as u64 + extra) * self.cfg.est_service_cycles;
         work.saturating_mul(1000) / (healthy_slots * self.admission_horizon())
+    }
+
+    /// Projected device-memory demand in permille of healthy capacity:
+    /// every outstanding request claims its tenant's measured working-set
+    /// estimate, plus `extra_bytes` for a hypothetical admission.
+    fn mem_load_permille(&self, extra_bytes: u64) -> u64 {
+        let capacity: u64 = self
+            .devices
+            .iter()
+            .filter(|d| d.fate.is_healthy())
+            .map(|d| self.cfg.classes[d.class].mem_bytes)
+            .sum();
+        if capacity == 0 {
+            return u64::MAX;
+        }
+        let demand: u64 = self
+            .requests
+            .iter()
+            .filter(|r| {
+                matches!(
+                    r.state,
+                    RequestState::Queued { .. }
+                        | RequestState::Running { .. }
+                        | RequestState::Migrating { .. }
+                )
+            })
+            .map(|r| self.ws[r.tenant].estimate())
+            .sum::<u64>()
+            .saturating_add(extra_bytes);
+        demand.saturating_mul(1000) / capacity
     }
 
     /// The SLO horizon admission control defends: the tightest guaranteed
@@ -479,16 +652,216 @@ impl Fleet {
         }
     }
 
-    /// Fills idle healthy devices with queued, backoff-eligible requests.
+    /// Takes every planned drain that is due: the device's running batch
+    /// (if any) is snapshotted fresh at this tick boundary and queued for
+    /// migration, and the device leaves service.
+    fn process_drains(&mut self, now: u64) {
+        for di in 0..self.devices.len() {
+            if !self.devices[di].fate.is_healthy()
+                || !self.devices[di].pending_drains.iter().any(|&at| at <= now)
+            {
+                continue;
+            }
+            self.devices[di].pending_drains.clear();
+            self.devices[di].pending_faults.clear();
+            if self.devices[di].batch.is_some() {
+                if self.cfg.migration.enabled {
+                    self.preempt_batch(di, now, MigrationReason::Drain);
+                } else {
+                    let batch = self.devices[di].batch.take().expect("checked busy");
+                    let victims: Vec<usize> = batch
+                        .requests
+                        .iter()
+                        .zip(&batch.active)
+                        .filter_map(|(&id, &live)| live.then_some(id))
+                        .collect();
+                    drop(batch);
+                    for id in victims {
+                        self.evictions += 1;
+                        self.retry_or_shed(id, now);
+                    }
+                }
+            }
+            self.devices[di].fate = DeviceFate::Drained { at: now };
+        }
+    }
+
+    /// Placement phase: pending migrations first (they carry the most
+    /// sunk work), then an optional shed-pressure preemption, then the
+    /// policy-driven queue placement.
     fn place(&mut self, now: u64) {
-        let idle: Vec<usize> =
-            (0..self.devices.len()).filter(|&di| self.devices[di].idle_healthy()).collect();
-        if idle.is_empty() {
+        self.service_migrations(now);
+        self.preempt_for_guaranteed(now);
+        self.place_queue(now);
+    }
+
+    /// Restores pending migrations, oldest first, onto idle devices of the
+    /// same migration class.
+    fn service_migrations(&mut self, now: u64) {
+        if self.pending_migrations.is_empty() {
             return;
         }
-        // Tentative assignment: device -> request ids.
-        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); idle.len()];
-        let mut mem_left: Vec<u64> = vec![self.cfg.device_mem_bytes; idle.len()];
+        let pending = std::mem::take(&mut self.pending_migrations);
+        for pm in pending {
+            let target = self.devices.iter().position(|d| {
+                d.idle_healthy() && self.class_compat[d.class] == pm.compat_fingerprint
+            });
+            match target {
+                Some(di) if self.install_migration(di, &pm, now) => {}
+                _ => self.pending_migrations.push(pm),
+            }
+        }
+    }
+
+    /// Restores one pending migration onto idle device `di`. Returns
+    /// `false` (leaving the fleet untouched) if the blob refuses to
+    /// decode or restore — the migration then waits out its patience and
+    /// falls back to bounded retry.
+    fn install_migration(&mut self, di: usize, pm: &PendingMigration, now: u64) -> bool {
+        let Ok(blob) = SnapshotBlob::from_bytes(&pm.blob) else { return false };
+        // Translate the target's fleet-absolute fault schedule into the
+        // restored device's cycle domain: the restored GPU resumes at
+        // device cycle `pm.gpu_cycle`, which corresponds to fleet cycle
+        // `now`.
+        let mut faults = FaultPlan::none();
+        for f in &self.devices[di].pending_faults {
+            faults = faults.with(pm.gpu_cycle + f.at_cycle.saturating_sub(now), f.kind);
+        }
+        let class = self.devices[di].class;
+        let mut gpu = Gpu::new(self.cfg.device_config(class, faults.clone()));
+        if gpu.restore_compat(&blob).is_err() {
+            return false;
+        }
+        // Gate every slot that retired after the checkpoint was taken so
+        // finished work never re-runs (and can never double-complete).
+        let sm_ids: Vec<_> = gpu.sm_ids().collect();
+        for (slot, &live) in pm.active.iter().enumerate() {
+            if !live {
+                for &sm in &sm_ids {
+                    gpu.sm_quota(sm).set_gated(KernelId::new(slot), true);
+                }
+            }
+        }
+        let device_id = self.devices[di].id;
+        let mut record = MigrationRecord {
+            from_device: pm.from_device,
+            to_device: device_id,
+            reason: pm.reason,
+            requests: Vec::new(),
+            tenants: Vec::new(),
+            enqueued_at: pm.enqueued_at,
+            restored_at: now,
+        };
+        for id in pm.live_requests() {
+            let t = self.requests[id].tenant;
+            let started_at = match self.requests[id].state {
+                RequestState::Migrating { started_at, .. } => started_at,
+                _ => pm.started_at,
+            };
+            self.requests[id].state = RequestState::Running { device: device_id, started_at };
+            self.tenants[t].migrated += 1;
+            record.requests.push(id as u64);
+            record.tenants.push(t as u64);
+        }
+        self.migrations.push(record);
+        let device = &mut self.devices[di];
+        device.batches += 1;
+        device.batch = Some(Batch {
+            requests: pm.slots.iter().map(|&x| x as usize).collect(),
+            active: pm.active.clone(),
+            started_at: pm.started_at,
+            fault_base: now.saturating_sub(pm.gpu_cycle),
+            faults,
+            ckpt: Some(Ckpt { blob: pm.blob.clone(), gpu_cycle: pm.gpu_cycle }),
+            gpu,
+            step_err: None,
+        });
+        true
+    }
+
+    /// Under shed pressure with guaranteed work waiting and no idle
+    /// device, preempts (at most) one all-best-effort batch — snapshotted
+    /// fresh, zero progress lost — to free its device for the guaranteed
+    /// queue this very tick.
+    fn preempt_for_guaranteed(&mut self, now: u64) {
+        if !self.shedding || !self.cfg.migration.enabled {
+            return;
+        }
+        let guaranteed_waiting = self.queue.iter().any(|&id| {
+            self.cfg.tenants[self.requests[id].tenant].class.is_guaranteed()
+                && matches!(self.requests[id].state,
+                    RequestState::Queued { not_before } if not_before <= now)
+        });
+        if !guaranteed_waiting || self.devices.iter().any(Device::idle_healthy) {
+            return;
+        }
+        let candidate = self.devices.iter().position(|d| {
+            d.busy_healthy()
+                && d.batch.as_ref().is_some_and(|b| {
+                    b.requests.iter().zip(&b.active).filter(|&(_, &live)| live).all(|(&id, _)| {
+                        !self.cfg.tenants[self.requests[id].tenant].class.is_guaranteed()
+                    })
+                })
+        });
+        if let Some(di) = candidate {
+            self.preempt_batch(di, now, MigrationReason::ShedPressure);
+        }
+    }
+
+    /// Snapshots device `di`'s batch fresh at this tick boundary and moves
+    /// it into the pending-migration queue.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the device is idle or its GPU is off an epoch boundary (a
+    /// fleet invariant violation).
+    fn preempt_batch(&mut self, di: usize, now: u64, reason: MigrationReason) {
+        let batch = self.devices[di].batch.take().expect("preempt target is busy");
+        let blob = batch.gpu.snapshot().expect("busy devices sit at epoch boundaries at ticks");
+        let device_id = self.devices[di].id;
+        let pm = PendingMigration {
+            slots: batch.requests.iter().map(|&id| id as u64).collect(),
+            active: batch.active.clone(),
+            started_at: batch.started_at,
+            gpu_cycle: batch.gpu.cycle(),
+            blob: blob.to_bytes(),
+            compat_fingerprint: self.class_compat[self.devices[di].class],
+            from_device: device_id,
+            reason,
+            enqueued_at: now,
+        };
+        for id in pm.live_requests() {
+            let started_at = match self.requests[id].state {
+                RequestState::Running { started_at, .. } => started_at,
+                _ => batch.started_at,
+            };
+            self.requests[id].state = RequestState::Migrating { from: device_id, started_at };
+        }
+        self.pending_migrations.push(pm);
+    }
+
+    /// Routes queued, backoff-eligible requests to idle healthy devices
+    /// through the configured placement policy. The policy only suggests;
+    /// capacity (kernel slots, working-set memory) is re-validated here.
+    fn place_queue(&mut self, now: u64) {
+        let mut views: Vec<DeviceView> = Vec::new();
+        let mut view_devices: Vec<usize> = Vec::new();
+        for (di, d) in self.devices.iter().enumerate() {
+            if d.idle_healthy() {
+                views.push(DeviceView {
+                    device: d.id,
+                    class: d.class,
+                    free_slots: MAX_KERNELS,
+                    free_mem_bytes: self.cfg.classes[d.class].mem_bytes,
+                    assigned: 0,
+                    batches: d.batches,
+                });
+                view_devices.push(di);
+            }
+        }
+        if views.is_empty() {
+            return;
+        }
         let mut eligible: VecDeque<usize> = VecDeque::new();
         let mut rest: VecDeque<usize> = VecDeque::new();
         for &id in &self.queue {
@@ -499,58 +872,55 @@ impl Fleet {
                 _ => rest.push_back(id),
             }
         }
-        let fits = |slot: &Vec<usize>, mem: u64, need: u64| slot.len() < MAX_KERNELS && need <= mem;
-        match self.cfg.placement {
-            Placement::Binpack => {
-                'fill: for (slot, mem) in assigned.iter_mut().zip(&mut mem_left) {
-                    loop {
-                        let Some(&id) = eligible.front() else { break 'fill };
-                        let need = self.cfg.tenants[self.requests[id].tenant].mem_bytes;
-                        if !fits(slot, *mem, need) {
-                            break;
-                        }
-                        eligible.pop_front();
-                        slot.push(id);
-                        *mem -= need;
-                    }
+        let load = self.load_permille(0);
+        let queue_depth = eligible.len() + rest.len();
+        let mut assigned: Vec<Vec<usize>> = vec![Vec::new(); views.len()];
+        let mut leftover: VecDeque<usize> = VecDeque::new();
+        let policy = Arc::clone(&self.policy);
+        while let Some(id) = eligible.pop_front() {
+            let t = self.requests[id].tenant;
+            let rv = RequestView {
+                id,
+                tenant: t,
+                guaranteed: self.cfg.tenants[t].class.is_guaranteed(),
+                mem_bytes: self.ws[t].estimate(),
+                queued_for: now.saturating_sub(self.requests[id].arrived_at),
+            };
+            let ctx = PlacementCtx { now, queue_depth, load_permille: load, devices: &views };
+            let choice = policy.assign(&rv, &ctx);
+            let slot = choice.and_then(|dev| views.iter().position(|v| v.device == dev));
+            match slot {
+                Some(vi)
+                    if views[vi].free_slots > 0 && views[vi].free_mem_bytes >= rv.mem_bytes =>
+                {
+                    views[vi].free_slots -= 1;
+                    views[vi].free_mem_bytes -= rv.mem_bytes;
+                    views[vi].assigned += 1;
+                    assigned[vi].push(id);
                 }
-            }
-            Placement::Spread => {
-                let mut progress = true;
-                while progress && !eligible.is_empty() {
-                    progress = false;
-                    for (slot, mem) in assigned.iter_mut().zip(&mut mem_left) {
-                        let Some(&id) = eligible.front() else { break };
-                        let need = self.cfg.tenants[self.requests[id].tenant].mem_bytes;
-                        if fits(slot, *mem, need) {
-                            eligible.pop_front();
-                            slot.push(id);
-                            *mem -= need;
-                            progress = true;
-                        }
-                    }
-                }
+                _ => leftover.push_back(id),
             }
         }
         // Whatever was not placed stays queued, in order.
-        rest.extend(eligible);
+        rest.extend(leftover);
         self.queue = rest;
-        for (&di, ids) in idle.iter().zip(assigned) {
-            if ids.is_empty() {
-                continue;
+        for (vi, ids) in assigned.into_iter().enumerate() {
+            if !ids.is_empty() {
+                self.start_batch(view_devices[vi], ids, now);
             }
-            self.start_batch(di, ids, now);
         }
     }
 
     /// Creates a batch on device `di` serving `ids`, translating the
-    /// device's pending faults into the new GPU's device-relative plan.
+    /// device's pending faults into the new GPU's device-relative plan and
+    /// taking the initial migration checkpoint.
     fn start_batch(&mut self, di: usize, ids: Vec<usize>, now: u64) {
         let mut faults = FaultPlan::none();
         for f in &self.devices[di].pending_faults {
             faults = faults.with(f.at_cycle.saturating_sub(now), f.kind);
         }
-        let mut gpu = Gpu::new(self.cfg.device_config(faults.clone()));
+        let class = self.devices[di].class;
+        let mut gpu = Gpu::new(self.cfg.device_config(class, faults.clone()));
         gpu.set_sharing_mode(gpu_sim::SharingMode::Smk);
         for &id in &ids {
             let req = &self.requests[id];
@@ -561,11 +931,27 @@ impl Fleet {
             self.requests[id].state =
                 RequestState::Running { device: self.devices[di].id, started_at: now };
         }
+        // The initial checkpoint, taken before the first cycle runs: even a
+        // first-tick device loss migrates instead of retrying from scratch.
+        let ckpt = if self.cfg.migration.enabled {
+            let blob = gpu.snapshot().expect("a fresh GPU sits at epoch boundary zero");
+            Some(Ckpt { blob: blob.to_bytes(), gpu_cycle: 0 })
+        } else {
+            None
+        };
         let device = &mut self.devices[di];
         device.batches += 1;
         let active = vec![true; ids.len()];
-        device.batch =
-            Some(Batch { requests: ids, active, started_at: now, faults, gpu, step_err: None });
+        device.batch = Some(Batch {
+            requests: ids,
+            active,
+            started_at: now,
+            fault_base: now,
+            faults,
+            ckpt,
+            gpu,
+            step_err: None,
+        });
     }
 
     /// Steps every busy healthy device by one tick, in parallel.
@@ -585,7 +971,8 @@ impl Fleet {
     }
 
     /// Harvests one device after the parallel step: completions, timeouts,
-    /// and device failures. Runs in stable device order.
+    /// device failures, and checkpoint refresh. Runs in stable device
+    /// order.
     fn harvest_device(&mut self, di: usize, end: u64) {
         if !self.devices[di].busy_healthy() {
             return;
@@ -593,13 +980,63 @@ impl Fleet {
         let Some(mut batch) = self.devices[di].batch.take() else { return };
 
         if let Some(err) = batch.step_err.take() {
-            // Device failure: classify by the typed error, retire the
-            // device, and send every in-flight request back for re-placement.
+            // Classify FIRST: the device's fate must be on the books before
+            // any request accounting, so a wedge that fires during a
+            // batch's final tick can never be laundered into a clean
+            // eviction — the sticky-fault race this ordering closes.
+            let device_id = self.devices[di].id;
             self.devices[di].fate = match err {
                 SimError::DeviceLost(_) => DeviceFate::Lost { at: end },
                 _ => DeviceFate::Wedged { at: end },
             };
             self.devices[di].pending_faults.clear();
+            self.devices[di].pending_drains.clear();
+            // THEN account: kernels that completed before the fault hit in
+            // this same tick produced real results — harvest them as done.
+            let stats = batch.gpu.stats();
+            for slot in 0..batch.requests.len() {
+                if !batch.active[slot] {
+                    continue;
+                }
+                if stats.kernel(KernelId::new(slot)).launches_completed >= 1 {
+                    batch.active[slot] = false;
+                    let id = batch.requests[slot];
+                    self.complete(id, end);
+                    self.devices[di].served += 1;
+                }
+            }
+            // Survivors resume from the last checkpoint on a compatible
+            // spare; without migration they go through bounded retry.
+            let any_live = batch.active.iter().any(|&l| l);
+            let reason = match self.devices[di].fate {
+                DeviceFate::Lost { .. } => MigrationReason::DeviceLost,
+                _ => MigrationReason::DeviceWedged,
+            };
+            if any_live && self.cfg.migration.enabled {
+                if let Some(ckpt) = batch.ckpt.take() {
+                    let pm = PendingMigration {
+                        slots: batch.requests.iter().map(|&id| id as u64).collect(),
+                        active: batch.active.clone(),
+                        started_at: batch.started_at,
+                        gpu_cycle: ckpt.gpu_cycle,
+                        blob: ckpt.blob,
+                        compat_fingerprint: self.class_compat[self.devices[di].class],
+                        from_device: device_id,
+                        reason,
+                        enqueued_at: end,
+                    };
+                    for id in pm.live_requests() {
+                        let started_at = match self.requests[id].state {
+                            RequestState::Running { started_at, .. } => started_at,
+                            _ => batch.started_at,
+                        };
+                        self.requests[id].state =
+                            RequestState::Migrating { from: device_id, started_at };
+                    }
+                    self.pending_migrations.push(pm);
+                    return;
+                }
+            }
             let victims: Vec<usize> = batch
                 .requests
                 .iter()
@@ -638,6 +1075,15 @@ impl Fleet {
             }
             batch.active[slot] = false;
             if done {
+                let t = self.requests[id].tenant;
+                let launches = stats.kernel(k).launches_completed.max(1);
+                if let Some(fp) = kernel_footprint_bytes(
+                    &batch.gpu.counter_registry(),
+                    slot,
+                    self.line_bytes[self.devices[di].class],
+                ) {
+                    self.ws[t].observe(fp / launches);
+                }
                 self.complete(id, end);
                 self.devices[di].served += 1;
             } else {
@@ -648,6 +1094,19 @@ impl Fleet {
         }
 
         if batch.active.iter().any(|&a| a) {
+            // Refresh the migration checkpoint on the configured cadence —
+            // the GPU sits at an epoch boundary here, so the snapshot is
+            // legal.
+            if self.cfg.migration.enabled
+                && self
+                    .tick_index
+                    .wrapping_add(1)
+                    .is_multiple_of(self.cfg.migration.checkpoint_every_ticks)
+            {
+                let blob =
+                    batch.gpu.snapshot().expect("busy devices sit at epoch boundaries at ticks");
+                batch.ckpt = Some(Ckpt { blob: blob.to_bytes(), gpu_cycle: batch.gpu.cycle() });
+            }
             self.devices[di].batch = Some(batch);
         } else {
             // Batch over: drop the GPU and retire transient faults that
@@ -657,11 +1116,40 @@ impl Fleet {
             // launder the device back to health; the next batch on it will
             // hit the fault at cycle zero and be classified properly.
             let ran = batch.gpu.cycle();
-            let start = batch.started_at;
+            let base = batch.fault_base;
             self.devices[di].pending_faults.retain(|f| {
                 matches!(f.kind, FaultKind::DeviceLoss | FaultKind::DeviceWedge)
-                    || f.at_cycle.saturating_sub(start) >= ran
+                    || f.at_cycle.saturating_sub(base) >= ran
             });
+        }
+    }
+
+    /// Applies patience and timeout limits to the pending-migration queue:
+    /// a migration nobody can host falls back to bounded retry, so the
+    /// queue can never hold work forever.
+    fn expire_migrations(&mut self, end: u64) {
+        if self.pending_migrations.is_empty() {
+            return;
+        }
+        let patience = self.cfg.migration.patience_ticks.saturating_mul(self.cfg.tick_cycles);
+        let pending = std::mem::take(&mut self.pending_migrations);
+        for pm in pending {
+            if end.saturating_sub(pm.started_at) >= self.cfg.timeout_cycles {
+                self.migration_fallbacks += 1;
+                for id in pm.live_requests() {
+                    let t = self.requests[id].tenant;
+                    self.tenants[t].timeouts += 1;
+                    self.retry_or_shed(id, end);
+                }
+            } else if end.saturating_sub(pm.enqueued_at) >= patience {
+                self.migration_fallbacks += 1;
+                for id in pm.live_requests() {
+                    self.evictions += 1;
+                    self.retry_or_shed(id, end);
+                }
+            } else {
+                self.pending_migrations.push(pm);
+            }
         }
     }
 
@@ -720,6 +1208,7 @@ impl Fleet {
                 slo_met: c.slo_met,
                 retries: c.retries,
                 shed: c.shed_total(),
+                migrated: c.migrated,
                 queued,
             })
             .collect();
@@ -728,13 +1217,28 @@ impl Fleet {
             queue_depth: self.queue.len() as u64,
             healthy_devices: self.devices.iter().filter(|d| d.fate.is_healthy()).count() as u64,
             shedding: self.shedding,
+            pending_migrations: self.pending_migrations.len() as u64,
             tenants,
         });
     }
 
+    /// Sheds every live request still waiting in the pending-migration
+    /// queue (endgame paths).
+    fn shed_pending_migrations(&mut self, reason: ShedReason, now: u64) {
+        let pending = std::mem::take(&mut self.pending_migrations);
+        for pm in pending {
+            for id in pm.live_requests() {
+                let t = self.requests[id].tenant;
+                self.requests[id].state = RequestState::Shed { reason, at: now };
+                self.tenants[t].shed_other += 1;
+            }
+        }
+    }
+
     /// Decides whether the run is over, applying the graceful-degradation
-    /// endgames: a dead fleet sheds its queue, and the tick safety net
-    /// sheds whatever is still pending.
+    /// endgames: a dead fleet sheds its queue (and any in-flight
+    /// migrations), and the tick safety net sheds whatever is still
+    /// pending.
     fn check_finished(&mut self) {
         let healthy = self.devices.iter().filter(|d| d.fate.is_healthy()).count();
         if healthy == 0 {
@@ -745,6 +1249,7 @@ impl Fleet {
                     RequestState::Shed { reason: ShedReason::FleetDead, at: now };
                 self.tenants[t].shed_other += 1;
             }
+            self.shed_pending_migrations(ShedReason::FleetDead, now);
             self.finished = true;
             return;
         }
@@ -769,11 +1274,13 @@ impl Fleet {
                     RequestState::Shed { reason: ShedReason::Unfinished, at: now };
                 self.tenants[t].shed_other += 1;
             }
+            self.shed_pending_migrations(ShedReason::Unfinished, now);
             self.finished = true;
             return;
         }
         let drained = self.streams.iter().all(ArrivalStream::exhausted)
             && self.queue.is_empty()
+            && self.pending_migrations.is_empty()
             && self.devices.iter().all(|d| d.batch.is_none());
         if drained {
             self.finished = true;
@@ -806,6 +1313,10 @@ impl Fleet {
         );
         push("fleet_shedding", machine, Gauge, i64::from(self.shedding));
         push("fleet_evictions", machine, Counter, as_i64(self.evictions));
+        push("fleet_migrations", machine, Counter, self.migrations.len() as i64);
+        push("fleet_migrated_requests", machine, Counter, as_i64(self.migrated_requests()));
+        push("fleet_pending_migrations", machine, Gauge, self.pending_migrations.len() as i64);
+        push("fleet_migration_fallbacks", machine, Counter, as_i64(self.migration_fallbacks));
         for (t, c) in self.tenants.iter().enumerate() {
             let scope = CounterScope::Tenant(t);
             push("arrived", scope, Counter, as_i64(c.arrived));
@@ -813,7 +1324,9 @@ impl Fleet {
             push("slo_met", scope, Counter, as_i64(c.slo_met));
             push("timeouts", scope, Counter, as_i64(c.timeouts));
             push("retries", scope, Counter, as_i64(c.retries));
+            push("migrated", scope, Counter, as_i64(c.migrated));
             push("shed", scope, Counter, as_i64(c.shed_total()));
+            push("ws_estimate_bytes", scope, Gauge, as_i64(self.ws[t].estimate()));
         }
         for (di, d) in self.devices.iter().enumerate() {
             let scope = CounterScope::Device(di);
@@ -854,7 +1367,7 @@ impl Fleet {
             out,
             "fleet {title} [seed {}, {} device(s), {} tenant(s), {} tick(s), {} cycles]",
             self.cfg.seed,
-            self.cfg.devices,
+            self.cfg.total_devices(),
             self.cfg.tenants.len(),
             self.tick_index,
             self.cycle
@@ -885,13 +1398,14 @@ impl Fleet {
             let _ = writeln!(
                 out,
                 "  tenant {:<12} {class}  arrived {:>4}  done {:>4}  {slo}  \
-                 retries {}  timeouts {}  shed {} (admission {}, overload {}, retries {}, other {})  \
-                 latency mean {} max {}",
+                 retries {}  timeouts {}  migrated {}  shed {} (admission {}, overload {}, \
+                 retries {}, other {})  latency mean {} max {}",
                 spec.name,
                 c.arrived,
                 c.completed,
                 c.retries,
                 c.timeouts,
+                c.migrated,
                 c.shed_total(),
                 c.shed_admission,
                 c.shed_overload,
@@ -906,21 +1420,31 @@ impl Fleet {
                 DeviceFate::Healthy => "healthy".to_string(),
                 DeviceFate::Lost { at } => format!("lost at {at}"),
                 DeviceFate::Wedged { at } => format!("wedged at {at}"),
+                DeviceFate::Drained { at } => format!("drained at {at}"),
             };
             let _ = writeln!(
                 out,
-                "  device {}: {:<16} batches {:>3}  served {:>4}",
-                d.id, fate, d.batches, d.served
+                "  device {} ({}): {:<16} batches {:>3}  served {:>4}",
+                d.id, self.cfg.classes[d.class].name, fate, d.batches, d.served
             );
         }
+        let _ = writeln!(
+            out,
+            "  migrations: {} completed ({} requests resumed), {} pending, {} fallback(s)",
+            self.migrations.len(),
+            self.migrated_requests(),
+            self.pending_migrations.len(),
+            self.migration_fallbacks
+        );
         let arrived: u64 = self.tenants.iter().map(|c| c.arrived).sum();
         let completed: u64 = self.tenants.iter().map(|c| c.completed).sum();
         let shed: u64 = self.tenants.iter().map(|c| c.shed_total()).sum();
         let _ = writeln!(
             out,
-            "  goodput {completed}/{arrived} requests, {shed} shed, {} evicted, {} lost | \
-             fairness {:.3}",
+            "  goodput {completed}/{arrived} requests, {shed} shed, {} evicted, {} migrated, \
+             {} lost | fairness {:.3}",
             self.evictions,
+            self.migrated_requests(),
             self.lost_requests(),
             self.fairness_index()
         );
@@ -936,10 +1460,10 @@ impl Fleet {
     // Snapshot / restore
     // ------------------------------------------------------------------
 
-    /// Serializes the complete fleet state. Legal at tick boundaries only
-    /// (which is the only time callers can observe the fleet anyway): every
-    /// busy device then sits at an epoch boundary, so the embedded GPU
-    /// snapshots are legal too.
+    /// Serializes the complete fleet state — including in-flight
+    /// migrations. Legal at tick boundaries only (which is the only time
+    /// callers can observe the fleet anyway): every busy device then sits
+    /// at an epoch boundary, so the embedded GPU snapshots are legal too.
     ///
     /// # Panics
     ///
@@ -958,6 +1482,10 @@ impl Fleet {
         queue.encode(&mut out);
         self.streams.encode(&mut out);
         self.tenants.encode(&mut out);
+        self.ws.encode(&mut out);
+        self.pending_migrations.encode(&mut out);
+        self.migrations.encode(&mut out);
+        self.migration_fallbacks.encode(&mut out);
         self.evictions.encode(&mut out);
         self.samples.encode(&mut out);
         (self.devices.len() as u64).encode(&mut out);
@@ -967,6 +1495,7 @@ impl Fleet {
             d.batches.encode(&mut out);
             d.served.encode(&mut out);
             d.pending_faults.encode(&mut out);
+            d.pending_drains.encode(&mut out);
             match &d.batch {
                 None => out.push(0),
                 Some(b) => {
@@ -975,7 +1504,9 @@ impl Fleet {
                     ids.encode(&mut out);
                     b.active.encode(&mut out);
                     b.started_at.encode(&mut out);
+                    b.fault_base.encode(&mut out);
                     b.faults.encode(&mut out);
+                    b.ckpt.encode(&mut out);
                     let blob =
                         b.gpu.snapshot().expect("busy devices sit at epoch boundaries at ticks");
                     blob.to_bytes().encode(&mut out);
@@ -993,7 +1524,7 @@ impl Fleet {
     /// whose fingerprint differs from the one the snapshot was taken
     /// under, or a corrupt encoding.
     pub fn restore(cfg: FleetConfig, bytes: &[u8]) -> Result<Fleet, String> {
-        cfg.validate()?;
+        cfg.validate().map_err(|e| e.to_string())?;
         let mut r = SnapReader::new(bytes);
         let fail = |e: SnapError| format!("fleet snapshot: {e:?}");
         let version = u32::decode(&mut r).map_err(fail)?;
@@ -1015,6 +1546,10 @@ impl Fleet {
             Vec::<u64>::decode(&mut r).map_err(fail)?.into_iter().map(|id| id as usize).collect();
         let streams = Vec::<ArrivalStream>::decode(&mut r).map_err(fail)?;
         let tenants = Vec::<TenantCounters>::decode(&mut r).map_err(fail)?;
+        let ws = Vec::<WorkingSetTracker>::decode(&mut r).map_err(fail)?;
+        let pending_migrations = Vec::<PendingMigration>::decode(&mut r).map_err(fail)?;
+        let migrations = Vec::<MigrationRecord>::decode(&mut r).map_err(fail)?;
+        let migration_fallbacks = u64::decode(&mut r).map_err(fail)?;
         let evictions = u64::decode(&mut r).map_err(fail)?;
         let samples = Vec::<TickSample>::decode(&mut r).map_err(fail)?;
         let n_devices = u64::decode(&mut r).map_err(fail)? as usize;
@@ -1025,6 +1560,11 @@ impl Fleet {
             let batches = u64::decode(&mut r).map_err(fail)?;
             let served = u64::decode(&mut r).map_err(fail)?;
             let pending_faults = Vec::<FleetFault>::decode(&mut r).map_err(fail)?;
+            let pending_drains = Vec::<u64>::decode(&mut r).map_err(fail)?;
+            if id >= cfg.total_devices() {
+                return Err("fleet snapshot shape does not match the configuration".to_string());
+            }
+            let class = cfg.class_of(id);
             let batch = match u8::decode(&mut r).map_err(fail)? {
                 0 => None,
                 1 => {
@@ -1035,24 +1575,54 @@ impl Fleet {
                         .collect();
                     let active = Vec::<bool>::decode(&mut r).map_err(fail)?;
                     let started_at = u64::decode(&mut r).map_err(fail)?;
+                    let fault_base = u64::decode(&mut r).map_err(fail)?;
                     let faults = FaultPlan::decode(&mut r).map_err(fail)?;
+                    let ckpt = Option::<Ckpt>::decode(&mut r).map_err(fail)?;
                     let blob_bytes = Vec::<u8>::decode(&mut r).map_err(fail)?;
                     let blob = SnapshotBlob::from_bytes(&blob_bytes)
                         .map_err(|e| format!("fleet snapshot: device blob: {e}"))?;
-                    let mut gpu = Gpu::new(cfg.device_config(faults.clone()));
+                    let mut gpu = Gpu::new(cfg.device_config(class, faults.clone()));
                     gpu.restore(&blob)
                         .map_err(|e| format!("fleet snapshot: device restore: {e}"))?;
-                    Some(Batch { requests: ids, active, started_at, faults, gpu, step_err: None })
+                    Some(Batch {
+                        requests: ids,
+                        active,
+                        started_at,
+                        fault_base,
+                        faults,
+                        ckpt,
+                        gpu,
+                        step_err: None,
+                    })
                 }
                 _ => return Err("fleet snapshot: invalid batch tag".to_string()),
             };
-            devices.push(Device { id, fate, batches, served, pending_faults, batch });
+            devices.push(Device {
+                id,
+                class,
+                fate,
+                batches,
+                served,
+                pending_faults,
+                pending_drains,
+                batch,
+            });
         }
-        if devices.len() != cfg.devices as usize || tenants.len() != cfg.tenants.len() {
+        if devices.len() != cfg.total_devices() as usize || tenants.len() != cfg.tenants.len() {
             return Err("fleet snapshot shape does not match the configuration".to_string());
         }
+        let policy = placement::resolve(&cfg.placement)
+            .ok_or_else(|| "fleet snapshot: placement policy is unregistered".to_string())?;
+        let class_compat: Vec<u64> =
+            (0..cfg.classes.len()).map(|ci| cfg.class_compat_fingerprint(ci)).collect();
+        let line_bytes: Vec<u32> = (0..cfg.classes.len())
+            .map(|ci| cfg.device_config(ci, FaultPlan::none()).mem.line_bytes)
+            .collect();
         Ok(Fleet {
             cfg,
+            policy,
+            class_compat,
+            line_bytes,
             cycle,
             tick_index,
             shedding,
@@ -1062,6 +1632,10 @@ impl Fleet {
             queue,
             streams,
             tenants,
+            ws,
+            pending_migrations,
+            migrations,
+            migration_fallbacks,
             evictions,
             samples,
         })
@@ -1081,7 +1655,9 @@ impl Fleet {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::config::{Placement, TenantSpec};
+    use crate::config::{
+        DeviceClass, FleetConfig, MigrationConfig, Placement, PlannedDrain, TenantSpec,
+    };
     use crate::scenarios;
     use gpu_sim::FaultKind;
     use qos_core::{SloTarget, TenantClass};
@@ -1115,9 +1691,9 @@ mod tests {
         // 4 * 5k = 20k cycles, so a single best-effort request (30k) already
         // projects past it and must be rejected at the door.
         let cfg = FleetConfig {
-            devices: 1,
-            device_mem_bytes: 1 << 30,
+            classes: vec![DeviceClass::small(1)],
             placement: Placement::Binpack,
+            migration: MigrationConfig::default(),
             seed: 3,
             epoch_cycles: 1_000,
             tick_cycles: 4_000,
@@ -1147,6 +1723,7 @@ mod tests {
                 },
             ],
             faults: Vec::new(),
+            drains: Vec::new(),
         };
         let mut fleet = Fleet::new(cfg);
         fleet.run_to_completion();
@@ -1178,7 +1755,7 @@ mod tests {
     }
 
     #[test]
-    fn device_loss_evicts_and_replaces_on_healthy_devices() {
+    fn device_loss_migrates_in_flight_batches_to_spares() {
         let mut fleet = Fleet::new(scenarios::chaos(scenarios::DEFAULT_SEED));
         fleet.run_to_completion();
         let fates: Vec<DeviceFate> = fleet.devices.iter().map(|d| d.fate).collect();
@@ -1190,13 +1767,255 @@ mod tests {
             fates.iter().any(|f| matches!(f, DeviceFate::Wedged { .. })),
             "the scheduled wedge must be watchdog-classified: {fates:?}"
         );
-        assert!(fleet.evictions > 0, "in-flight work on the dead devices is evicted");
-        assert_eq!(fleet.lost_requests(), 0, "evicted requests retry or shed, never vanish");
+        assert!(
+            fleet.migrated_requests() > 0,
+            "in-flight work on the dead devices resumes via migration"
+        );
+        assert_eq!(fleet.lost_requests(), 0, "migrated requests never vanish");
         assert!(fleet.all_guaranteed_met(), "survivors must absorb the guaranteed load");
-        // The survivors actually served re-placed work.
         let healthy_served: u64 =
             fleet.devices.iter().filter(|d| d.fate.is_healthy()).map(|d| d.served).sum();
         assert!(healthy_served > 0);
+        // Migration preserved the retry budget on the resumed requests.
+        for rec in fleet.migrations() {
+            assert!(matches!(
+                rec.reason,
+                MigrationReason::DeviceLost | MigrationReason::DeviceWedged
+            ));
+        }
+    }
+
+    #[test]
+    fn with_migration_disabled_device_loss_falls_back_to_eviction() {
+        let mut cfg = scenarios::chaos(scenarios::DEFAULT_SEED);
+        cfg.migration.enabled = false;
+        let mut fleet = Fleet::new(cfg);
+        fleet.run_to_completion();
+        assert!(fleet.evictions() > 0, "without migration, victims retry from scratch");
+        assert_eq!(fleet.migrated_requests(), 0);
+        assert_eq!(fleet.lost_requests(), 0);
+    }
+
+    #[test]
+    fn wedge_during_final_drain_tick_classifies_before_accounting() {
+        // A tiny request completes a few thousand cycles into the tick; the
+        // wedge fires later in the same tick (device cycle 12_000) and the
+        // watchdog classifies it before the tick ends. The fix under test:
+        // the device fate must be recorded BEFORE accounting, yet the
+        // completion that beat the wedge still counts — no eviction, no
+        // retry, no laundering of the sticky fault.
+        let cfg = FleetConfig {
+            classes: vec![DeviceClass::small(1)],
+            placement: Placement::Binpack,
+            migration: MigrationConfig::default(),
+            seed: 9,
+            epoch_cycles: 1_000,
+            tick_cycles: 16_000,
+            timeout_cycles: 120_000,
+            max_retries: 3,
+            backoff_base: 2_000,
+            est_service_cycles: 20_000,
+            shed_enter_permille: 900,
+            shed_exit_permille: 500,
+            max_ticks: 40,
+            tenants: vec![TenantSpec {
+                name: "lone".into(),
+                class: TenantClass::guaranteed(SloTarget::new(200_000, 1)),
+                arrival: ArrivalModel::Open { mean_gap: 1 },
+                requests: 1,
+                grid_tbs: 2,
+                mem_bytes: 1 << 20,
+            }],
+            // The request arrives by cycle 2, is placed at the tick-1
+            // boundary (fleet cycle 16_000), so fleet cycle 28_000 is
+            // device cycle 12_000 — mid-tick, after the kernel completes.
+            faults: vec![FleetFault { at_cycle: 28_000, device: 0, kind: FaultKind::DeviceWedge }],
+            drains: Vec::new(),
+        };
+        let mut fleet = Fleet::new(cfg);
+        fleet.run_to_completion();
+        assert!(
+            matches!(fleet.devices[0].fate, DeviceFate::Wedged { .. }),
+            "the wedge must be classified even though the batch's work completed: {:?}",
+            fleet.devices[0].fate
+        );
+        let c = &fleet.tenant_counters()[0];
+        assert_eq!(c.completed, 1, "the completion that beat the wedge still counts");
+        assert_eq!(c.retries, 0, "no retry: the request finished");
+        assert_eq!(fleet.evictions(), 0, "nothing was evicted");
+        assert_eq!(fleet.requests()[0].retries, 0);
+        assert!(matches!(fleet.requests()[0].state, RequestState::Done { .. }));
+        assert_eq!(fleet.lost_requests(), 0);
+    }
+
+    #[test]
+    fn planned_drain_migrates_the_batch_and_retires_the_device() {
+        // Both requests arrive within the first tick (gap 1) and binpack
+        // onto device 0 at the cycle-4000 boundary; the drain at 8_000
+        // catches the batch mid-flight, so it must migrate to device 1.
+        let cfg = FleetConfig {
+            classes: vec![DeviceClass::small(2)],
+            placement: Placement::Binpack,
+            migration: MigrationConfig::default(),
+            seed: 17,
+            epoch_cycles: 1_000,
+            tick_cycles: 4_000,
+            timeout_cycles: 120_000,
+            max_retries: 3,
+            backoff_base: 2_000,
+            est_service_cycles: 20_000,
+            shed_enter_permille: 900,
+            shed_exit_permille: 500,
+            max_ticks: 300,
+            tenants: vec![TenantSpec {
+                name: "latency".into(),
+                class: TenantClass::guaranteed(SloTarget::new(300_000, 900_000)),
+                arrival: ArrivalModel::Open { mean_gap: 1 },
+                requests: 2,
+                grid_tbs: 8,
+                mem_bytes: 64 << 20,
+            }],
+            faults: Vec::new(),
+            drains: vec![PlannedDrain { at_cycle: 8_000, device: 0 }],
+        };
+        let mut fleet = Fleet::new(cfg);
+        fleet.run_to_completion();
+        assert!(
+            matches!(fleet.devices[0].fate, DeviceFate::Drained { .. }),
+            "the drain must retire device 0: {:?}",
+            fleet.devices[0].fate
+        );
+        assert!(
+            fleet.migrations().iter().any(|m| m.reason == MigrationReason::Drain),
+            "the drained device's batch must migrate: {:?}",
+            fleet.migrations()
+        );
+        let done: u64 = fleet.tenant_counters().iter().map(|c| c.completed).sum();
+        let arrived: u64 = fleet.tenant_counters().iter().map(|c| c.arrived).sum();
+        assert_eq!(done, arrived, "a planned drain loses nothing");
+        assert_eq!(fleet.lost_requests(), 0);
+        assert!(fleet.all_guaranteed_met());
+    }
+
+    #[test]
+    fn shed_pressure_preempts_best_effort_for_guaranteed_work() {
+        // One device. Four best-effort requests fill it early; the
+        // guaranteed request arrives while they run. Shedding engages
+        // (enter threshold sits between 4 and 5 outstanding requests), and
+        // the scheduler preempts the all-best-effort batch — snapshotted
+        // fresh — to serve the guaranteed request immediately. The
+        // preempted batch later resumes on the same device and completes.
+        let cfg = FleetConfig {
+            classes: vec![DeviceClass::small(1)],
+            placement: Placement::Binpack,
+            migration: MigrationConfig {
+                enabled: true,
+                checkpoint_every_ticks: 1,
+                patience_ticks: 60,
+            },
+            seed: 2,
+            epoch_cycles: 1_000,
+            tick_cycles: 4_000,
+            timeout_cycles: 400_000,
+            max_retries: 3,
+            backoff_base: 2_000,
+            est_service_cycles: 30_000,
+            shed_enter_permille: 280,
+            shed_exit_permille: 100,
+            max_ticks: 600,
+            tenants: vec![
+                TenantSpec {
+                    name: "gold".into(),
+                    class: TenantClass::guaranteed(SloTarget::new(120_000, 1)),
+                    arrival: ArrivalModel::Open { mean_gap: 8_000 },
+                    requests: 1,
+                    grid_tbs: 8,
+                    mem_bytes: 1 << 20,
+                },
+                TenantSpec {
+                    name: "batch".into(),
+                    class: TenantClass::best_effort(),
+                    arrival: ArrivalModel::Open { mean_gap: 1 },
+                    requests: 4,
+                    grid_tbs: 32,
+                    mem_bytes: 1 << 20,
+                },
+            ],
+            faults: Vec::new(),
+            drains: Vec::new(),
+        };
+        let mut fleet = Fleet::new(cfg);
+        fleet.run_to_completion();
+        assert!(
+            fleet.migrations().iter().any(|m| m.reason == MigrationReason::ShedPressure),
+            "shed pressure must preempt the best-effort batch: {:?}",
+            fleet.migrations()
+        );
+        assert!(fleet.all_guaranteed_met(), "the preemption exists to protect the guarantee");
+        let done: u64 = fleet.tenant_counters().iter().map(|c| c.completed).sum();
+        let arrived: u64 = fleet.tenant_counters().iter().map(|c| c.arrived).sum();
+        assert_eq!(done, arrived, "preempted work resumes and completes — zero loss");
+        assert_eq!(fleet.lost_requests(), 0);
+    }
+
+    #[test]
+    fn working_set_estimates_converge_below_inflated_declarations() {
+        // The tenant declares half a device of memory per request; its
+        // kernels actually touch a few hundred KiB. After completions the
+        // EWMA must have moved off the declaration.
+        let mut cfg = scenarios::steady(23);
+        cfg.tenants[0].mem_bytes = 512 << 20;
+        let declared = cfg.tenants[0].mem_bytes;
+        let mut fleet = Fleet::new(cfg);
+        fleet.run_to_completion();
+        assert!(fleet.tenant_counters()[0].completed > 0);
+        assert!(
+            fleet.working_set_estimate(0) < declared,
+            "measured working set ({}) must fall below the declaration ({declared})",
+            fleet.working_set_estimate(0)
+        );
+        assert_eq!(fleet.lost_requests(), 0);
+    }
+
+    #[test]
+    fn memory_admission_rejects_overcommitted_best_effort() {
+        // Device memory is 1 GiB; each best-effort request declares 900 MiB.
+        // Cycle-load admission is disabled (tiny estimate, huge horizon), so
+        // any admission shed is memory-driven.
+        let cfg = FleetConfig {
+            classes: vec![DeviceClass::small(1)],
+            placement: Placement::Binpack,
+            migration: MigrationConfig::default(),
+            seed: 31,
+            epoch_cycles: 1_000,
+            tick_cycles: 4_000,
+            timeout_cycles: 500_000,
+            max_retries: 3,
+            backoff_base: 2_000,
+            est_service_cycles: 1,
+            shed_enter_permille: 100_000,
+            shed_exit_permille: 99_999,
+            max_ticks: 600,
+            tenants: vec![TenantSpec {
+                name: "hog".into(),
+                class: TenantClass::best_effort(),
+                arrival: ArrivalModel::Open { mean_gap: 500 },
+                requests: 4,
+                grid_tbs: 4,
+                mem_bytes: 900 << 20,
+            }],
+            faults: Vec::new(),
+            drains: Vec::new(),
+        };
+        let mut fleet = Fleet::new(cfg);
+        fleet.run_to_completion();
+        let c = &fleet.tenant_counters()[0];
+        assert!(
+            c.shed_admission > 0,
+            "co-queuing two 900 MiB working sets on a 1 GiB fleet must shed at admission: {c:?}"
+        );
+        assert!(c.completed > 0, "the admitted request still completes");
+        assert_eq!(fleet.lost_requests(), 0);
     }
 
     #[test]
@@ -1220,6 +2039,37 @@ mod tests {
     }
 
     #[test]
+    fn snapshot_taken_mid_migration_resumes_byte_identically() {
+        // Force a pending migration to survive across ticks: every spare
+        // of the victim's class is also killed, so the blob waits in the
+        // queue. Snapshot in that window, restore, and both runs must
+        // converge to byte-identical reports.
+        let mut cfg = scenarios::chaos(7);
+        cfg.migration.patience_ticks = 4;
+        cfg.faults = vec![
+            FleetFault { at_cycle: 30_000, device: 1, kind: FaultKind::DeviceLoss },
+            FleetFault { at_cycle: 30_000, device: 2, kind: FaultKind::DeviceLoss },
+            FleetFault { at_cycle: 30_000, device: 3, kind: FaultKind::DeviceLoss },
+        ];
+        let mut live = Fleet::new(cfg.clone());
+        let mut saw_pending = false;
+        let mut bytes = Vec::new();
+        while !live.step() {
+            if !saw_pending && live.pending_migration_count() > 0 {
+                saw_pending = true;
+                bytes = live.snapshot();
+            }
+        }
+        assert!(saw_pending, "the triple loss must leave at least one migration in flight");
+        let mut restored = Fleet::restore(cfg, &bytes).expect("mid-migration restore");
+        assert!(restored.pending_migration_count() > 0, "pending migrations survive the codec");
+        restored.run_to_completion();
+        assert_eq!(live.report("storm"), restored.report("storm"));
+        assert_eq!(live.counter_registry(), restored.counter_registry());
+        assert_eq!(restored.lost_requests(), 0);
+    }
+
+    #[test]
     fn restore_rejects_a_different_configuration() {
         let mut fleet = Fleet::new(scenarios::steady(5));
         fleet.step();
@@ -1232,15 +2082,34 @@ mod tests {
     #[test]
     fn dead_fleet_sheds_the_queue_instead_of_losing_it() {
         let mut cfg = scenarios::steady(13);
-        cfg.devices = 1;
-        cfg.faults =
-            vec![crate::config::FleetFault { at_cycle: 0, device: 0, kind: FaultKind::DeviceLoss }];
+        cfg.classes = vec![DeviceClass::small(1)];
+        cfg.faults = vec![FleetFault { at_cycle: 0, device: 0, kind: FaultKind::DeviceLoss }];
         let mut fleet = Fleet::new(cfg);
         fleet.run_to_completion();
         assert!(fleet.finished());
         assert_eq!(fleet.lost_requests(), 0);
         let sheds: u64 = fleet.tenant_counters().iter().map(TenantCounters::shed_total).sum();
         assert!(sheds > 0, "work that arrived before the fleet died must be shed explicitly");
+    }
+
+    #[test]
+    fn migration_respects_compatibility_classes() {
+        // Two classes: the small device dies; the only spare is big. The
+        // blob must NOT restore onto the incompatible spare — it waits out
+        // its patience and falls back to bounded retry.
+        let mut cfg = scenarios::steady(3);
+        cfg.classes = vec![DeviceClass::small(1), DeviceClass::big(1)];
+        cfg.migration.patience_ticks = 2;
+        cfg.placement = Placement::Binpack; // fill the small device first
+        cfg.faults = vec![FleetFault { at_cycle: 8_000, device: 0, kind: FaultKind::DeviceLoss }];
+        let mut fleet = Fleet::new(cfg);
+        fleet.run_to_completion();
+        assert!(
+            fleet.migrations().iter().all(|m| m.to_device != 1 || m.from_device == 1),
+            "a small-class blob must never land on the big device: {:?}",
+            fleet.migrations()
+        );
+        assert_eq!(fleet.lost_requests(), 0);
     }
 
     #[test]

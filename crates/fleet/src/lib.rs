@@ -24,6 +24,13 @@
 //! * **Graceful degradation**: under overload, best-effort work is shed
 //!   first — never guaranteed work — behind a hysteresis band so shedding
 //!   does not flap.
+//! * **Live migration** ([`migrate`]): batches on devices leaving service —
+//!   lost, wedged, drained for maintenance, or preempted under shed
+//!   pressure — resume from their last epoch-boundary checkpoint on a spare
+//!   of the same migration class, with retry budgets untouched.
+//! * **Working-set-aware admission**: per-tenant device-memory demand is
+//!   measured from kernel footprints (not declarations) and feeds a second
+//!   admission gate alongside the cycle-occupancy horizon.
 //!
 //! Everything is deterministic: the same config and seed produce a
 //! byte-identical [`Fleet::report`], whether the run was uninterrupted or
@@ -34,11 +41,18 @@
 
 pub mod config;
 pub mod fleet;
+pub mod migrate;
+pub mod placement;
 pub mod request;
 pub mod scenarios;
 
-pub use config::{FleetConfig, FleetFault, Placement, TenantSpec};
+pub use config::{
+    DeviceClass, FleetConfig, FleetConfigError, FleetFault, MigrationConfig, Placement,
+    PlannedDrain, TenantSpec,
+};
 pub use fleet::{
     DeviceFate, Fleet, TenantCounters, TenantSample, TickSample, FLEET_SNAPSHOT_VERSION,
 };
+pub use migrate::{MigrationReason, MigrationRecord, PendingMigration};
+pub use placement::{register_policy, DeviceView, PlacementCtx, PlacementPolicy, RequestView};
 pub use request::{Request, RequestState, ShedReason};

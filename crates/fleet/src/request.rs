@@ -72,6 +72,16 @@ pub enum RequestState {
         /// Fleet cycle of the decision.
         at: u64,
     },
+    /// In flight between devices: its batch snapshot sits in the
+    /// pending-migration queue waiting for a compatible spare. Retries are
+    /// untouched — migration is not a failure of the request.
+    Migrating {
+        /// Device the batch left.
+        from: u32,
+        /// Fleet cycle at which the original placement started (preserved
+        /// across the migration as the timeout base).
+        started_at: u64,
+    },
 }
 
 impl Snap for RequestState {
@@ -95,6 +105,11 @@ impl Snap for RequestState {
                 reason.encode(out);
                 at.encode(out);
             }
+            RequestState::Migrating { from, started_at } => {
+                out.push(4);
+                from.encode(out);
+                started_at.encode(out);
+            }
         }
     }
     fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
@@ -103,6 +118,7 @@ impl Snap for RequestState {
             1 => Ok(RequestState::Running { device: u32::decode(r)?, started_at: u64::decode(r)? }),
             2 => Ok(RequestState::Done { finished_at: u64::decode(r)? }),
             3 => Ok(RequestState::Shed { reason: ShedReason::decode(r)?, at: u64::decode(r)? }),
+            4 => Ok(RequestState::Migrating { from: u32::decode(r)?, started_at: u64::decode(r)? }),
             _ => Err(SnapError::Invalid("RequestState")),
         }
     }
@@ -154,6 +170,7 @@ mod tests {
             RequestState::Running { device: 3, started_at: 4_000 },
             RequestState::Done { finished_at: 9_000 },
             RequestState::Shed { reason: ShedReason::Overload, at: 5_000 },
+            RequestState::Migrating { from: 2, started_at: 4_000 },
         ];
         for state in states {
             let req = Request { id: 1, tenant: 0, seq: 2, arrived_at: 100, retries: 1, state };

@@ -319,6 +319,26 @@ impl GpuConfig {
         }
         Ok(())
     }
+
+    /// Stable 64-bit fingerprint of this configuration (FNV-1a over the
+    /// Snap encoding). Two configurations fingerprint equal iff every
+    /// snapshot-relevant field matches — including the fault plan.
+    pub fn fingerprint(&self) -> u64 {
+        crate::snap::fnv1a(&crate::snap::encode_to_vec(self))
+    }
+
+    /// Migration-class fingerprint: like [`GpuConfig::fingerprint`] but with
+    /// the fault-injection plan erased. Two devices in the same migration
+    /// class agree on every parameter that shapes machine *state* (SM count,
+    /// cache geometry, epoch length, health knobs, trace config) while being
+    /// free to carry different scheduled faults — exactly the condition under
+    /// which a snapshot taken on one can resume on the other
+    /// ([`crate::Gpu::restore_compat`]).
+    pub fn compat_fingerprint(&self) -> u64 {
+        let mut neutral = self.clone();
+        neutral.faults = FaultPlan::none();
+        crate::snap::fnv1a(&crate::snap::encode_to_vec(&neutral))
+    }
 }
 
 crate::impl_snap_struct!(SmConfig {

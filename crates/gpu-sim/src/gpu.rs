@@ -16,7 +16,7 @@ use crate::observe::{
 };
 use crate::preempt::PreemptStats;
 use crate::sm::{QuotaCarry, Sm};
-use crate::snap::{self, Snap, SnapError, SnapReader};
+use crate::snap::{Snap, SnapError, SnapReader};
 use crate::stats::{EpochSnapshot, GpuStats, KernelStats};
 use crate::tb_sched::{KernelRuntime, SharingMode, TbScheduler};
 use crate::types::{per_kernel, Cycle, KernelId, PerKernel, SmId};
@@ -841,7 +841,16 @@ impl Gpu {
     /// the encoded [`GpuConfig`]). Snapshots carry it so [`Gpu::restore`]
     /// can refuse blobs taken under a different configuration.
     pub fn config_fingerprint(&self) -> u64 {
-        snap::fnv1a(&snap::encode_to_vec(&self.cfg))
+        self.cfg.fingerprint()
+    }
+
+    /// Migration-class fingerprint of this GPU's configuration: the config
+    /// fingerprint with the fault plan erased (see
+    /// [`GpuConfig::compat_fingerprint`]). Snapshots carry it so
+    /// [`Gpu::restore_compat`] can accept blobs from a same-class machine
+    /// that merely had different scheduled faults.
+    pub fn compat_fingerprint(&self) -> u64 {
+        self.cfg.compat_fingerprint()
     }
 
     /// Captures the complete mutable state of the machine into a versioned
@@ -883,6 +892,7 @@ impl Gpu {
         Ok(SnapshotBlob {
             version: SNAPSHOT_SCHEMA_VERSION,
             config_fingerprint: self.config_fingerprint(),
+            compat_fingerprint: self.compat_fingerprint(),
             payload,
         })
     }
@@ -915,7 +925,66 @@ impl Gpu {
                 expected,
             });
         }
-        let mut r = SnapReader::new(&blob.payload);
+        self.restore_payload(&blob.payload)
+    }
+
+    /// Restores a snapshot from a **migration-class-compatible** machine:
+    /// the blob's [`compat fingerprint`](SnapshotBlob::compat_fingerprint)
+    /// must match this machine's, but the full config fingerprints may
+    /// differ — i.e. the source may have carried a different fault plan.
+    ///
+    /// This is the receiving half of live migration: state captured on a
+    /// device that was about to fail (or be drained) resumes on a spare of
+    /// the same class. The snapshot's `fault_cursor` indexed the *source*
+    /// plan, so it is rebased onto the receiver's plan: every receiver fault
+    /// scheduled strictly before the restored cycle is treated as already
+    /// consumed (the fleet layer translates pending faults so none land in
+    /// the past), and faults at or after the restored cycle fire normally.
+    ///
+    /// # Errors
+    ///
+    /// [`SnapshotError::SchemaVersion`] on a version mismatch,
+    /// [`SnapshotError::ConfigFingerprint`] when the blob's migration class
+    /// differs from the receiver's, and [`SnapshotError::Corrupt`] when the
+    /// payload fails to decode.
+    pub fn restore_compat(&mut self, blob: &SnapshotBlob) -> Result<(), SnapshotError> {
+        if blob.version != SNAPSHOT_SCHEMA_VERSION {
+            return Err(SnapshotError::SchemaVersion {
+                found: blob.version,
+                expected: SNAPSHOT_SCHEMA_VERSION,
+            });
+        }
+        let expected = self.compat_fingerprint();
+        if blob.compat_fingerprint != expected {
+            return Err(SnapshotError::ConfigFingerprint {
+                found: blob.compat_fingerprint,
+                expected,
+            });
+        }
+        self.restore_payload(&blob.payload)?;
+        // Rebase the fault cursor from the source plan onto the receiver's
+        // (sorted) plan: faults strictly in the past are consumed, the rest
+        // remain armed.
+        self.fault_cursor =
+            self.cfg.faults.faults.iter().take_while(|f| f.at_cycle < self.cycle).count();
+        // The snapshot may have been taken after a silent fault fired on
+        // the source machine (a wedge freezes schedulers well before the
+        // watchdog can classify it). Those effects describe the sick
+        // device, not the workload — carrying them onto healthy silicon
+        // would wedge the receiver too, cascading one hardware failure
+        // across the fleet. The plain [`Gpu::restore`] path deliberately
+        // keeps them: resuming the *same* machine must reproduce the
+        // original run bit for bit, watchdog trip included.
+        for sm in &mut self.sms {
+            sm.clear_fault_effects();
+        }
+        Ok(())
+    }
+
+    /// Decodes a snapshot payload and swaps it in. Decodes fully into locals
+    /// before assigning, so `self` is untouched on any error.
+    fn restore_payload(&mut self, payload: &[u8]) -> Result<(), SnapshotError> {
+        let mut r = SnapReader::new(payload);
         let cycle = Cycle::decode(&mut r)?;
         let sms = Vec::<Sm>::decode(&mut r)?;
         let mem = MemSystem::decode(&mut r)?;
@@ -1004,8 +1073,11 @@ const HEALTH_REPORT_EVENTS: usize = 32;
 /// parameters (`l1_hit_latency`, `line_bytes`) to the per-SM record when
 /// the SM↔memory boundary moved behind [`crate::icn::IcnPort`]; version 4
 /// added the `dropped` discard counter to every [`EventRing`] so lossless
-/// trace capture can prove a recording never wrapped.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 4;
+/// trace capture can prove a recording never wrapped; version 5 added the
+/// migration-class `compat_fingerprint` to the blob header so live
+/// migration ([`Gpu::restore_compat`]) can accept snapshots from a
+/// same-class device with a different fault plan.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 5;
 
 /// Leading magic of a serialized [`SnapshotBlob`].
 const SNAPSHOT_MAGIC: [u8; 4] = *b"FGQS";
@@ -1076,11 +1148,13 @@ impl From<SnapError> for SnapshotError {
 /// The blob carries the schema version and a fingerprint of the producing
 /// configuration; [`Gpu::restore`] validates both before touching any
 /// state. [`SnapshotBlob::to_bytes`] / [`SnapshotBlob::from_bytes`] give a
-/// stable on-disk form (magic + version + fingerprint + payload).
+/// stable on-disk form (magic + version + fingerprint + compat fingerprint
+/// + payload).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SnapshotBlob {
     version: u32,
     config_fingerprint: u64,
+    compat_fingerprint: u64,
     payload: Vec<u8>,
 }
 
@@ -1095,6 +1169,13 @@ impl SnapshotBlob {
         self.config_fingerprint
     }
 
+    /// Migration-class fingerprint of the producing configuration (the
+    /// config fingerprint with the fault plan erased; see
+    /// [`GpuConfig::compat_fingerprint`]).
+    pub fn compat_fingerprint(&self) -> u64 {
+        self.compat_fingerprint
+    }
+
     /// Size of the encoded state payload in bytes.
     pub fn payload_len(&self) -> usize {
         self.payload.len()
@@ -1102,10 +1183,11 @@ impl SnapshotBlob {
 
     /// Serializes the blob to its on-disk byte form.
     pub fn to_bytes(&self) -> Vec<u8> {
-        let mut out = Vec::with_capacity(self.payload.len() + 24);
+        let mut out = Vec::with_capacity(self.payload.len() + 32);
         out.extend_from_slice(&SNAPSHOT_MAGIC);
         self.version.encode(&mut out);
         self.config_fingerprint.encode(&mut out);
+        self.compat_fingerprint.encode(&mut out);
         self.payload.encode(&mut out);
         out
     }
@@ -1123,13 +1205,14 @@ impl SnapshotBlob {
         let mut r = SnapReader::new(&bytes[SNAPSHOT_MAGIC.len()..]);
         let version = u32::decode(&mut r)?;
         let config_fingerprint = u64::decode(&mut r)?;
+        let compat_fingerprint = u64::decode(&mut r)?;
         let payload = Vec::<u8>::decode(&mut r)?;
         if !r.is_exhausted() {
             return Err(SnapshotError::Corrupt(SnapError::Invalid(
                 "trailing bytes after snapshot payload",
             )));
         }
-        Ok(SnapshotBlob { version, config_fingerprint, payload })
+        Ok(SnapshotBlob { version, config_fingerprint, compat_fingerprint, payload })
     }
 }
 
@@ -1602,6 +1685,50 @@ mod tests {
     }
 
     #[test]
+    fn restore_compat_accepts_different_fault_plan_and_rebases_cursor() {
+        // Source: clean machine, run to 5k, snapshot.
+        let cfg = GpuConfig::tiny();
+        let mut src = Gpu::new(cfg.clone());
+        src.launch(compute_kernel("c"));
+        src.run(5_000, &mut NullController);
+        let blob = src.snapshot().expect("cycle 5000 is an epoch boundary");
+
+        // Receiver: same class, different fault plan — one fault strictly in
+        // the past (must be treated as consumed, not re-fired), one in the
+        // future (must still fire).
+        let mut dst_cfg = cfg.clone();
+        dst_cfg.faults =
+            FaultPlan::one(2_000, FaultKind::DeviceLoss).with(9_000, FaultKind::DeviceLoss);
+        let mut dst = Gpu::new(dst_cfg);
+        dst.launch(compute_kernel("c"));
+        match dst.restore(&blob) {
+            Err(SnapshotError::ConfigFingerprint { .. }) => {}
+            other => panic!("full restore must refuse a fault-plan mismatch, got {other:?}"),
+        }
+        dst.restore_compat(&blob).expect("same migration class");
+        assert_eq!(dst.cycle(), 5_000);
+        // The past fault is consumed: stepping does not fire it...
+        dst.run(2_000, &mut NullController);
+        assert_eq!(dst.cycle(), 7_000);
+        // ...but the future one still does.
+        let err = dst.try_run(5_000, &mut NullController).expect_err("armed fault must fire");
+        assert!(matches!(err, SimError::DeviceLost(_)), "got {err}");
+        assert_eq!(dst.cycle(), 9_000);
+    }
+
+    #[test]
+    fn compat_fingerprint_erases_faults_but_not_geometry() {
+        let clean = GpuConfig::tiny();
+        let mut faulty = clean.clone();
+        faulty.faults = FaultPlan::one(100, FaultKind::DeviceWedge);
+        assert_ne!(clean.fingerprint(), faulty.fingerprint());
+        assert_eq!(clean.compat_fingerprint(), faulty.compat_fingerprint());
+        let mut bigger = clean.clone();
+        bigger.num_sms = 4;
+        assert_ne!(clean.compat_fingerprint(), bigger.compat_fingerprint());
+    }
+
+    #[test]
     fn blob_bytes_round_trip_and_detect_corruption() {
         let mut gpu = Gpu::new(GpuConfig::tiny());
         gpu.launch(compute_kernel("c"));
@@ -1633,6 +1760,43 @@ mod tests {
         assert_eq!(inspect.cycle(), gpu.cycle());
         let report = inspect.health_report();
         assert!(report.kernels[0].quota_starved());
+    }
+
+    #[test]
+    fn compat_restore_thaws_fault_effects_but_full_restore_keeps_them() {
+        // A wedge is silent: schedulers freeze long before the watchdog can
+        // classify the device, so a snapshot taken in that window carries
+        // the frozen state. Migrating the blob onto healthy silicon must
+        // thaw it (the sickness belongs to the machine, not the workload);
+        // resuming the same machine must keep it, watchdog trip included.
+        let mut cfg = GpuConfig::tiny();
+        cfg.health.watchdog_window = 2_000;
+        cfg.faults = FaultPlan::one(500, FaultKind::DeviceWedge);
+        let mut src = Gpu::new(cfg.clone());
+        src.launch(compute_kernel("c"));
+        src.try_run(1_000, &mut NullController).expect("watchdog has not tripped yet");
+        let blob = src.snapshot().expect("cycle 1000 is an epoch boundary");
+
+        // Same machine (same fault plan): the frozen schedulers survive the
+        // full restore and the watchdog classifies the wedge on schedule.
+        let mut same = Gpu::new(cfg.clone());
+        same.launch(compute_kernel("c"));
+        same.restore(&blob).expect("identical fingerprint");
+        let err = same.try_run(50_000, &mut NullController).expect_err("still wedged");
+        assert!(matches!(err, SimError::Watchdog(_)), "got {err}");
+
+        // Healthy spare of the same class: the thawed workload resumes and
+        // completes instead of wedging the receiver.
+        let mut clean_cfg = GpuConfig::tiny();
+        clean_cfg.health.watchdog_window = 2_000;
+        let mut spare = Gpu::new(clean_cfg);
+        spare.launch(compute_kernel("c"));
+        spare.restore_compat(&blob).expect("same migration class");
+        spare.try_run(200_000, &mut NullController).expect("healthy silicon must not wedge");
+        assert!(
+            spare.stats().kernel(KernelId::new(0)).launches_completed >= 1,
+            "the migrated kernel finishes on the spare"
+        );
     }
 
     #[test]

@@ -185,6 +185,18 @@ impl Sm {
         self.preempt_stalled = true;
     }
 
+    /// Clears every injected fault *effect* (frozen schedulers, frozen
+    /// quota channels, stalled preemption). Used by cross-device restore
+    /// ([`crate::Gpu::restore_compat`]): the effects model sick hardware,
+    /// not workload state, so a batch migrating onto healthy silicon must
+    /// not carry them along. Quota counters and gates themselves are left
+    /// untouched — they are workload state the controller owns.
+    pub(crate) fn clear_fault_effects(&mut self) {
+        self.sched_frozen = false;
+        self.quota_frozen = false;
+        self.preempt_stalled = false;
+    }
+
     /// Whether kernel `k` is quota-gated on this SM.
     pub fn is_gated(&self, k: KernelId) -> bool {
         self.gated[k.index()]

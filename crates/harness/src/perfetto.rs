@@ -151,11 +151,14 @@ fn event_args(kind: &TraceEventKind) -> String {
 }
 
 /// Renders a finished fleet run as Chrome-trace JSON: one counter track per
-/// tenant (cumulative SLO-met / completed / retry / shed series plus the
-/// instantaneous queue depth, one sample per fleet tick) and a machine
-/// track with fleet-wide queue depth, healthy-device count and the
-/// load-shedding flag. The full fleet counter registry rides along under
-/// the `counters` key, exactly like the single-GPU export.
+/// tenant (cumulative SLO-met / completed / retry / shed / migrated series
+/// plus the instantaneous queue depth, one sample per fleet tick), a
+/// machine track with fleet-wide queue depth, healthy-device count,
+/// pending-migration depth and the load-shedding flag, and one `ph: "X"`
+/// span per migrated request on its tenant's track — from the cycle the
+/// batch left its device to the cycle it resumed, with the source/target
+/// device and reason in `args`. The full fleet counter registry rides
+/// along under the `counters` key, exactly like the single-GPU export.
 #[must_use]
 pub fn render_fleet_trace(fleet: &fleet::Fleet, name: &str) -> String {
     let mut out = String::new();
@@ -181,24 +184,45 @@ pub fn render_fleet_trace(fleet: &fleet::Fleet, name: &str) -> String {
     for s in fleet.samples() {
         events.push(format!(
             "{{\"name\": \"fleet\", \"ph\": \"C\", \"ts\": {}, \"pid\": 0, \
-             \"args\": {{\"queue_depth\": {}, \"healthy_devices\": {}, \"shedding\": {}}}}}",
+             \"args\": {{\"queue_depth\": {}, \"healthy_devices\": {}, \"shedding\": {}, \
+             \"pending_migrations\": {}}}}}",
             s.cycle,
             s.queue_depth,
             s.healthy_devices,
-            u8::from(s.shedding)
+            u8::from(s.shedding),
+            s.pending_migrations
         ));
         for (t, ts) in s.tenants.iter().enumerate() {
             events.push(format!(
                 "{{\"name\": \"tenant{t}\", \"ph\": \"C\", \"ts\": {}, \"pid\": {}, \
                  \"args\": {{\"completed\": {}, \"slo_met\": {}, \"retries\": {}, \
-                 \"shed\": {}, \"queued\": {}}}}}",
+                 \"shed\": {}, \"queued\": {}, \"migrated\": {}}}}}",
                 s.cycle,
                 t + 1,
                 ts.completed,
                 ts.slo_met,
                 ts.retries,
                 ts.shed,
-                ts.queued
+                ts.queued,
+                ts.migrated
+            ));
+        }
+    }
+    // One complete-span per migrated request, on its tenant's track: the
+    // span covers the window the request was off-device (enqueue → resume).
+    for rec in fleet.migrations() {
+        let dur = rec.restored_at.saturating_sub(rec.enqueued_at).max(1);
+        for (req, tenant) in rec.requests.iter().zip(&rec.tenants) {
+            events.push(format!(
+                "{{\"name\": \"migration/{}\", \"ph\": \"X\", \"ts\": {}, \"dur\": {dur}, \
+                 \"pid\": {}, \"tid\": 1, \"args\": {{\"request\": {req}, \"from_device\": {}, \
+                 \"to_device\": {}, \"reason\": \"{}\"}}}}",
+                rec.reason,
+                rec.enqueued_at,
+                tenant + 1,
+                rec.from_device,
+                rec.to_device,
+                rec.reason
             ));
         }
     }
@@ -537,5 +561,18 @@ mod tests {
         assert!(doc.contains("\"slo_met\""), "SLO series present");
         assert!(doc.contains("\"shed\""), "shed series present");
         assert!(doc.contains("tenant[0]/slo_met"), "registry rides along");
+    }
+
+    #[test]
+    fn fleet_trace_carries_migration_spans() {
+        let mut f = fleet::Fleet::new(fleet::scenarios::chaos(fleet::scenarios::DEFAULT_SEED));
+        f.run_to_completion();
+        assert!(f.migrated_requests() > 0, "chaos must migrate work for this test to bite");
+        let doc = render_fleet_trace(&f, "chaos");
+        check_chrome_trace(&doc).expect("fleet trace with migrations must stay valid");
+        assert!(doc.contains("\"ph\": \"X\""), "migration spans are complete events");
+        assert!(doc.contains("migration/device-"), "spans are named by reason");
+        assert!(doc.contains("\"from_device\""), "span args carry the route");
+        assert!(doc.contains("\"pending_migrations\""), "machine track gauges the queue");
     }
 }

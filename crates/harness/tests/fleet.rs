@@ -100,6 +100,158 @@ fn unknown_fleet_scenario_exits_nonzero() {
 }
 
 #[test]
+fn checkpoint_with_a_migration_in_the_journal_resumes_byte_identically() {
+    // Step the migration storm in-process until a migration blob is
+    // actually sitting in the pending queue, persist that exact state
+    // through the CLI's checkpoint frame, then finish the run out of
+    // process via `repro fleet resume`. The resumed report must match an
+    // uninterrupted run byte for byte and lose nothing.
+    let dir = tmp_dir("mid-migration");
+    let seed = fleet::scenarios::DEFAULT_SEED;
+    let baseline = repro(&["fleet", "migration"]);
+    assert!(
+        baseline.status.success(),
+        "baseline storm failed: {}",
+        String::from_utf8_lossy(&baseline.stderr)
+    );
+
+    let cfg = fleet::scenarios::by_name("migration", seed).expect("known scenario");
+    let mut partial = fleet::Fleet::new(cfg);
+    while !partial.step() {
+        if partial.pending_migration_count() > 0 {
+            break;
+        }
+    }
+    assert!(
+        partial.pending_migration_count() > 0,
+        "the storm must leave a migration blob in flight at some tick"
+    );
+    harness::fleet_cli::save_checkpoint(
+        &dir,
+        &harness::fleet_cli::FleetCheckpoint {
+            scenario: "migration".to_string(),
+            seed,
+            every_ticks: 1,
+            state: partial.snapshot(),
+        },
+    )
+    .expect("checkpoint with a pending migration saves");
+    drop(partial);
+
+    let resumed = repro(&["fleet", "resume", dir.to_str().expect("utf8 dir")]);
+    assert!(
+        resumed.status.success(),
+        "mid-migration resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&baseline.stdout),
+        "a checkpoint holding an in-flight migration must resume byte-identically"
+    );
+    let report = String::from_utf8_lossy(&baseline.stdout);
+    assert!(report.contains(", 0 lost"), "{report}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn sigkilled_migration_storm_resumes_to_an_identical_report() {
+    // The crash-path variant: SIGKILL the checkpointing storm mid-flight
+    // (the storm keeps migrations in motion from cycle 30k on) and assert
+    // the resume converges. Migration state rides inside the rolling
+    // checkpoint, so whichever tick the kill lands on, nothing is lost.
+    let dir = tmp_dir("storm-sigkill");
+    let baseline = repro(&["fleet", "migration"]);
+    assert!(
+        baseline.status.success(),
+        "baseline storm failed: {}",
+        String::from_utf8_lossy(&baseline.stderr)
+    );
+
+    let mut victim = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["fleet", "migration", "--checkpoint-dir"])
+        .arg(&dir)
+        .args(["--checkpoint-every", "1"])
+        .stdout(Stdio::null())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("victim spawns");
+
+    let ckpt = dir.join("fleet-ckpt.bin");
+    let deadline = Instant::now() + Duration::from_secs(120);
+    let mut victim_finished = false;
+    loop {
+        if ckpt.exists() {
+            break;
+        }
+        if victim.try_wait().expect("try_wait works").is_some() {
+            victim_finished = true;
+            break;
+        }
+        assert!(Instant::now() < deadline, "victim produced no checkpoint within the deadline");
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    if !victim_finished {
+        victim.kill().expect("SIGKILL delivered");
+    }
+    let _ = victim.wait();
+
+    let resumed = repro(&["fleet", "resume", dir.to_str().expect("utf8 dir")]);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    assert_eq!(
+        String::from_utf8_lossy(&resumed.stdout),
+        String::from_utf8_lossy(&baseline.stdout),
+        "resumed storm report must be byte-identical to the uninterrupted run's"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Parses `N migrated`-style fields out of the report's goodput line:
+/// `goodput A/B requests, C shed, D evicted, E migrated | ...`.
+fn goodput_field(report: &str, field: &str) -> u64 {
+    let line = report.lines().find(|l| l.contains("goodput")).expect("goodput line");
+    let needle = format!(" {field}");
+    let end = line.find(&needle).unwrap_or_else(|| panic!("no {field:?} in {line:?}"));
+    line[..end]
+        .rsplit([' ', ','])
+        .find(|s| !s.is_empty())
+        .expect("number precedes the field")
+        .parse()
+        .unwrap_or_else(|e| panic!("bad {field} count in {line:?}: {e}"))
+}
+
+#[test]
+#[ignore = "migration-storm soak: full storm runs across a seed matrix; CI's fleet-chaos job"]
+fn migration_storm_soak_resumes_batches_instead_of_retrying() {
+    // Across the seed matrix: no request lost, every guaranteed SLO met,
+    // and at least 90% of the work displaced by device loss/wedge/drain
+    // completes via migration rather than eviction + retry-from-scratch.
+    for seed in ["20260807", "1", "2", "3", "4"] {
+        let out = repro(&["fleet", "migration", "--seed", seed]);
+        assert!(
+            out.status.success(),
+            "storm seed {seed} failed: {}",
+            String::from_utf8_lossy(&out.stderr)
+        );
+        let report = String::from_utf8_lossy(&out.stdout);
+        assert!(report.contains(", 0 lost"), "seed {seed} lost requests:\n{report}");
+        assert!(report.contains("guaranteed SLOs: MET"), "seed {seed}:\n{report}");
+        let migrated = goodput_field(&report, "migrated");
+        let evicted = goodput_field(&report, "evicted");
+        assert!(migrated > 0, "seed {seed}: the storm must migrate work\n{report}");
+        assert!(
+            migrated * 10 >= (migrated + evicted) * 9,
+            "seed {seed}: only {migrated}/{} displaced requests resumed via migration\n{report}",
+            migrated + evicted
+        );
+    }
+}
+
+#[test]
 #[ignore = "chaos soak: several full fleet runs; exercised by CI's fleet-chaos job"]
 fn chaos_soak_is_deterministic_and_loses_nothing() {
     // Determinism: two runs with the same seed agree byte-for-byte.

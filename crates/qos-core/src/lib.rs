@@ -48,9 +48,11 @@ pub mod nonqos;
 pub mod scheme;
 pub mod spart;
 pub mod static_alloc;
+pub mod workset;
 
 pub use fairness::FairnessController;
 pub use goals::{GoalTranslation, QosSpec, SloTarget, TenantClass};
 pub use manager::QosManager;
 pub use scheme::QuotaScheme;
 pub use spart::SpartController;
+pub use workset::{kernel_footprint_bytes, WorkingSetTracker};

@@ -38,6 +38,38 @@ pub enum ArrivalModel {
         /// Concurrent client population (maximum outstanding requests).
         population: u32,
     },
+    /// Open loop with a diurnal load curve: gaps are drawn as in
+    /// [`ArrivalModel::Open`], but the mean swings along an integer
+    /// triangle wave with the given period — trough (longest gaps) at the
+    /// period edges, peak (shortest gaps) mid-period. Everything is integer
+    /// arithmetic, so the curve is exactly reproducible across runs and
+    /// checkpoint resumes.
+    Diurnal {
+        /// Baseline mean inter-arrival gap in fleet cycles; must be positive.
+        mean_gap: u64,
+        /// Length of one full "day" in fleet cycles; must be positive.
+        period: u64,
+        /// Swing amplitude in permille of `mean_gap` (`0..=999`): at peak
+        /// the effective mean gap is `mean_gap - swing`, at trough
+        /// `mean_gap + swing`.
+        swing_permille: u32,
+    },
+}
+
+/// The effective mean gap of a [`ArrivalModel::Diurnal`] stream at cycle
+/// `at`: a triangle wave from `mean_gap + swing` (cycle 0, trough) down to
+/// `mean_gap - swing` (half period, peak) and back, clamped to ≥ 1.
+pub fn diurnal_mean_gap(mean_gap: u64, period: u64, swing_permille: u32, at: u64) -> u64 {
+    let phase = at % period.max(1);
+    let half = (period / 2).max(1);
+    // Triangle in [-1000, 1000]: -1000 at phase 0, +1000 at `half`.
+    let tri: i64 = if phase <= half {
+        -1000 + (2000 * phase / half) as i64
+    } else {
+        1000 - (2000 * (phase - half) / half) as i64
+    };
+    let swing = (mean_gap.saturating_mul(u64::from(swing_permille)) / 1000) as i64;
+    (mean_gap as i64 - tri * swing / 1000).max(1) as u64
 }
 
 impl Snap for ArrivalModel {
@@ -52,12 +84,23 @@ impl Snap for ArrivalModel {
                 think.encode(out);
                 population.encode(out);
             }
+            ArrivalModel::Diurnal { mean_gap, period, swing_permille } => {
+                out.push(2);
+                mean_gap.encode(out);
+                period.encode(out);
+                swing_permille.encode(out);
+            }
         }
     }
     fn decode(r: &mut SnapReader<'_>) -> Result<Self, SnapError> {
         match u8::decode(r)? {
             0 => Ok(ArrivalModel::Open { mean_gap: u64::decode(r)? }),
             1 => Ok(ArrivalModel::Closed { think: u64::decode(r)?, population: u32::decode(r)? }),
+            2 => Ok(ArrivalModel::Diurnal {
+                mean_gap: u64::decode(r)?,
+                period: u64::decode(r)?,
+                swing_permille: u32::decode(r)?,
+            }),
             _ => Err(SnapError::Invalid("ArrivalModel")),
         }
     }
@@ -105,6 +148,13 @@ impl ArrivalStream {
                 let first = u64::from(population).min(total);
                 ready.extend(std::iter::repeat_n(0u64, first as usize));
             }
+            ArrivalModel::Diurnal { mean_gap, period, swing_permille } => {
+                assert!(mean_gap > 0, "diurnal mean gap must be positive");
+                assert!(period > 0, "diurnal period must be positive");
+                assert!(swing_permille < 1000, "diurnal swing must be < 1000 permille");
+                let gap = diurnal_mean_gap(mean_gap, period, swing_permille, 0);
+                next_open = 1 + rng.next_below(2 * gap);
+            }
         }
         ArrivalStream { model, rng, emitted: 0, total, ready, next_open }
     }
@@ -143,13 +193,22 @@ impl ArrivalStream {
             out.push((self.emitted, at));
             self.emitted += 1;
         }
-        // Open-loop arrivals drawn on demand.
-        if let ArrivalModel::Open { mean_gap } = self.model {
-            while !self.exhausted() && self.next_open < horizon {
-                out.push((self.emitted, self.next_open));
-                self.emitted += 1;
-                self.next_open += 1 + self.rng.next_below(2 * mean_gap);
+        // Open-loop arrivals drawn on demand (the diurnal model is an open
+        // loop whose mean tracks the load curve at the drawing instant).
+        loop {
+            let mean = match self.model {
+                ArrivalModel::Open { mean_gap } => mean_gap,
+                ArrivalModel::Diurnal { mean_gap, period, swing_permille } => {
+                    diurnal_mean_gap(mean_gap, period, swing_permille, self.next_open)
+                }
+                ArrivalModel::Closed { .. } => break,
+            };
+            if self.exhausted() || self.next_open >= horizon {
+                break;
             }
+            out.push((self.emitted, self.next_open));
+            self.emitted += 1;
+            self.next_open += 1 + self.rng.next_below(2 * mean);
         }
         out
     }
@@ -265,6 +324,45 @@ mod tests {
         let mut back: ArrivalStream = decode_from_slice(&encode_to_vec(&s)).expect("codec");
         assert_eq!(back, s);
         assert_eq!(back.arrivals_before(20_000), s.arrivals_before(20_000));
+    }
+
+    #[test]
+    fn diurnal_curve_peaks_mid_period_and_is_deterministic() {
+        // The triangle wave: trough at the edges, peak at half period.
+        assert_eq!(diurnal_mean_gap(1_000, 10_000, 500, 0), 1_500);
+        assert_eq!(diurnal_mean_gap(1_000, 10_000, 500, 5_000), 500);
+        assert_eq!(diurnal_mean_gap(1_000, 10_000, 500, 10_000), 1_500);
+        assert!(diurnal_mean_gap(4, 100, 999, 50) >= 1, "gap is clamped positive");
+
+        let model = ArrivalModel::Diurnal { mean_gap: 200, period: 40_000, swing_permille: 600 };
+        let drain = |seed: u64| {
+            let mut s = ArrivalStream::new(model, seed, 400);
+            s.arrivals_before(u64::MAX)
+        };
+        assert_eq!(drain(5), drain(5), "same seed, same schedule");
+        assert_ne!(drain(5), drain(6), "different seeds decorrelate");
+
+        // Arrival density over the first full period: the middle third of
+        // the period (peak) must see strictly more arrivals than the first
+        // third (trough).
+        let arrivals = drain(5);
+        let count_in = |lo: u64, hi: u64| arrivals.iter().filter(|a| a.1 >= lo && a.1 < hi).count();
+        let trough = count_in(0, 13_333);
+        let peak = count_in(13_333, 26_666);
+        assert!(
+            peak > trough,
+            "diurnal peak must be denser than the trough (peak {peak}, trough {trough})"
+        );
+    }
+
+    #[test]
+    fn diurnal_streams_round_trip_through_the_codec_mid_flight() {
+        let model = ArrivalModel::Diurnal { mean_gap: 150, period: 20_000, swing_permille: 400 };
+        let mut s = ArrivalStream::new(model, 21, 60);
+        let _ = s.arrivals_before(5_000);
+        let mut back: ArrivalStream = decode_from_slice(&encode_to_vec(&s)).expect("codec");
+        assert_eq!(back, s);
+        assert_eq!(back.arrivals_before(u64::MAX), s.arrivals_before(u64::MAX));
     }
 
     #[test]
