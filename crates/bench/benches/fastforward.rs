@@ -1,14 +1,17 @@
 //! Wall-clock benchmark of the idle-cycle fast-forward (DESIGN.md §3).
 //!
-//! Runs each scenario three ways — naive per-cycle stepping, fast-forward,
-//! and fast-forward with the flight recorder on — verifies the runs are
-//! observably identical, and writes the timings to `BENCH_fastforward.json`
-//! (override the path with the first CLI argument). CI's bench-smoke job
-//! uploads that file so the perf trajectory of the simulator is tracked from
-//! PR to PR; the committed baseline at the repo root records the speedup
-//! this change landed with. The `trace_overhead` column bounds the cost of
-//! the disabled recorder: bench-smoke fails if the level=off path regresses
-//! more than 5% against the committed baseline.
+//! Runs each scenario four ways — naive per-cycle stepping, fast-forward,
+//! fast-forward with the flight recorder on, and fast-forward with the full
+//! telemetry stack armed (counter time series + host profiler) — verifies
+//! the runs are observably identical, and writes the timings to
+//! `BENCH_fastforward.json` (override the path with the first CLI
+//! argument). CI's bench-smoke job uploads that file so the perf trajectory
+//! of the simulator is tracked from PR to PR; the committed baseline at the
+//! repo root records the speedup this change landed with. The
+//! `trace_overhead` column bounds the cost of the disabled recorder and
+//! `telemetry_overhead` the cost of the armed telemetry stack: bench-smoke
+//! fails if the telemetry-off path (`fast_forward_ms`, telemetry compiled
+//! in but disarmed) regresses more than 5% against the committed baseline.
 
 use std::time::Instant;
 
@@ -34,6 +37,9 @@ enum Mode {
     FastForward,
     /// Fast-forward with the event ring recording (`TraceLevel::Events`).
     Traced,
+    /// Fast-forward with the telemetry stack armed: per-epoch counter
+    /// series sampling plus the host-time self-profiler.
+    Telemetry,
 }
 
 impl Mode {
@@ -41,6 +47,14 @@ impl Mode {
         cfg.fast_forward = !matches!(self, Mode::Naive);
         if matches!(self, Mode::Traced) {
             cfg.trace.level = TraceLevel::Events;
+        }
+    }
+
+    /// Runtime arming that config can't express: series + profiler.
+    fn arm(self, gpu: &mut Gpu) {
+        if matches!(self, Mode::Telemetry) {
+            gpu.enable_metrics_series(4096);
+            gpu.set_profiling(true);
         }
     }
 }
@@ -83,6 +97,7 @@ fn smk_latency_pair(mode: Mode) -> Outcome {
         gpu.set_tb_target(sm, a, 1);
         gpu.set_tb_target(sm, b, 1);
     }
+    mode.arm(&mut gpu);
     gpu.run(CYCLES, &mut NullController);
     finish(&gpu)
 }
@@ -101,6 +116,7 @@ fn smk_memory_pair(mode: Mode) -> Outcome {
         gpu.set_tb_target(sm, a, 5);
         gpu.set_tb_target(sm, b, 5);
     }
+    mode.arm(&mut gpu);
     gpu.run(CYCLES, &mut NullController);
     finish(&gpu)
 }
@@ -116,6 +132,7 @@ fn managed_rollover_pair(mode: Mode) -> Outcome {
     let mut mgr = QosManager::new(QuotaScheme::Rollover)
         .with_kernel(q, QosSpec::qos(600.0))
         .with_kernel(be, QosSpec::best_effort());
+    mode.arm(&mut gpu);
     gpu.run(CYCLES, &mut mgr);
     finish(&gpu)
 }
@@ -127,6 +144,7 @@ fn isolated_compute(mode: Mode) -> Outcome {
     mode.apply(&mut cfg);
     let mut gpu = Gpu::new(cfg);
     gpu.launch(workloads::by_name("sgemm").expect("known"));
+    mode.arm(&mut gpu);
     gpu.run(CYCLES, &mut NullController);
     finish(&gpu)
 }
@@ -179,6 +197,7 @@ fn main() {
         let (naive_ms, naive) = time_min(|| (s.run)(Mode::Naive));
         let (ff_ms, ff) = time_min(|| (s.run)(Mode::FastForward));
         let (traced_ms, traced) = time_min(|| (s.run)(Mode::Traced));
+        let (telemetry_ms, telemetry) = time_min(|| (s.run)(Mode::Telemetry));
         assert_eq!(
             naive.total_insts, ff.total_insts,
             "{}: fast-forward diverged from naive stepping",
@@ -189,21 +208,34 @@ fn main() {
             "{}: event recording perturbed the simulation",
             s.name
         );
+        assert_eq!(
+            ff.total_insts, telemetry.total_insts,
+            "{}: armed telemetry perturbed the simulation",
+            s.name
+        );
+        assert_eq!(
+            ff.skipped, telemetry.skipped,
+            "{}: armed telemetry changed fast-forward behaviour",
+            s.name
+        );
         let speedup = naive_ms / ff_ms;
         let trace_overhead = traced_ms / ff_ms - 1.0;
+        let telemetry_overhead = telemetry_ms / ff_ms - 1.0;
         let skipped_pct = 100.0 * ff.skipped as f64 / CYCLES as f64;
         println!(
             "{:<24} naive {naive_ms:>8.1} ms   fast-forward {ff_ms:>8.1} ms   \
              {speedup:.2}x   ({skipped_pct:.1}% cycles skipped)   \
-             traced {traced_ms:>8.1} ms ({:+.1}%)",
+             traced {traced_ms:>8.1} ms ({:+.1}%)   telemetry {telemetry_ms:>8.1} ms ({:+.1}%)",
             s.name,
-            100.0 * trace_overhead
+            100.0 * trace_overhead,
+            100.0 * telemetry_overhead
         );
         rows.push(format!(
             "    {{\"name\": \"{}\", \"naive_ms\": {naive_ms:.3}, \"fast_forward_ms\": \
              {ff_ms:.3}, \"speedup\": {speedup:.3}, \"skipped_cycles\": {}, \
              \"identical\": true, \"traced_ms\": {traced_ms:.3}, \
-             \"trace_overhead\": {trace_overhead:.4}}}",
+             \"trace_overhead\": {trace_overhead:.4}, \"telemetry_ms\": {telemetry_ms:.3}, \
+             \"telemetry_overhead\": {telemetry_overhead:.4}}}",
             s.name, ff.skipped
         ));
     }

@@ -43,6 +43,7 @@ use std::sync::{Arc, Mutex};
 
 use gpu_sim::rng::{derive_seed, SplitMix64};
 use gpu_sim::snap::{self, Snap, SnapError, SnapReader};
+use gpu_sim::telemetry::{HostProfiler, LatencyHistogram, ProfPhase, TimeSeries};
 use gpu_sim::{
     CounterEntry, CounterKind, CounterScope, FaultKind, FaultPlan, Gpu, KernelId, NullController,
     SimError, SnapshotBlob, MAX_KERNELS,
@@ -58,8 +59,19 @@ use crate::request::{Request, RequestState, ShedReason};
 /// Schema version of the fleet snapshot encoding. v2 added heterogeneous
 /// device classes, live migration state (per-batch checkpoints, the
 /// pending-migration queue, migration records), planned drains, and the
-/// per-tenant working-set trackers.
-pub const FLEET_SNAPSHOT_VERSION: u32 = 2;
+/// per-tenant working-set trackers. v3 added the telemetry layer's
+/// deterministic state: per-tenant latency / queue-wait / retry /
+/// migration-duration histograms and the tick-sampled counter
+/// [`TimeSeries`] (DESIGN.md §17). Host-profiler wall-clock state is
+/// deliberately absent — it is host-dependent and must never influence
+/// simulated state.
+pub const FLEET_SNAPSHOT_VERSION: u32 = 3;
+
+/// Ring capacity of the fleet's tick-sampled counter time series. Large
+/// enough that every shipped scenario (the diurnal soak runs 558 ticks)
+/// keeps its full history; longer runs evict oldest-first and count the
+/// evictions.
+pub const FLEET_SERIES_CAPACITY: usize = 4096;
 
 /// What ultimately happened to a device.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -223,6 +235,20 @@ pub struct TenantCounters {
     pub latency_sum: u64,
     /// Worst completion latency.
     pub latency_max: u64,
+    /// End-to-end completion latency distribution (arrival → done), in
+    /// fleet cycles. Log-bucketed and integer-exact, so percentiles are
+    /// deterministic and the state snapshots byte-identically.
+    pub latency_hist: LatencyHistogram,
+    /// Queue-wait distribution: arrival → first placement, in fleet
+    /// cycles (first placements only — retry re-queues are excluded so a
+    /// retried request does not double-count its service time as wait).
+    pub queue_wait_hist: LatencyHistogram,
+    /// Retries-consumed distribution, recorded once per completed
+    /// request (value = total retries that request used).
+    pub retry_hist: LatencyHistogram,
+    /// Live-migration outage distribution: enqueue → restore, in fleet
+    /// cycles, recorded once per resumed request.
+    pub migration_hist: LatencyHistogram,
 }
 
 gpu_sim::impl_snap_struct!(TenantCounters {
@@ -238,6 +264,10 @@ gpu_sim::impl_snap_struct!(TenantCounters {
     shed_other,
     latency_sum,
     latency_max,
+    latency_hist,
+    queue_wait_hist,
+    retry_hist,
+    migration_hist,
 });
 
 impl TenantCounters {
@@ -264,9 +294,34 @@ pub struct TenantSample {
     pub migrated: u64,
     /// Requests of this tenant queued right now.
     pub queued: u64,
+    /// p50 completion latency so far, in fleet cycles (0 until the first
+    /// completion).
+    pub latency_p50: u64,
+    /// p90 completion latency so far, in fleet cycles.
+    pub latency_p90: u64,
+    /// p99 completion latency so far, in fleet cycles.
+    pub latency_p99: u64,
+    /// p99.9 completion latency so far, in fleet cycles.
+    pub latency_p999: u64,
+    /// SLO error-budget burn rate in ppm (1_000_000 = consuming the
+    /// budget exactly; above ⇒ the attainment floor is violated). 0 for
+    /// best-effort tenants.
+    pub slo_burn_ppm: u64,
 }
 
-gpu_sim::impl_snap_struct!(TenantSample { completed, slo_met, retries, shed, migrated, queued });
+gpu_sim::impl_snap_struct!(TenantSample {
+    completed,
+    slo_met,
+    retries,
+    shed,
+    migrated,
+    queued,
+    latency_p50,
+    latency_p90,
+    latency_p99,
+    latency_p999,
+    slo_burn_ppm,
+});
 
 /// One per-tick observability sample across the fleet.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -325,6 +380,12 @@ pub struct Fleet {
     /// disabled, or fallback).
     evictions: u64,
     samples: Vec<TickSample>,
+    /// Tick-sampled counter-registry time series (snapshotted: a resumed
+    /// run carries the same history a straight-through run would).
+    series: TimeSeries,
+    /// Host-side wall-clock self-profiler. Deliberately NOT snapshotted
+    /// and never read by simulation logic — wall time is host-dependent.
+    prof: HostProfiler,
 }
 
 impl Fleet {
@@ -392,6 +453,8 @@ impl Fleet {
             migration_fallbacks: 0,
             evictions: 0,
             samples: Vec::new(),
+            series: TimeSeries::new(FLEET_SERIES_CAPACITY),
+            prof: HostProfiler::new(),
         }
     }
 
@@ -434,6 +497,37 @@ impl Fleet {
     /// Per-tick observability samples recorded so far.
     pub fn samples(&self) -> &[TickSample] {
         &self.samples
+    }
+
+    /// The tick-sampled counter-registry time series.
+    pub fn metrics_series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Replaces the counter time series with one of the given ring
+    /// capacity (0 disables sampling). Clears any recorded rows — call
+    /// before the first tick.
+    pub fn enable_metrics_series(&mut self, capacity: usize) {
+        self.series = TimeSeries::new(capacity);
+    }
+
+    /// Arms or disarms the host-side wall-clock self-profiler.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.prof.set_enabled(on);
+    }
+
+    /// The host-side self-profiler. Fleet-level phases only: all wall
+    /// time spent inside device simulation lands in
+    /// [`ProfPhase::DeviceStep`]; per-phase device breakdowns come from
+    /// profiling a single [`Gpu`] directly.
+    pub fn profiler(&self) -> &HostProfiler {
+        &self.prof
+    }
+
+    /// Mutable profiler access, for callers that attribute their own
+    /// host-side phases (e.g. checkpoint writes) to this fleet's table.
+    pub fn profiler_mut(&mut self) -> &mut HostProfiler {
+        &mut self.prof
     }
 
     /// Completed migrations, oldest first.
@@ -500,11 +594,14 @@ impl Fleet {
         let now = self.cycle;
         let end = now + self.cfg.tick_cycles;
 
+        let t0 = self.prof.begin();
         self.collect_arrivals(now);
         self.update_shedding(now);
         self.process_drains(now);
         self.place(now);
+        let t1 = self.prof.lap(ProfPhase::FleetTick, t0);
         self.step_devices();
+        let t2 = self.prof.lap(ProfPhase::DeviceStep, t1);
         for di in 0..self.devices.len() {
             self.harvest_device(di, end);
         }
@@ -513,6 +610,7 @@ impl Fleet {
         self.expire_migrations(end);
         self.record_sample();
         self.check_finished();
+        self.prof.end(ProfPhase::FleetTick, t2);
         self.finished
     }
 
@@ -760,6 +858,7 @@ impl Fleet {
             };
             self.requests[id].state = RequestState::Running { device: device_id, started_at };
             self.tenants[t].migrated += 1;
+            self.tenants[t].migration_hist.record(now.saturating_sub(pm.enqueued_at));
             record.requests.push(id as u64);
             record.tenants.push(t as u64);
         }
@@ -928,6 +1027,12 @@ impl Fleet {
             gpu.launch(request_kernel(&spec.name, req.seq, spec.grid_tbs));
         }
         for &id in &ids {
+            let req = &self.requests[id];
+            // Queue wait is arrival → first placement; retry re-queues are
+            // excluded so service time never masquerades as wait.
+            if req.retries == 0 {
+                self.tenants[req.tenant].queue_wait_hist.record(now.saturating_sub(req.arrived_at));
+            }
             self.requests[id].state =
                 RequestState::Running { device: self.devices[di].id, started_at: now };
         }
@@ -1159,10 +1264,13 @@ impl Fleet {
         req.state = RequestState::Done { finished_at: end };
         let t = req.tenant;
         let latency = end - req.arrived_at;
+        let retries = u64::from(req.retries);
         let c = &mut self.tenants[t];
         c.completed += 1;
         c.latency_sum += latency;
         c.latency_max = c.latency_max.max(latency);
+        c.latency_hist.record(latency);
+        c.retry_hist.record(retries);
         if let Some(slo) = self.cfg.tenants[t].class.slo() {
             if latency <= slo.deadline_cycles {
                 c.slo_met += 1;
@@ -1202,14 +1310,23 @@ impl Fleet {
         let tenants = self
             .tenants
             .iter()
+            .enumerate()
             .zip(&queued_per_tenant)
-            .map(|(c, &queued)| TenantSample {
+            .map(|((t, c), &queued)| TenantSample {
                 completed: c.completed,
                 slo_met: c.slo_met,
                 retries: c.retries,
                 shed: c.shed_total(),
                 migrated: c.migrated,
                 queued,
+                latency_p50: c.latency_hist.p50(),
+                latency_p90: c.latency_hist.p90(),
+                latency_p99: c.latency_hist.p99(),
+                latency_p999: c.latency_hist.p999(),
+                slo_burn_ppm: self.cfg.tenants[t]
+                    .class
+                    .slo()
+                    .map_or(0, |slo| slo.burn_rate_ppm(c.slo_met, c.arrived)),
             })
             .collect();
         self.samples.push(TickSample {
@@ -1220,6 +1337,10 @@ impl Fleet {
             pending_migrations: self.pending_migrations.len() as u64,
             tenants,
         });
+        if self.series.enabled() {
+            let entries = self.counter_registry();
+            self.series.sample_deterministic(self.cycle, &entries);
+        }
     }
 
     /// Sheds every live request still waiting in the pending-migration
@@ -1327,6 +1448,14 @@ impl Fleet {
             push("migrated", scope, Counter, as_i64(c.migrated));
             push("shed", scope, Counter, as_i64(c.shed_total()));
             push("ws_estimate_bytes", scope, Gauge, as_i64(self.ws[t].estimate()));
+            push("latency_p50", scope, Gauge, as_i64(c.latency_hist.p50()));
+            push("latency_p90", scope, Gauge, as_i64(c.latency_hist.p90()));
+            push("latency_p99", scope, Gauge, as_i64(c.latency_hist.p99()));
+            push("latency_p999", scope, Gauge, as_i64(c.latency_hist.p999()));
+            if let Some(slo) = self.cfg.tenants[t].class.slo() {
+                push("slo_burn_ppm", scope, Gauge, as_i64(slo.burn_rate_ppm(c.slo_met, c.arrived)));
+                push("error_budget_ppm", scope, Gauge, i64::from(slo.error_budget_ppm()));
+            }
         }
         for (di, d) in self.devices.iter().enumerate() {
             let scope = CounterScope::Device(di);
@@ -1399,7 +1528,7 @@ impl Fleet {
                 out,
                 "  tenant {:<12} {class}  arrived {:>4}  done {:>4}  {slo}  \
                  retries {}  timeouts {}  migrated {}  shed {} (admission {}, overload {}, \
-                 retries {}, other {})  latency mean {} max {}",
+                 retries {}, other {})  latency mean {} max {} p50 {} p95 {} p99 {}",
                 spec.name,
                 c.arrived,
                 c.completed,
@@ -1412,7 +1541,10 @@ impl Fleet {
                 c.shed_retries,
                 c.shed_other,
                 mean_latency,
-                c.latency_max
+                c.latency_max,
+                c.latency_hist.p50(),
+                c.latency_hist.p95(),
+                c.latency_hist.p99()
             );
         }
         for d in &self.devices {
@@ -1488,6 +1620,7 @@ impl Fleet {
         self.migration_fallbacks.encode(&mut out);
         self.evictions.encode(&mut out);
         self.samples.encode(&mut out);
+        self.series.encode(&mut out);
         (self.devices.len() as u64).encode(&mut out);
         for d in &self.devices {
             d.id.encode(&mut out);
@@ -1552,6 +1685,7 @@ impl Fleet {
         let migration_fallbacks = u64::decode(&mut r).map_err(fail)?;
         let evictions = u64::decode(&mut r).map_err(fail)?;
         let samples = Vec::<TickSample>::decode(&mut r).map_err(fail)?;
+        let series = TimeSeries::decode(&mut r).map_err(fail)?;
         let n_devices = u64::decode(&mut r).map_err(fail)? as usize;
         let mut devices = Vec::with_capacity(n_devices);
         for _ in 0..n_devices {
@@ -1638,6 +1772,8 @@ impl Fleet {
             migration_fallbacks,
             evictions,
             samples,
+            series,
+            prof: HostProfiler::new(),
         })
     }
 

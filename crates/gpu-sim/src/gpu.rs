@@ -19,6 +19,7 @@ use crate::sm::{QuotaCarry, Sm};
 use crate::snap::{Snap, SnapError, SnapReader};
 use crate::stats::{EpochSnapshot, GpuStats, KernelStats};
 use crate::tb_sched::{KernelRuntime, SharingMode, TbScheduler};
+use crate::telemetry::{HostProfiler, LatencyHistogram, ProfPhase, TimeSeries};
 use crate::types::{per_kernel, Cycle, KernelId, PerKernel, SmId};
 
 /// Cycles between TB-scheduler service passes (dispatch / preemption checks).
@@ -71,6 +72,14 @@ pub struct Gpu {
     trace_on: bool,
     events: EventRing,
     was_idle: bool,
+    // Epoch-sampled counter time series (telemetry; disabled by default and
+    // enabled at runtime via `enable_metrics_series` so the registry walk
+    // costs nothing otherwise). Snapshotted — part of the bit-identity
+    // surface, which is why it samples via `sample_deterministic`.
+    series: TimeSeries,
+    // Host-side self-profiler. Deliberately NOT snapshotted: wall-clock
+    // attribution is nondeterministic host state (DESIGN.md §17).
+    prof: HostProfiler,
 }
 
 impl Gpu {
@@ -104,6 +113,8 @@ impl Gpu {
                 0
             }),
             was_idle: false,
+            series: TimeSeries::disabled(),
+            prof: HostProfiler::new(),
             cycle: 0,
             cfg,
         }
@@ -214,6 +225,7 @@ impl Gpu {
                 self.apply_faults(now)?;
             }
             if now.is_multiple_of(self.cfg.epoch_cycles) {
+                let t0 = self.prof.begin();
                 self.record(now, TraceEventKind::EpochBoundary { epoch: self.epoch_index });
                 self.finish_epoch(now);
                 if self.cfg.health.audit {
@@ -224,18 +236,28 @@ impl Gpu {
                 for sm in &mut self.sms {
                     sm.reset_idle_sampling();
                 }
+                if self.series.enabled() {
+                    let entries = self.counter_registry();
+                    self.series.sample_deterministic(now, &entries);
+                }
+                let t1 = self.prof.lap(ProfPhase::QosEpochService, t0);
                 self.service(now);
+                self.prof.end(ProfPhase::TbService, t1);
             } else if now.is_multiple_of(DISPATCH_INTERVAL) {
+                let t0 = self.prof.begin();
                 self.service(now);
+                self.prof.end(ProfPhase::TbService, t0);
             }
             let issued_before_tick = self.total_issued();
             // Step every SM domain — each touches only its own state plus
             // its interconnect port, so this is safe to run concurrently —
             // then drain the ports into the shared memory domain in stable
             // SM-index order (the bit-identity barrier; see `crate::icn`).
+            let t0 = self.prof.begin();
             pool.run(&mut self.sms, |_, sm| sm.tick(now));
+            self.prof.end(ProfPhase::SmStep, t0);
             for sm in &mut self.sms {
-                sm.drain_icn(&mut self.mem, now);
+                sm.drain_icn(&mut self.mem, now, &mut self.prof);
             }
             if now.is_multiple_of(self.sample_interval) {
                 for sm in &mut self.sms {
@@ -262,6 +284,7 @@ impl Gpu {
             // purely an attempt filter: `fast_forward_target` re-proves
             // idleness itself, so skipping an attempt never affects results.
             if self.cfg.fast_forward && self.total_issued() == issued_before_tick {
+                let t0 = self.prof.begin();
                 if let Some(target) = self.fast_forward_target(end, next_check) {
                     let from = self.cycle;
                     // Replay is per-SM private state only — no port traffic
@@ -270,6 +293,7 @@ impl Gpu {
                     self.ff_skipped += target - from;
                     self.cycle = target;
                 }
+                self.prof.end(ProfPhase::FastForward, t0);
             }
         }
         Ok(())
@@ -538,6 +562,47 @@ impl Gpu {
     /// transitions, injected faults). Per-SM events live on the SMs.
     pub fn events(&self) -> &EventRing {
         &self.events
+    }
+
+    /// Enables epoch-boundary counter-registry sampling into a bounded
+    /// [`TimeSeries`] holding at most `capacity` rows (0 disables it again).
+    /// The series is snapshotted, so it must be enabled identically on a
+    /// machine that will restore a snapshot taken with it enabled.
+    pub fn enable_metrics_series(&mut self, capacity: usize) {
+        self.series = TimeSeries::new(capacity);
+    }
+
+    /// The epoch-sampled counter time series (empty unless
+    /// [`Gpu::enable_metrics_series`] was called).
+    pub fn metrics_series(&self) -> &TimeSeries {
+        &self.series
+    }
+
+    /// Enables or disables the host-side self-profiler. Profiler state is
+    /// host-only: never snapshotted, never part of any determinism surface.
+    pub fn set_profiling(&mut self, on: bool) {
+        self.prof.set_enabled(on);
+    }
+
+    /// The host-side self-profiler's accumulated phase totals.
+    pub fn profiler(&self) -> &HostProfiler {
+        &self.prof
+    }
+
+    /// Mutable profiler access, for callers that attribute externally timed
+    /// spans (e.g. checkpoint writes) to this machine's profile.
+    pub fn profiler_mut(&mut self) -> &mut HostProfiler {
+        &mut self.prof
+    }
+
+    /// Machine-wide preemption-save latency histogram of kernel `k` (the
+    /// per-SM histograms merged).
+    pub fn preempt_save_histogram(&self, k: KernelId) -> LatencyHistogram {
+        let mut agg = LatencyHistogram::new();
+        for sm in &self.sms {
+            agg.merge(sm.preempt_save_hist(k));
+        }
+        agg
     }
 
     /// The last `n` flight-recorder events machine-wide, oldest first: the
@@ -889,6 +954,7 @@ impl Gpu {
         self.ff_skipped.encode(&mut payload);
         self.events.encode(&mut payload);
         self.was_idle.encode(&mut payload);
+        self.series.encode(&mut payload);
         Ok(SnapshotBlob {
             version: SNAPSHOT_SCHEMA_VERSION,
             config_fingerprint: self.config_fingerprint(),
@@ -999,6 +1065,7 @@ impl Gpu {
         let ff_skipped = Cycle::decode(&mut r)?;
         let events = EventRing::decode(&mut r)?;
         let was_idle = bool::decode(&mut r)?;
+        let series = TimeSeries::decode(&mut r)?;
         if !r.is_exhausted() {
             return Err(SnapshotError::Corrupt(SnapError::Invalid(
                 "trailing bytes in snapshot payload",
@@ -1018,6 +1085,7 @@ impl Gpu {
         self.ff_skipped = ff_skipped;
         self.events = events;
         self.was_idle = was_idle;
+        self.series = series;
         Ok(())
     }
 }
@@ -1076,8 +1144,12 @@ const HEALTH_REPORT_EVENTS: usize = 32;
 /// trace capture can prove a recording never wrapped; version 5 added the
 /// migration-class `compat_fingerprint` to the blob header so live
 /// migration ([`Gpu::restore_compat`]) can accept snapshots from a
-/// same-class device with a different fault plan.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 5;
+/// same-class device with a different fault plan; version 6 added the
+/// telemetry layer's deterministic state — per-SM per-kernel
+/// preemption-save latency histograms and the machine's epoch-sampled
+/// counter [`TimeSeries`] (DESIGN.md §17). Host-profiler state is
+/// deliberately absent: wall-clock attribution never enters snapshots.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 6;
 
 /// Leading magic of a serialized [`SnapshotBlob`].
 const SNAPSHOT_MAGIC: [u8; 4] = *b"FGQS";

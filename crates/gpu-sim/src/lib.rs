@@ -65,6 +65,7 @@ pub mod snap;
 pub mod stats;
 pub mod tb;
 pub mod tb_sched;
+pub mod telemetry;
 pub mod trace;
 pub mod types;
 pub mod warp;
@@ -88,6 +89,7 @@ pub use observe::{
 pub use snap::{Snap, SnapError, SnapReader};
 pub use stats::{EpochSnapshot, GpuStats, KernelStats};
 pub use tb_sched::SharingMode;
+pub use telemetry::{HostProfiler, LatencyHistogram, PhaseTotal, ProfPhase, SeriesRow, TimeSeries};
 pub use trace::Tracer;
 pub use types::{Cycle, KernelId, SmId};
 pub use warp_sched::SchedPolicy;

@@ -233,7 +233,7 @@ fn icn_port_is_drained_every_cycle() {
         sm.tick(now);
         if sm.icn_in_flight() {
             // Requests may only exist inside the tick→drain window.
-            sm.drain_icn(&mut mem, now);
+            sm.drain_icn(&mut mem, now, &mut crate::telemetry::HostProfiler::new());
         }
         assert!(!sm.icn_in_flight(), "port must be empty at the cycle barrier");
     }

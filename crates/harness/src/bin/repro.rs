@@ -11,7 +11,10 @@
 //! repro trace <golden-scenario> [--out trace.json]
 //! repro fleet <scenario> [--seed N] [--checkpoint-dir DIR]
 //!             [--checkpoint-every TICKS] [--trace FILE]
-//! repro fleet resume <DIR>
+//!             [--metrics-out FILE] [--profile]
+//! repro fleet resume <DIR> [--metrics-out FILE]
+//! repro metrics <fleet-scenario> [--seed N] [--out FILE]
+//! repro profile <scenario>
 //! repro validate [--bless | --recapture] [--out report.txt]
 //! ```
 //!
@@ -63,8 +66,10 @@ fn usage() -> String {
          \u{20}      repro inspect <failure-snapshot-file>\n\
          \u{20}      repro trace <scenario> [--out FILE]\n\
          \u{20}      repro fleet <scenario> [--seed N] [--checkpoint-dir DIR] \
-         [--checkpoint-every TICKS] [--trace FILE]\n\
-         \u{20}      repro fleet resume <DIR>\n\
+         [--checkpoint-every TICKS] [--trace FILE] [--metrics-out FILE] [--profile]\n\
+         \u{20}      repro fleet resume <DIR> [--metrics-out FILE]\n\
+         \u{20}      repro metrics <fleet-scenario> [--seed N] [--out FILE]\n\
+         \u{20}      repro profile <scenario>\n\
          \u{20}      repro validate [--bless | --recapture] [--out FILE]\n\
          experiments: {}\n\
          sweeps: {}\n\
@@ -79,7 +84,14 @@ fn usage() -> String {
          JSON (load at ui.perfetto.dev); stdout unless --out is given\n\
          fleet: run a multi-GPU serving scenario (admission control, retries,\n\
          device-fault tolerance); exit 0 iff every guaranteed SLO is met and\n\
-         no request is lost; `fleet resume` continues a killed run\n\
+         no request is lost; `fleet resume` continues a killed run;\n\
+         --metrics-out exports the telemetry (JSON at FILE, Prometheus text\n\
+         at FILE.prom), --profile prints the host-time hotspot table to stderr\n\
+         metrics: run a fleet scenario and export its telemetry (counter time\n\
+         series, per-tenant latency histograms, SLO burn tracks); JSON on\n\
+         stdout, or JSON + .prom files when --out is given\n\
+         profile: run a scenario with the host profiler armed and print the\n\
+         wall-time hotspot table; scenarios: {} plus the fleet scenarios\n\
          validate: replay the committed trace corpus (tests/golden/validate/)\n\
          and correlate IPC/residency/quota/cache metrics against committed\n\
          expectations; exit 0 iff every metric passes; --bless re-pins the\n\
@@ -88,7 +100,8 @@ fn usage() -> String {
         EXPERIMENTS.join(" "),
         checkpoint::SWEEPS.join(" "),
         harness::golden::SCENARIOS.join(" "),
-        fleet::scenarios::SCENARIOS.join(" ")
+        fleet::scenarios::SCENARIOS.join(" "),
+        harness::telemetry::PROFILE_SCENARIOS.join(" ")
     )
 }
 
@@ -284,6 +297,8 @@ fn cmd_fleet(mut args: impl Iterator<Item = String>) -> ExitCode {
     let mut dir = None;
     let mut every = harness::fleet_cli::DEFAULT_FLEET_EVERY;
     let mut trace = None;
+    let mut metrics_out = None;
+    let mut profile = false;
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--seed" => {
@@ -316,22 +331,32 @@ fn cmd_fleet(mut args: impl Iterator<Item = String>) -> ExitCode {
                 };
                 trace = Some(value);
             }
+            "--metrics-out" => {
+                let Some(value) = args.next() else {
+                    eprintln!("--metrics-out needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                metrics_out = Some(value);
+            }
+            "--profile" => profile = true,
             other => positional.push(other.to_string()),
         }
     }
     let outcome = match positional.as_slice() {
-        [cmd, dir_arg] if cmd == "resume" => {
-            harness::fleet_cli::resume(std::path::Path::new(dir_arg))
-        }
+        [cmd, dir_arg] if cmd == "resume" => harness::fleet_cli::resume(
+            std::path::Path::new(dir_arg),
+            metrics_out.as_deref().map(std::path::Path::new),
+        ),
         [name] => {
             eprintln!("[fleet {name}, seed {seed}]");
-            harness::fleet_cli::run_scenario(
-                name,
-                seed,
-                dir.as_deref().map(std::path::Path::new),
-                every,
-                trace.as_deref().map(std::path::Path::new),
-            )
+            let opts = harness::fleet_cli::FleetRunOpts {
+                checkpoint_dir: dir.as_deref().map(std::path::Path::new),
+                every_ticks: every,
+                trace: trace.as_deref().map(std::path::Path::new),
+                metrics_out: metrics_out.as_deref().map(std::path::Path::new),
+                profile,
+            };
+            harness::fleet_cli::run_scenario(name, seed, &opts)
         }
         _ => {
             eprintln!("`repro fleet` wants one scenario name or `resume <DIR>`\n{}", usage());
@@ -340,6 +365,11 @@ fn cmd_fleet(mut args: impl Iterator<Item = String>) -> ExitCode {
     };
     match outcome {
         Ok(outcome) => {
+            if let Some(table) = &outcome.profile {
+                // Host-time attribution is wall-clock noise, never part of
+                // the deterministic report stream.
+                eprint!("{table}");
+            }
             // The report is the only stdout: killed + resumed == uninterrupted.
             print!("{}", outcome.report);
             if outcome.ok {
@@ -347,6 +377,80 @@ fn cmd_fleet(mut args: impl Iterator<Item = String>) -> ExitCode {
             } else {
                 ExitCode::FAILURE
             }
+        }
+        Err(e) => {
+            eprintln!("{e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// `repro metrics <fleet-scenario> [--seed N] [--out FILE]`: run a fleet
+/// scenario to completion and export its telemetry. JSON goes to stdout,
+/// or to FILE (with the Prometheus text beside it at FILE.prom) when
+/// `--out` is given.
+fn cmd_metrics(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let mut positional = Vec::new();
+    let mut seed = fleet::scenarios::DEFAULT_SEED;
+    let mut out = None;
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--seed" => {
+                let Some(value) = args.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("--seed needs an unsigned integer\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                seed = value;
+            }
+            "--out" | "-o" => {
+                let Some(path) = args.next() else {
+                    eprintln!("--out needs a file path\n{}", usage());
+                    return ExitCode::FAILURE;
+                };
+                out = Some(path);
+            }
+            other => positional.push(other.to_string()),
+        }
+    }
+    let [name] = positional.as_slice() else {
+        eprintln!("`repro metrics` wants exactly one fleet scenario name\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    let (json, prom) = match harness::telemetry::run_fleet_metrics(name, seed) {
+        Ok(docs) => docs,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match out {
+        Some(path) => {
+            let path = std::path::PathBuf::from(path);
+            let prom_path = path.with_extension("prom");
+            for (p, doc) in [(&path, &json), (&prom_path, &prom)] {
+                if let Err(e) = harness::export::write_atomic(p, doc.as_bytes()) {
+                    eprintln!("cannot write {}: {e}", p.display());
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {} ({} bytes)", p.display(), doc.len());
+            }
+        }
+        None => print!("{json}"),
+    }
+    ExitCode::SUCCESS
+}
+
+/// `repro profile <scenario>`: run a scenario with the host profiler armed
+/// and print the wall-time hotspot table.
+fn cmd_profile(mut args: impl Iterator<Item = String>) -> ExitCode {
+    let (Some(name), None) = (args.next(), args.next()) else {
+        eprintln!("`repro profile` wants exactly one scenario name\n{}", usage());
+        return ExitCode::FAILURE;
+    };
+    match harness::telemetry::profile_scenario(&name) {
+        Ok(table) => {
+            print!("{table}");
+            ExitCode::SUCCESS
         }
         Err(e) => {
             eprintln!("{e}");
@@ -487,6 +591,8 @@ fn main() -> ExitCode {
         Some("inspect") => return cmd_inspect(args.skip(1)),
         Some("trace") => return cmd_trace(args.skip(1)),
         Some("fleet") => return cmd_fleet(args.skip(1)),
+        Some("metrics") => return cmd_metrics(args.skip(1)),
+        Some("profile") => return cmd_profile(args.skip(1)),
         Some("validate") => return cmd_validate(args.skip(1)),
         _ => {}
     }

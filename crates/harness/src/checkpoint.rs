@@ -784,6 +784,15 @@ pub fn render_failure_snapshot(snap: &FailureSnapshot) -> String {
                             stats.kernel(k).tbs_completed
                         );
                     }
+                    let dropped = gpu.events().dropped()
+                        + gpu.sms().iter().map(|sm| sm.events().dropped()).sum::<u64>();
+                    let _ = writeln!(
+                        out,
+                        "flight recorder: {} event(s) buffered, {} dropped to ring overflow",
+                        gpu.events().len()
+                            + gpu.sms().iter().map(|sm| sm.events().len()).sum::<usize>(),
+                        dropped
+                    );
                 }
                 Err(e) => {
                     let _ = writeln!(out, "machine snapshot does not restore: {e}");

@@ -12,9 +12,11 @@
 //! final report is byte-identical to an uninterrupted run's.
 
 use std::path::{Path, PathBuf};
+use std::time::Instant;
 
 use fleet::{scenarios, Fleet};
 use gpu_sim::snap::{fnv1a, Snap, SnapReader};
+use gpu_sim::telemetry::ProfPhase;
 
 use crate::export::write_atomic;
 
@@ -122,55 +124,97 @@ pub struct FleetOutcome {
     pub report: String,
     /// Whether every guaranteed SLO was met and no request was lost.
     pub ok: bool,
+    /// Host-time hotspot table when profiling was requested; printed to
+    /// stderr so it never perturbs the deterministic report stream.
+    pub profile: Option<String>,
 }
 
-/// Runs scenario `name` from the start, checkpointing every `every` ticks
-/// into `dir` when given, optionally exporting a Perfetto trace at the end.
+/// Optional outputs of a fleet run. The default runs nothing extra:
+/// checkpointing off, cadence [`DEFAULT_FLEET_EVERY`], no trace, no
+/// metrics export, profiler disarmed.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetRunOpts<'a> {
+    /// Checkpoint directory; `None` disables checkpointing.
+    pub checkpoint_dir: Option<&'a Path>,
+    /// Checkpoint cadence in ticks (clamped to ≥ 1).
+    pub every_ticks: u64,
+    /// Perfetto trace output path, written after the run completes.
+    pub trace: Option<&'a Path>,
+    /// Metrics export path: JSON at this path, Prometheus text at the
+    /// same path with a `.prom` extension.
+    pub metrics_out: Option<&'a Path>,
+    /// Arm the host profiler and render a hotspot table into
+    /// [`FleetOutcome::profile`].
+    pub profile: bool,
+}
+
+impl Default for FleetRunOpts<'_> {
+    fn default() -> Self {
+        Self {
+            checkpoint_dir: None,
+            every_ticks: DEFAULT_FLEET_EVERY,
+            trace: None,
+            metrics_out: None,
+            profile: false,
+        }
+    }
+}
+
+/// Runs scenario `name` from the start with the outputs selected in
+/// `opts`: checkpoints every `every_ticks` into `checkpoint_dir` when
+/// given, then a Perfetto trace and/or a metrics export (JSON +
+/// Prometheus) after the run completes.
 ///
 /// # Errors
 ///
-/// Unknown scenario names, filesystem errors, or a trace document failing
-/// its own schema check.
-pub fn run_scenario(
-    name: &str,
-    seed: u64,
-    dir: Option<&Path>,
-    every: u64,
-    trace: Option<&Path>,
-) -> Result<FleetOutcome, String> {
+/// Unknown scenario names, filesystem errors, or an export document
+/// failing its own schema check.
+pub fn run_scenario(name: &str, seed: u64, opts: &FleetRunOpts) -> Result<FleetOutcome, String> {
     let cfg = scenarios::by_name(name, seed).ok_or_else(|| {
         format!("unknown scenario {name:?} (known: {})", scenarios::SCENARIOS.join(", "))
     })?;
     let fleet = Fleet::new(cfg);
-    drive(fleet, name, seed, dir, every.max(1), trace)
+    drive(fleet, name, seed, opts)
 }
 
 /// Resumes the run checkpointed in `dir` and finishes it, continuing the
-/// checkpoint cadence recorded in the frame.
+/// checkpoint cadence recorded in the frame. `metrics_out`, when given,
+/// exports the finished run's metrics exactly as a `--metrics-out` run
+/// would — the export is a pure function of snapshotted state, so it is
+/// byte-identical to the uninterrupted run's.
 ///
 /// # Errors
 ///
 /// Checkpoint loading/validation failures, or errors from the continued
 /// run.
-pub fn resume(dir: &Path) -> Result<FleetOutcome, String> {
+pub fn resume(dir: &Path, metrics_out: Option<&Path>) -> Result<FleetOutcome, String> {
     let ckpt = load_checkpoint(dir)?;
     let cfg = scenarios::by_name(&ckpt.scenario, ckpt.seed).ok_or_else(|| {
         format!("checkpointed scenario {:?} is unknown to this build", ckpt.scenario)
     })?;
     let fleet = Fleet::restore(cfg, &ckpt.state)?;
-    drive(fleet, &ckpt.scenario, ckpt.seed, Some(dir), ckpt.every_ticks, None)
+    let opts = FleetRunOpts {
+        checkpoint_dir: Some(dir),
+        every_ticks: ckpt.every_ticks,
+        metrics_out,
+        ..FleetRunOpts::default()
+    };
+    drive(fleet, &ckpt.scenario, ckpt.seed, &opts)
 }
 
 fn drive(
     mut fleet: Fleet,
     scenario: &str,
     seed: u64,
-    dir: Option<&Path>,
-    every: u64,
-    trace: Option<&Path>,
+    opts: &FleetRunOpts,
 ) -> Result<FleetOutcome, String> {
+    if opts.profile {
+        fleet.set_profiling(true);
+    }
+    let every = opts.every_ticks.max(1);
+    let started = Instant::now();
     while !fleet.finished() {
-        if let Some(dir) = dir {
+        if let Some(dir) = opts.checkpoint_dir {
             if fleet.ticks().is_multiple_of(every) {
                 let ckpt = FleetCheckpoint {
                     scenario: scenario.to_string(),
@@ -178,13 +222,12 @@ fn drive(
                     every_ticks: every,
                     state: fleet.snapshot(),
                 };
-                save_checkpoint(dir, &ckpt)
-                    .map_err(|e| format!("cannot save fleet checkpoint: {e}"))?;
+                save_timed(&mut fleet, dir, &ckpt)?;
             }
         }
         fleet.step();
     }
-    if let Some(dir) = dir {
+    if let Some(dir) = opts.checkpoint_dir {
         // Final checkpoint: a resume of a finished run just reprints the
         // report instead of re-simulating anything.
         let ckpt = FleetCheckpoint {
@@ -193,17 +236,47 @@ fn drive(
             every_ticks: every,
             state: fleet.snapshot(),
         };
-        save_checkpoint(dir, &ckpt).map_err(|e| format!("cannot save fleet checkpoint: {e}"))?;
+        save_timed(&mut fleet, dir, &ckpt)?;
     }
-    if let Some(path) = trace {
+    let profile = opts.profile.then(|| {
+        let wall = started.elapsed().as_nanos() as u64;
+        crate::telemetry::render_hotspot_table(scenario, fleet.profiler(), wall)
+    });
+    if let Some(path) = opts.trace {
         let doc = crate::perfetto::render_fleet_trace(&fleet, scenario);
         crate::perfetto::check_chrome_trace(&doc)
             .map_err(|e| format!("internal error: fleet trace fails its own schema check: {e}"))?;
         write_atomic(path, doc.as_bytes())
             .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
     }
+    if let Some(path) = opts.metrics_out {
+        write_metrics(&fleet, scenario, path)?;
+    }
     let ok = fleet.all_guaranteed_met() && fleet.lost_requests() == 0;
-    Ok(FleetOutcome { report: fleet.report(scenario), ok })
+    Ok(FleetOutcome { report: fleet.report(scenario), ok, profile })
+}
+
+/// Saves a checkpoint, attributing the write's wall time to
+/// [`ProfPhase::CheckpointWrite`] when the profiler is armed.
+fn save_timed(fleet: &mut Fleet, dir: &Path, ckpt: &FleetCheckpoint) -> Result<(), String> {
+    let t = fleet.profiler().is_enabled().then(Instant::now);
+    save_checkpoint(dir, ckpt).map_err(|e| format!("cannot save fleet checkpoint: {e}"))?;
+    if let Some(t) = t {
+        fleet.profiler_mut().add(ProfPhase::CheckpointWrite, t.elapsed().as_nanos() as u64);
+    }
+    Ok(())
+}
+
+/// Writes the metrics pair: self-checked JSON at `path`, Prometheus text
+/// at `path` with a `.prom` extension.
+fn write_metrics(fleet: &Fleet, scenario: &str, path: &Path) -> Result<(), String> {
+    let (json, prom) = crate::telemetry::fleet_metrics_docs(fleet, scenario)?;
+    write_atomic(path, json.as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    let prom_path = path.with_extension("prom");
+    write_atomic(&prom_path, prom.as_bytes())
+        .map_err(|e| format!("cannot write {}: {e}", prom_path.display()))?;
+    Ok(())
 }
 
 #[cfg(test)]
@@ -247,7 +320,8 @@ mod tests {
     #[test]
     fn run_save_and_resume_report_identically() {
         let dir = tmp_dir("resume");
-        let full = run_scenario("steady", 7, None, 1, None).expect("full run");
+        let opts = FleetRunOpts { every_ticks: 1, ..FleetRunOpts::default() };
+        let full = run_scenario("steady", 7, &opts).expect("full run");
         // Simulate a crash: run the same scenario but snapshot mid-run,
         // then resume from the persisted state only.
         let cfg = scenarios::by_name("steady", 7).expect("known");
@@ -266,18 +340,18 @@ mod tests {
         )
         .expect("save");
         drop(partial);
-        let resumed = resume(&dir).expect("resume");
+        let resumed = resume(&dir, None).expect("resume");
         assert_eq!(resumed.report, full.report, "resume converges byte-identically");
         assert_eq!(resumed.ok, full.ok);
         // Resuming the now-finished checkpoint reprints the same report.
-        let again = resume(&dir).expect("resume finished");
+        let again = resume(&dir, None).expect("resume finished");
         assert_eq!(again.report, full.report);
         let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]
     fn unknown_scenario_is_an_error() {
-        let err = run_scenario("nope", 1, None, 1, None).expect_err("unknown");
+        let err = run_scenario("nope", 1, &FleetRunOpts::default()).expect_err("unknown");
         assert!(err.contains("unknown scenario"), "{err}");
     }
 }

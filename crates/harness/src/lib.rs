@@ -31,6 +31,10 @@
 //! * [`fleet_cli`] — `repro fleet <scenario>`: checkpointed, crash-resumable
 //!   runs of the multi-GPU serving scenarios from the `fleet` crate, with
 //!   per-tenant Perfetto export,
+//! * [`telemetry`] — metrics export (`repro metrics`, `repro fleet …
+//!   --metrics-out`): deterministic JSON + Prometheus text documents carrying
+//!   the counter time series, per-tenant latency histograms, and SLO burn
+//!   tracks; and the host-time self-profile (`repro profile <scenario>`),
 //! * [`validate`] — `repro validate`: replay the committed FGTR trace corpus
 //!   (`tests/golden/validate/`) and correlate IPC, residency, quota grants,
 //!   and cache hit rates against committed expectations (Pearson ≥ 0.99 plus
@@ -64,6 +68,7 @@ pub mod perfetto;
 pub mod report;
 pub mod runner;
 pub mod scale;
+pub mod telemetry;
 pub mod validate;
 
 pub use cases::{CaseSpec, ConfigKind, Policy};

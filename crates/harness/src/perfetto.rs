@@ -14,6 +14,7 @@
 
 use std::fmt::Write as _;
 
+use gpu_sim::telemetry::HostProfiler;
 use gpu_sim::trace::EpochRecord;
 use gpu_sim::{Gpu, TraceEvent, TraceEventKind};
 
@@ -34,20 +35,26 @@ pub fn export_scenario(name: &str) -> String {
 /// Renders a traced run as Chrome-trace JSON.
 ///
 /// The top-level object carries `traceEvents` (what the viewers read) plus a
-/// `counters` object with the full counter-registry dump — viewers ignore
-/// unknown top-level keys, so the registry rides along for free.
+/// `counters` object with the full counter-registry dump and a
+/// `dropped_events` count (flight-recorder ring overflow across the machine
+/// and every SM) — viewers ignore unknown top-level keys, so both ride
+/// along for free. When the host profiler was armed, its per-phase
+/// wall-time totals appear as counter tracks under a dedicated
+/// `host-profiler` process.
 #[must_use]
 pub fn render_trace(name: &str, gpu: &Gpu, records: &[EpochRecord]) -> String {
     let mut out = String::new();
     out.push_str("{\n");
     let _ = writeln!(out, "  \"displayTimeUnit\": \"ms\",");
     let _ = writeln!(out, "  \"scenario\": \"{}\",", escape(name));
+    let _ = writeln!(out, "  \"dropped_events\": {},", dropped_events(gpu));
     out.push_str("  \"traceEvents\": [\n");
 
     let mut events: Vec<String> = Vec::new();
     metadata_events(gpu, records, &mut events);
     counter_events(records, &mut events);
     instant_events(&gpu.recent_events(usize::MAX), &mut events);
+    host_profile_events(gpu.profiler(), &mut events);
 
     for (i, e) in events.iter().enumerate() {
         let comma = if i + 1 == events.len() { "" } else { "," };
@@ -62,6 +69,39 @@ pub fn render_trace(name: &str, gpu: &Gpu, records: &[EpochRecord]) -> String {
     }
     out.push_str("  }\n}\n");
     out
+}
+
+/// Total flight-recorder events lost to ring overflow, machine + all SMs.
+fn dropped_events(gpu: &Gpu) -> u64 {
+    gpu.events().dropped() + gpu.sms().iter().map(|sm| sm.events().dropped()).sum::<u64>()
+}
+
+/// Dedicated pid for the host-profiler counter tracks — far from the
+/// simulated pids so the wall-time rows group separately in Perfetto.
+const HOST_PROFILE_PID: u32 = 999;
+
+/// One counter track per profiled phase (host wall milliseconds + call
+/// count, a single sample at ts 0). Empty when the profiler was never
+/// armed. Host time is wall-clock — these tracks are the one deliberately
+/// nondeterministic part of a trace, and only appear on opt-in.
+fn host_profile_events(prof: &HostProfiler, out: &mut Vec<String>) {
+    let rows = prof.rows();
+    if rows.is_empty() {
+        return;
+    }
+    out.push(format!(
+        "{{\"name\": \"process_name\", \"ph\": \"M\", \"pid\": {HOST_PROFILE_PID}, \"tid\": 0, \
+         \"args\": {{\"name\": \"host-profiler\"}}}}"
+    ));
+    for (phase, t) in rows {
+        out.push(format!(
+            "{{\"name\": \"host/{}\", \"ph\": \"C\", \"ts\": 0, \"pid\": {HOST_PROFILE_PID}, \
+             \"args\": {{\"ms\": {}, \"calls\": {}}}}}",
+            phase.name(),
+            t.nanos as f64 / 1e6,
+            t.calls
+        ));
+    }
 }
 
 /// Process/thread naming: pid 0 is the machine; tid 0 the machine-scope
@@ -152,7 +192,8 @@ fn event_args(kind: &TraceEventKind) -> String {
 
 /// Renders a finished fleet run as Chrome-trace JSON: one counter track per
 /// tenant (cumulative SLO-met / completed / retry / shed / migrated series
-/// plus the instantaneous queue depth, one sample per fleet tick), a
+/// plus the instantaneous queue depth, latency p99, and SLO burn rate, one
+/// sample per fleet tick), a
 /// machine track with fleet-wide queue depth, healthy-device count,
 /// pending-migration depth and the load-shedding flag, and one `ph: "X"`
 /// span per migrated request on its tenant's track — from the cycle the
@@ -196,7 +237,8 @@ pub fn render_fleet_trace(fleet: &fleet::Fleet, name: &str) -> String {
             events.push(format!(
                 "{{\"name\": \"tenant{t}\", \"ph\": \"C\", \"ts\": {}, \"pid\": {}, \
                  \"args\": {{\"completed\": {}, \"slo_met\": {}, \"retries\": {}, \
-                 \"shed\": {}, \"queued\": {}, \"migrated\": {}}}}}",
+                 \"shed\": {}, \"queued\": {}, \"migrated\": {}, \
+                 \"latency_p99\": {}, \"slo_burn_ppm\": {}}}}}",
                 s.cycle,
                 t + 1,
                 ts.completed,
@@ -204,10 +246,13 @@ pub fn render_fleet_trace(fleet: &fleet::Fleet, name: &str) -> String {
                 ts.retries,
                 ts.shed,
                 ts.queued,
-                ts.migrated
+                ts.migrated,
+                ts.latency_p99,
+                ts.slo_burn_ppm
             ));
         }
     }
+    host_profile_events(fleet.profiler(), &mut events);
     // One complete-span per migrated request, on its tenant's track: the
     // span covers the window the request was off-device (enqueue → resume).
     for rec in fleet.migrations() {
@@ -461,6 +506,17 @@ impl<'a> Parser<'a> {
         }
         Ok(v)
     }
+}
+
+/// Validates that `doc` is well-formed JSON (strict grammar, no trailing
+/// garbage). Used by the metrics exporter to self-check documents before
+/// they are written to disk.
+///
+/// # Errors
+///
+/// A human-readable description of the first grammar violation.
+pub fn check_json(doc: &str) -> Result<(), String> {
+    Parser::new(doc).parse_document().map(|_| ())
 }
 
 /// Validates that `doc` is well-formed JSON in the Chrome-trace object

@@ -175,6 +175,10 @@ fn watchdog_abort_persists_a_loadable_failure_snapshot() {
     assert!(rendered.contains("watchdog"), "{rendered}");
     assert!(rendered.contains("health report"), "{rendered}");
     assert!(rendered.contains("restored machine at cycle"), "{rendered}");
+    assert!(
+        rendered.contains("dropped to ring overflow"),
+        "flight-recorder drop accounting missing:\n{rendered}"
+    );
 
     // The journal survives the failed case, so a resume completes the
     // remaining cases and reports the same failure digest.

@@ -73,6 +73,66 @@ fn sigkilled_fleet_run_resumes_to_an_identical_report() {
         String::from_utf8_lossy(&baseline.stdout),
         "resumed report must be byte-identical to the uninterrupted run's"
     );
+    let report = String::from_utf8_lossy(&baseline.stdout);
+    for field in ["latency mean", "p50", "p95", "p99"] {
+        assert!(report.contains(field), "per-tenant {field} missing from report:\n{report}");
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn metrics_export_is_identical_across_kill_and_resume() {
+    // The telemetry state (histograms, counter series) rides the fleet
+    // snapshot, so a run cut at an arbitrary tick and resumed must export
+    // byte-identical JSON and Prometheus documents.
+    let dir = tmp_dir("metrics-resume");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let full_json = dir.join("full.json");
+    let full = repro(&["fleet", "chaos", "--metrics-out", full_json.to_str().expect("utf8 path")]);
+    assert!(full.status.success(), "full run failed: {}", String::from_utf8_lossy(&full.stderr));
+
+    let seed = fleet::scenarios::DEFAULT_SEED;
+    let cfg = fleet::scenarios::by_name("chaos", seed).expect("known scenario");
+    let mut partial = fleet::Fleet::new(cfg);
+    for _ in 0..7 {
+        partial.step();
+    }
+    harness::fleet_cli::save_checkpoint(
+        &dir,
+        &harness::fleet_cli::FleetCheckpoint {
+            scenario: "chaos".to_string(),
+            seed,
+            every_ticks: 1,
+            state: partial.snapshot(),
+        },
+    )
+    .expect("mid-run checkpoint saves");
+    drop(partial);
+
+    let resumed_json = dir.join("resumed.json");
+    let resumed = repro(&[
+        "fleet",
+        "resume",
+        dir.to_str().expect("utf8 dir"),
+        "--metrics-out",
+        resumed_json.to_str().expect("utf8 path"),
+    ]);
+    assert!(
+        resumed.status.success(),
+        "resume failed: {}",
+        String::from_utf8_lossy(&resumed.stderr)
+    );
+    let read = |p: &std::path::Path| std::fs::read(p).expect("export written");
+    assert_eq!(read(&full_json), read(&resumed_json), "metrics JSON diverged across kill+resume");
+    assert_eq!(
+        read(&full_json.with_extension("prom")),
+        read(&resumed_json.with_extension("prom")),
+        "Prometheus export diverged across kill+resume"
+    );
+    let json = String::from_utf8(read(&full_json)).expect("utf8 json");
+    for key in ["\"p999\"", "\"burn_rate_ppm\"", "fgqos-metrics-v1"] {
+        assert!(json.contains(key), "{key} missing from metrics JSON");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -86,6 +146,8 @@ fn fleet_trace_export_writes_a_schema_clean_document() {
     let doc = std::fs::read_to_string(&path).expect("trace written");
     harness::perfetto::check_chrome_trace(&doc).expect("exported trace passes the schema check");
     assert!(doc.contains("tenant/latency"), "per-tenant track present");
+    assert!(doc.contains("\"latency_p99\""), "per-tick latency percentile track present");
+    assert!(doc.contains("\"slo_burn_ppm\""), "per-tick SLO burn track present");
     let _ = std::fs::remove_dir_all(&dir);
 }
 

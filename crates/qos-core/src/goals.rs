@@ -158,6 +158,30 @@ impl SloTarget {
     pub fn floor_fraction(&self) -> f64 {
         f64::from(self.attainment_floor_ppm) / 1e6
     }
+
+    /// The SLO's error budget in parts per million: the fraction of arrived
+    /// requests allowed to miss the deadline before the floor is violated
+    /// (`1e6 - attainment_floor_ppm`).
+    pub fn error_budget_ppm(&self) -> u32 {
+        1_000_000 - self.attainment_floor_ppm
+    }
+
+    /// SLO burn rate in parts per million of the error budget consumed:
+    /// `1_000_000` means misses are arriving exactly at the budgeted rate,
+    /// below means headroom, above means the floor is being burned through
+    /// (at `> 1_000_000` the SLO check [`satisfied_by`](Self::satisfied_by)
+    /// fails). Pure integer arithmetic in u128, saturating into u64. A zero
+    /// budget (floor = 100%) is treated as 1 ppm so the rate stays finite;
+    /// `total == 0` reports 0.
+    pub fn burn_rate_ppm(&self, met: u64, total: u64) -> u64 {
+        if total == 0 {
+            return 0;
+        }
+        let missed = u128::from(total.saturating_sub(met));
+        let miss_ppm = missed * 1_000_000 / u128::from(total);
+        let budget = u128::from(self.error_budget_ppm().max(1));
+        u64::try_from(miss_ppm * 1_000_000 / budget).unwrap_or(u64::MAX)
+    }
 }
 
 /// Fleet-level tenant service class: guaranteed (admission-protected, never
@@ -265,6 +289,35 @@ mod tests {
     #[should_panic(expected = "deadline must be positive")]
     fn slo_rejects_zero_deadline() {
         let _ = SloTarget::new(0, 1_000);
+    }
+
+    #[test]
+    fn slo_error_budget_and_burn_rate_are_integer_exact() {
+        let slo = SloTarget::new(10_000, 990_000); // 99% floor => 1% budget
+        assert_eq!(slo.error_budget_ppm(), 10_000);
+        assert_eq!(slo.burn_rate_ppm(0, 0), 0, "no arrivals burns nothing");
+        assert_eq!(slo.burn_rate_ppm(100, 100), 0, "all met burns nothing");
+        // 1 miss in 100 = 10_000 ppm missed = exactly the 1% budget.
+        assert_eq!(slo.burn_rate_ppm(99, 100), 1_000_000);
+        // 2 misses in 100 = twice the budget.
+        assert_eq!(slo.burn_rate_ppm(98, 100), 2_000_000);
+        // Half the budget.
+        assert_eq!(slo.burn_rate_ppm(995, 1_000), 500_000);
+        // Burn > 1e6 exactly when the floor check fails (total > 0).
+        for (met, total) in [(99u64, 100u64), (98, 100), (995, 1_000), (0, 7), (7, 7)] {
+            let burning = slo.burn_rate_ppm(met, total) > 1_000_000;
+            assert_eq!(burning, !slo.satisfied_by(met, total), "met={met} total={total}");
+        }
+    }
+
+    #[test]
+    fn slo_burn_rate_with_zero_budget_stays_finite() {
+        let strict = SloTarget::new(1_000, 1_000_000); // 100% floor
+        assert_eq!(strict.error_budget_ppm(), 0);
+        assert_eq!(strict.burn_rate_ppm(10, 10), 0);
+        // One miss in a million with a 1-ppm effective budget: rate 1e6.
+        assert_eq!(strict.burn_rate_ppm(999_999, 1_000_000), 1_000_000);
+        assert!(strict.burn_rate_ppm(0, 2) > 1_000_000);
     }
 
     #[test]
