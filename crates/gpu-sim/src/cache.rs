@@ -4,6 +4,13 @@
 //! slices. The model tracks only tags (no data) — a lookup either hits or
 //! misses-and-fills. Writes are modeled as allocate-on-write (the simulator
 //! cares about traffic and latency, not coherence).
+//!
+//! Storage is struct-of-arrays: one flat `tags` vec and one flat `lru` vec,
+//! with validity encoded as `lru != 0` (the access clock is pre-incremented,
+//! so every touched line carries a stamp ≥ 1 and an invalid line's stamp of
+//! 0 is exactly the victim key the old `valid` flag produced). The hit scan
+//! walks one small contiguous `u64` slice per lookup instead of
+//! three-field structs, which is what the dense-path issue loop hammers.
 
 use crate::types::Addr;
 
@@ -42,18 +49,14 @@ impl CacheStats {
     }
 }
 
-#[derive(Debug, Clone, Copy)]
-struct Line {
-    tag: u64,
-    valid: bool,
-    /// LRU stamp: larger = more recently used.
-    lru: u64,
-}
-
 /// A set-associative, LRU, allocate-on-miss cache.
 #[derive(Debug, Clone)]
 pub struct Cache {
-    lines: Vec<Line>,
+    /// Line tags, `sets * ways` entries, set-major.
+    tags: Vec<u64>,
+    /// LRU stamps, parallel to `tags`; larger = more recently used, and
+    /// `0` means the line is invalid (the clock starts at 1).
+    lru: Vec<u64>,
     sets: usize,
     ways: usize,
     line_shift: u32,
@@ -81,7 +84,8 @@ impl Cache {
         let sets = (total_bytes / set_bytes) as usize;
         assert!(sets.is_power_of_two(), "set count must be a power of two");
         Cache {
-            lines: vec![Line { tag: 0, valid: false, lru: 0 }; sets * ways as usize],
+            tags: vec![0; sets * ways as usize],
+            lru: vec![0; sets * ways as usize],
             sets,
             ways: ways as usize,
             line_shift: line_bytes.trailing_zeros(),
@@ -108,26 +112,27 @@ impl Cache {
         let set = (block as usize) & (self.sets - 1);
         let tag = block >> self.sets.trailing_zeros();
         let base = set * self.ways;
-        let set_lines = &mut self.lines[base..base + self.ways];
+        let set_tags = &self.tags[base..base + self.ways];
+        let set_lru = &mut self.lru[base..base + self.ways];
 
+        // An invalid line's stamp is 0, strictly below every valid stamp, so
+        // the first-strict-minimum scan picks invalid ways first and the
+        // true LRU way otherwise — the same victim the flagged layout chose.
         let mut victim = 0usize;
         let mut victim_lru = u64::MAX;
-        for (i, line) in set_lines.iter_mut().enumerate() {
-            if line.valid && line.tag == tag {
-                line.lru = self.clock;
+        for (i, (&t, stamp)) in set_tags.iter().zip(set_lru.iter_mut()).enumerate() {
+            if *stamp != 0 && t == tag {
+                *stamp = self.clock;
                 self.stats.hits += 1;
                 return AccessOutcome::Hit;
             }
-            let lru_key = if line.valid { line.lru } else { 0 };
-            if lru_key < victim_lru {
-                victim_lru = lru_key;
+            if *stamp < victim_lru {
+                victim_lru = *stamp;
                 victim = i;
             }
         }
-        let line = &mut set_lines[victim];
-        line.tag = tag;
-        line.valid = true;
-        line.lru = self.clock;
+        self.tags[base + victim] = tag;
+        self.lru[base + victim] = self.clock;
         self.stats.misses += 1;
         AccessOutcome::Miss
     }
@@ -139,14 +144,15 @@ impl Cache {
         let set = (block as usize) & (self.sets - 1);
         let tag = block >> self.sets.trailing_zeros();
         let base = set * self.ways;
-        self.lines[base..base + self.ways].iter().any(|l| l.valid && l.tag == tag)
+        self.tags[base..base + self.ways]
+            .iter()
+            .zip(&self.lru[base..base + self.ways])
+            .any(|(&t, &stamp)| stamp != 0 && t == tag)
     }
 
     /// Invalidates every line.
     pub fn flush(&mut self) {
-        for line in &mut self.lines {
-            line.valid = false;
-        }
+        self.lru.fill(0);
     }
 
     /// Access counters.
@@ -162,9 +168,7 @@ impl Cache {
 
 crate::impl_snap_struct!(CacheStats { hits, misses });
 
-crate::impl_snap_struct!(Line { tag, valid, lru });
-
-crate::impl_snap_struct!(Cache { lines, sets, ways, line_shift, clock, stats });
+crate::impl_snap_struct!(Cache { tags, lru, sets, ways, line_shift, clock, stats });
 
 #[cfg(test)]
 mod tests {
@@ -225,6 +229,16 @@ mod tests {
         c.flush();
         assert!(!c.probe(0));
         assert_eq!(c.access(0), AccessOutcome::Miss);
+    }
+
+    #[test]
+    fn flushed_lines_never_alias_tag_zero() {
+        // A flushed way keeps its tag but must not hit: validity lives in
+        // the LRU stamp, and address 0 has tag 0, the tags vec's fill value.
+        let mut c = small();
+        assert_eq!(c.access(0), AccessOutcome::Miss, "cold line with tag 0 must miss");
+        c.flush();
+        assert_eq!(c.access(0), AccessOutcome::Miss, "flushed line with tag 0 must miss");
     }
 
     #[test]

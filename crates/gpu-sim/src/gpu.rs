@@ -256,6 +256,14 @@ impl Gpu {
             let t0 = self.prof.begin();
             pool.run(&mut self.sms, |_, sm| sm.tick(now));
             self.prof.end(ProfPhase::SmStep, t0);
+            if self.prof.is_enabled() {
+                // Harvest the warp-selection sub-span each SM timed inside
+                // its tick; it nests under the SmStep total just recorded.
+                for sm in &mut self.sms {
+                    let (nanos, calls) = sm.take_issue_select();
+                    self.prof.add_span(ProfPhase::IssueSelect, nanos, calls);
+                }
+            }
             for sm in &mut self.sms {
                 sm.drain_icn(&mut self.mem, now, &mut self.prof);
             }
@@ -582,6 +590,9 @@ impl Gpu {
     /// host-only: never snapshotted, never part of any determinism surface.
     pub fn set_profiling(&mut self, on: bool) {
         self.prof.set_enabled(on);
+        for sm in &mut self.sms {
+            sm.set_issue_profiling(on);
+        }
     }
 
     /// The host-side self-profiler's accumulated phase totals.
@@ -1073,6 +1084,13 @@ impl Gpu {
         }
         self.cycle = cycle;
         self.sms = sms;
+        // Profiler state is host-only and never snapshotted; restored SMs
+        // decode with the flag off, so re-arm them from the live profiler.
+        if self.prof.is_enabled() {
+            for sm in &mut self.sms {
+                sm.set_issue_profiling(true);
+            }
+        }
         self.mem = mem;
         self.kernels = kernels;
         self.tb_sched = tb_sched;
@@ -1147,9 +1165,13 @@ const HEALTH_REPORT_EVENTS: usize = 32;
 /// same-class device with a different fault plan; version 6 added the
 /// telemetry layer's deterministic state — per-SM per-kernel
 /// preemption-save latency histograms and the machine's epoch-sampled
-/// counter [`TimeSeries`] (DESIGN.md §17). Host-profiler state is
-/// deliberately absent: wall-clock attribution never enters snapshots.
-pub const SNAPSHOT_SCHEMA_VERSION: u32 = 6;
+/// counter [`TimeSeries`] (DESIGN.md §17); version 7 switched the hot
+/// per-SM state to struct-of-arrays layouts — the warp table
+/// ([`crate::sm::WarpTable`]), the TB slab ([`crate::tb::TbSlab`]), and the
+/// cache tag/LRU arrays — changing the field set and order of every per-SM
+/// record (DESIGN.md §18). Host-profiler state is deliberately absent:
+/// wall-clock attribution never enters snapshots.
+pub const SNAPSHOT_SCHEMA_VERSION: u32 = 7;
 
 /// Leading magic of a serialized [`SnapshotBlob`].
 const SNAPSHOT_MAGIC: [u8; 4] = *b"FGQS";

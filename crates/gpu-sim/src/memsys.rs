@@ -46,6 +46,9 @@ pub struct MemSystem {
     dram_queue: Vec<ServiceQueue>,
     traffic: MemTraffic,
     context_rr: usize,
+    // Reusable L1-miss scratch for `access_lines`, so out-of-domain callers
+    // get the same allocation-free steady state as the `IcnPort` path.
+    miss_scratch: Vec<Addr>,
 }
 
 impl MemSystem {
@@ -62,6 +65,7 @@ impl MemSystem {
                 .collect(),
             traffic: MemTraffic::default(),
             context_rr: 0,
+            miss_scratch: Vec::new(),
             cfg,
         }
     }
@@ -128,9 +132,13 @@ impl MemSystem {
         lines: &[Addr],
         now: Cycle,
     ) -> Cycle {
-        let misses: Vec<Addr> =
-            lines.iter().copied().filter(|&a| l1.access(a) == AccessOutcome::Miss).collect();
-        self.serve(kernel, &misses, lines.len() as u64, now)
+        let mut misses = std::mem::take(&mut self.miss_scratch);
+        misses.clear();
+        misses.extend(lines.iter().copied().filter(|&a| l1.access(a) == AccessOutcome::Miss));
+        let done = self.serve(kernel, &misses, lines.len() as u64, now);
+        // Hand the buffer back so the next access reuses the allocation.
+        self.miss_scratch = misses;
+        done
     }
 
     /// Injects context save/restore traffic for a preemption of `kernel`:
@@ -206,7 +214,11 @@ crate::impl_snap_struct!(MemTraffic {
     context_transactions,
 });
 
-crate::impl_snap_struct!(MemSystem { cfg, l2, l2_queue, dram_queue, traffic, context_rr });
+// `miss_scratch` is per-call scratch, always cleared before use, so a
+// restored memory system starts with an empty (re-growable) buffer.
+crate::impl_snap_struct!(MemSystem { cfg, l2, l2_queue, dram_queue, traffic, context_rr } skip {
+    miss_scratch
+});
 
 #[cfg(test)]
 mod tests {

@@ -1,27 +1,116 @@
 //! The SM front end: per-cycle scheduler gather/choose/issue, the
 //! work-conserving scavenger, interconnect-port traffic, and the
 //! fast-forward horizon protocol.
+//!
+//! Ready-warp selection is a branchless trailing-zeros scan over the warp
+//! table's packed bitmasks: one live-candidate word set is computed per tick
+//! (`occupied & !done & !at_barrier & tb_active`), then each scheduler scans
+//! `live & stride_mask[sid]`, visiting exactly the slots the old strided
+//! `Option`-walk visited, in the same increasing-slot order — which is what
+//! keeps the mutating `quota_allows` refill rules firing in the original
+//! sequence (DESIGN.md §18).
 
 use crate::icn::{self, IcnRequest, IcnResponse};
 use crate::kernel::{KernelDesc, MemSpace, Op};
 use crate::memsys::MemSystem;
 use crate::observe::TraceEventKind;
-use crate::tb::{TbPhase, TbState};
 use crate::types::{per_kernel, Cycle, PerKernel};
-use crate::warp_sched::choose;
+use crate::warp_sched::SchedPolicy;
 use crate::MAX_KERNELS;
 
+use super::warp_table::mask_set;
 use super::Sm;
 
-impl Sm {
-    pub(super) fn warp_issuable(&self, slot: u16, now: Cycle) -> bool {
-        let Some(w) = self.warps[slot as usize].as_ref() else { return false };
-        if w.done || w.at_barrier || w.ready_at > now {
-            return false;
+/// Duty cycle of the `issue_select` span sampler: ticks whose cycle number
+/// is a multiple of this power of two are timed, and the measured time is
+/// scaled back up by the same factor. Timing every tick would cost several
+/// `Instant::now` syscalls per SM-tick — more than the span being measured —
+/// so the profiler samples instead; cycle-number selection keeps the choice
+/// deterministic and workload-independent.
+const SEL_SAMPLE_PERIOD: u64 = 64;
+
+/// Stack-accumulator bound of the fused dense-path gather: scheduler counts
+/// up to this (power-of-two) size compute all picks in one pass over the
+/// issuable words. Larger or non-power-of-two geometries fall back to the
+/// per-scheduler stripe scans (the fused path wants `slot & (n-1)` for the
+/// stripe-owner computation, not a division per candidate).
+const MAX_SCHEDS_FUSED: usize = 8;
+
+/// Reads the CPU timestamp counter — roughly an order of magnitude cheaper
+/// than `Instant::now`, which matters because a sampled span of ~100 ns
+/// would otherwise be mostly clock-read cost (then multiplied back up by
+/// [`SEL_SAMPLE_PERIOD`]). Falls back to `Instant` off x86_64.
+#[inline]
+fn sel_clock() -> u64 {
+    #[cfg(target_arch = "x86_64")]
+    {
+        // SAFETY: RDTSC is unprivileged and side-effect free.
+        unsafe { std::arch::x86_64::_rdtsc() }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        use std::time::Instant;
+        static EPOCH: std::sync::OnceLock<Instant> = std::sync::OnceLock::new();
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+}
+
+/// Nanoseconds per [`sel_clock`] unit, calibrated once per process against
+/// the monotonic clock (a ~200 µs spin, paid only on the first sampled tick
+/// of a profiling run).
+fn sel_ns_per_unit() -> f64 {
+    static RATE: std::sync::OnceLock<f64> = std::sync::OnceLock::new();
+    *RATE.get_or_init(|| {
+        let t0 = std::time::Instant::now();
+        let c0 = sel_clock();
+        let mut spin = 0u64;
+        while t0.elapsed().as_micros() < 200 {
+            spin = spin.wrapping_add(1);
         }
-        self.tbs[w.tb_slot as usize].as_ref().is_some_and(|tb| tb.issuable(now))
+        std::hint::black_box(spin);
+        let units = sel_clock().wrapping_sub(c0).max(1);
+        t0.elapsed().as_nanos() as f64 / units as f64
+    })
+}
+
+/// Pausable timestamp-counter accumulator for the `issue_select` profiling
+/// span. All methods are no-ops when profiling is off, so the hot path pays
+/// one predictable branch per call site.
+struct SelTimer {
+    on: bool,
+    units: u64,
+    since: Option<u64>,
+}
+
+impl SelTimer {
+    fn new(on: bool) -> Self {
+        SelTimer { on, units: 0, since: None }
     }
 
+    #[inline]
+    fn resume(&mut self) {
+        if self.on {
+            self.since = Some(sel_clock());
+        }
+    }
+
+    #[inline]
+    fn pause(&mut self) {
+        if let Some(t) = self.since.take() {
+            self.units += sel_clock().wrapping_sub(t);
+        }
+    }
+
+    /// The accumulated span in nanoseconds (calibrates on first use).
+    fn nanos(&self) -> u64 {
+        if self.units == 0 {
+            return 0;
+        }
+        (self.units as f64 * sel_ns_per_unit()) as u64
+    }
+}
+
+impl Sm {
     /// The earliest future cycle at which this SM could change state, or
     /// `None` if it is fully quiescent.
     ///
@@ -32,13 +121,31 @@ impl Sm {
     /// `process_transitions`) and stalled warps' `ready_at` scoreboards.
     /// Warps never hold the [`icn::PENDING`] sentinel here: the machine
     /// drains every port before it consults horizons.
-    pub(crate) fn next_event(&self, now: Cycle) -> Option<Cycle> {
+    ///
+    /// The result does not depend on `now` (the caller compares it against
+    /// its own clock), so it is memoized in [`super::WakeCache`] and only
+    /// recomputed after a mutation of the horizon's inputs — the win that
+    /// lets repeated fast-forward probes of a quiescent SM cost one `Cell`
+    /// read instead of a warp-table scan.
+    pub(crate) fn next_event(&self, _now: Cycle) -> Option<Cycle> {
+        if let Some(v) = self.wake.get() {
+            return v;
+        }
+        let v = self.compute_next_event();
+        self.wake.put(v);
+        v
+    }
+
+    fn compute_next_event(&self) -> Option<Cycle> {
         let mut horizon: Option<Cycle> = None;
+        let fold = |h: &mut Option<Cycle>, c: Cycle| {
+            *h = Some(h.map_or(c, |v| v.min(c)));
+        };
         for &slot in &self.transitioning {
-            if let Some(until) =
-                self.tbs[slot as usize].as_ref().and_then(TbState::transition_done_at)
-            {
-                horizon = Some(horizon.map_or(until, |h| h.min(until)));
+            if self.tbs.is_occupied(slot) {
+                if let Some(until) = self.tbs.transition_done_at(slot) {
+                    fold(&mut horizon, until);
+                }
             }
         }
         if self.sched_frozen || self.used_threads == 0 {
@@ -46,16 +153,33 @@ impl Sm {
             return horizon;
         }
         let inert: [bool; MAX_KERNELS] = std::array::from_fn(|k| self.quota_inert(k));
-        for w in self.warps.iter().flatten() {
-            if inert[w.kernel.index()] {
-                continue;
-            }
-            let Some(tb) = self.tbs[w.tb_slot as usize].as_ref() else { continue };
-            if let Some(wake) = w.next_wake(tb.phase) {
-                if wake <= now {
-                    return Some(wake);
+        let t = &self.warps;
+        for wi in 0..t.words() {
+            let mut inert_bits = 0u64;
+            for (k, &is_inert) in inert.iter().enumerate() {
+                if is_inert {
+                    inert_bits |= t.kernel_mask[k][wi];
                 }
-                horizon = Some(horizon.map_or(wake, |h| h.min(wake)));
+            }
+            let waiting = t.occupied[wi] & !t.done[wi] & !t.at_barrier[wi] & !inert_bits;
+            // Warps of Active TBs wake at their scoreboard release.
+            let mut bits = waiting & t.tb_active[wi];
+            while bits != 0 {
+                let slot = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                fold(&mut horizon, t.ready_at[slot]);
+            }
+            // Warps of Loading TBs wake at the later of their scoreboard
+            // release and the load completion. (Warps of Saving TBs are
+            // frozen — neither phase bit set — and the save completion is
+            // already a transition horizon above.)
+            let mut bits = waiting & t.tb_loading[wi];
+            while bits != 0 {
+                let slot = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let until =
+                    self.tbs.transition_done_at(t.tb_slot[slot]).unwrap_or(t.ready_at[slot]);
+                fold(&mut horizon, t.ready_at[slot].max(until));
             }
         }
         horizon
@@ -75,7 +199,8 @@ impl Sm {
     /// the whole window because their completion is itself a horizon.
     ///
     /// Touches only this SM's private state, so the machine may run it for
-    /// all domains concurrently under `intra_parallel`.
+    /// all domains concurrently under `intra_parallel`. Statistics do not
+    /// feed [`Sm::next_event`], so the wake cache survives the skip.
     pub(crate) fn note_skipped_cycles(&mut self, from: Cycle, target: Cycle) {
         if self.sched_frozen || self.used_threads == 0 {
             return;
@@ -88,19 +213,25 @@ impl Sm {
             return;
         }
         let mut blocked: PerKernel<u64> = per_kernel(|_| 0);
-        for w in self.warps.iter().flatten() {
-            let k = w.kernel.index();
-            if !inert[k] || w.done || w.at_barrier {
-                continue;
+        let t = &self.warps;
+        for wi in 0..t.words() {
+            let mut inert_bits = 0u64;
+            for (k, &is_inert) in inert.iter().enumerate() {
+                if is_inert {
+                    inert_bits |= t.kernel_mask[k][wi];
+                }
             }
-            let active =
-                self.tbs[w.tb_slot as usize].as_ref().is_some_and(|tb| tb.phase == TbPhase::Active);
-            if !active {
-                continue;
-            }
-            let start = from.max(w.ready_at);
-            if start < target {
-                blocked[k] += target - start;
+            // `tb_active` mirrors `phase == Active` exactly (maintained at
+            // every transition), matching the old per-warp phase test.
+            let mut bits =
+                t.occupied[wi] & !t.done[wi] & !t.at_barrier[wi] & t.tb_active[wi] & inert_bits;
+            while bits != 0 {
+                let slot = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let start = from.max(t.ready_at[slot]);
+                if start < target {
+                    blocked[t.kernel[slot].index()] += target - start;
+                }
             }
         }
         for (k, b) in blocked.iter().enumerate() {
@@ -124,40 +255,306 @@ impl Sm {
         }
         self.busy_cycles += 1;
         self.issue_slots += u64::from(self.num_scheds);
+        if self.stride_masks.is_empty() {
+            self.build_stride_masks();
+        }
 
-        for sid in 0..self.num_scheds {
-            // Gather issuable warps for this scheduler.
-            let mut ready = std::mem::take(&mut self.ready_buf);
-            ready.clear();
-            let mut slot = sid;
-            while slot < self.max_warps {
-                if self.warp_issuable(slot, now) {
-                    let k = self.warps[slot as usize].as_ref().expect("issuable warp").kernel;
-                    if self.quota_allows(k.index()) {
-                        let age = self.warps[slot as usize].as_ref().expect("warp").age;
-                        ready.push((slot, age));
-                    } else {
-                        self.quota_blocked[k.index()] += 1;
+        // When no kernel is gated and neither the priority gate nor a quota
+        // freeze is active, `quota_allows` is `true` for every kernel and
+        // mutates nothing (its very first branches), so the gather can skip
+        // the call — and the scavenger can never match (it only admits
+        // *gated* exhausted kernels). Nothing inside the scheduler loop
+        // changes these inputs — `issue` debits quota counters but never
+        // flips a gate — so the flag is computed once per tick. It also
+        // short-circuits `any_inert_resident` below (no kernel can be inert
+        // without a gate set).
+        let all_allowed =
+            !self.quota_frozen && !self.priority_block && !self.gated.iter().any(|&g| g);
+
+        // Quiescent-tick fast path. When the memoized wake horizon lies in
+        // the future, no non-inert warp can issue at `now`, so the slow path
+        // below would find no candidates, call no (mutating) quota check,
+        // issue nothing, and leave scheduler state untouched — its only
+        // effects are the busy/issue-slot counters incremented above. The
+        // one other thing a full gather does is count issuable warps of
+        // *inert* kernels into `quota_blocked`, so the shortcut additionally
+        // requires that no kernel is inert while owning resident warps
+        // (`quota_inert` guarantees `quota_allows` would be a mutation-free
+        // `false` for exactly those warps). Memory-bound SMs spend hundreds
+        // of consecutive cycles in this state; the cache makes each one a
+        // `Cell` read instead of a warp-table scan (DESIGN.md §18).
+        if let Some(cached) = self.wake.get() {
+            let busy_now = matches!(cached, Some(w) if w <= now);
+            if !busy_now && (all_allowed || !self.any_inert_resident()) {
+                return;
+            }
+        }
+
+        let mut sel = SelTimer::new(self.profile_issue && now.is_multiple_of(SEL_SAMPLE_PERIOD));
+        sel.resume();
+
+        // Issuable candidate words for this cycle: occupied, not retired,
+        // not parked at a barrier, owning TB in Active phase (`tb_active`
+        // mirrors the phase exactly; a Loading TB due this cycle was flipped
+        // to Active by `process_transitions` above), scoreboard released
+        // (`ready_at <= now`). The ready sweep is a straight branchless pass
+        // over the `ready_at` column — the compare vectorizes and never
+        // mispredicts, where the old per-candidate `ready_at` branch inside
+        // the bit-scan was data-dependent and mispredict-heavy on the dense
+        // path. Mid-tick mutations (issue, barrier release, TB drain) never
+        // make a masked-out warp issuable at `now` — barrier releases push
+        // `ready_at` past `now`, drained TBs' warps are all done, and an
+        // issue only rewrites the issuing scheduler's own stripe, which is
+        // never revisited this tick — so one mask, filtered per slot by the
+        // quota checks alone, serves every scheduler (DESIGN.md §18).
+        let words = self.warps.words();
+        self.live_buf.resize(words, 0);
+        {
+            let t = &self.warps;
+            let live_buf = &mut self.live_buf;
+            for (wi, out) in live_buf.iter_mut().enumerate() {
+                let live = t.occupied[wi] & !t.done[wi] & !t.at_barrier[wi] & t.tb_active[wi];
+                if live == 0 {
+                    *out = 0;
+                    continue;
+                }
+                // Sweep only up to the highest live slot: dispatch fills
+                // slots from the bottom, so a partially occupied SM (the
+                // common case — occupancy limits bite well below the 64-slot
+                // table) pays for the slots it uses, not the table size.
+                let top = 64 - live.leading_zeros() as usize;
+                let base = wi * 64;
+                let mut ready = 0u64;
+                for (b, &ra) in t.ready_at[base..base + top].iter().enumerate() {
+                    ready |= u64::from(ra <= now) << b;
+                }
+                *out = live & ready;
+            }
+        }
+
+        let mut issued_any = false;
+        let n_scheds = usize::from(self.num_scheds);
+        if all_allowed && n_scheds.is_power_of_two() && n_scheds <= MAX_SCHEDS_FUSED {
+            // Fused dense-path gather: one trailing-zeros pass over the
+            // issuable words computes every scheduler's pick at once, instead
+            // of re-walking the words per scheduler. Each visited slot folds
+            // into its owning scheduler's accumulator (`sid = slot & (n-1)`,
+            // exactly the stripe partition), and within one stripe the fused
+            // scan still yields slots in increasing order — the same
+            // subsequence, in the same order, the per-scheduler stripe scans
+            // visit — so the sentinel folds produce identical picks. Reading
+            // all gathers from tick-start state before any issue matches the
+            // interleaved gather/issue sequence bit-for-bit: an issue only
+            // rewrites its own slot's scoreboard (own stripe, already
+            // gathered) and barrier releases push `ready_at` past `now`, so
+            // no later scheduler's fold inputs change mid-tick — and with no
+            // kernel gated there is no mutating `quota_allows` whose call
+            // order could matter (DESIGN.md §18).
+            let mut greedy_s = [u16::MAX; MAX_SCHEDS_FUSED];
+            let mut cursor = [0u16; MAX_SCHEDS_FUSED];
+            for sid in 0..n_scheds {
+                greedy_s[sid] = self.scheds[sid].greedy.unwrap_or(u16::MAX);
+                cursor[sid] = self.scheds[sid].rr_cursor;
+            }
+            let mut greedy_ready = [false; MAX_SCHEDS_FUSED];
+            let mut best_slot = [u16::MAX; MAX_SCHEDS_FUSED];
+            let mut best_age = [u64::MAX; MAX_SCHEDS_FUSED];
+            let mut first_slot = [u16::MAX; MAX_SCHEDS_FUSED];
+            let mut first_after = [u16::MAX; MAX_SCHEDS_FUSED];
+            let sid_mask = n_scheds - 1;
+            {
+                let t = &self.warps;
+                let policy = self.policy;
+                for wi in 0..words {
+                    let mut bits = self.live_buf[wi];
+                    while bits != 0 {
+                        let slot = wi * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let s = slot as u16;
+                        let sid = slot & sid_mask;
+                        match policy {
+                            SchedPolicy::Gto => {
+                                greedy_ready[sid] |= s == greedy_s[sid];
+                                if t.age[slot] < best_age[sid] {
+                                    best_age[sid] = t.age[slot];
+                                    best_slot[sid] = s;
+                                }
+                            }
+                            SchedPolicy::Lrr => {
+                                first_slot[sid] = first_slot[sid].min(s);
+                                first_after[sid] = first_after[sid].min(if s > cursor[sid] {
+                                    s
+                                } else {
+                                    u16::MAX
+                                });
+                            }
+                        }
                     }
                 }
-                slot += self.num_scheds;
             }
-            let pick = choose(self.policy, &mut self.scheds[sid as usize], &ready);
-            self.ready_buf = ready;
+            for sid in 0..n_scheds {
+                let pick = match self.policy {
+                    SchedPolicy::Gto if greedy_ready[sid] => self.scheds[sid].greedy,
+                    SchedPolicy::Gto => (best_slot[sid] != u16::MAX).then_some(best_slot[sid]),
+                    SchedPolicy::Lrr if first_after[sid] != u16::MAX => Some(first_after[sid]),
+                    SchedPolicy::Lrr => (first_slot[sid] != u16::MAX).then_some(first_slot[sid]),
+                };
+                // No scavenge arm: with no kernel gated there is nothing in
+                // scavengeable state, so the call would be a guaranteed miss.
+                if let Some(slot) = pick {
+                    self.scheds[sid].greedy = Some(slot);
+                    self.scheds[sid].rr_cursor = slot;
+                    sel.pause();
+                    self.issue(slot, now);
+                    self.issued_total += 1;
+                    issued_any = true;
+                    sel.resume();
+                }
+            }
+            sel.pause();
+            if sel.on {
+                self.issue_select_nanos += sel.nanos() * SEL_SAMPLE_PERIOD;
+                self.issue_select_calls += 1;
+            }
+            if !issued_any && self.wake.get().is_none() {
+                let v = self.compute_next_event();
+                self.wake.put(v);
+            }
+            return;
+        }
+        for sid in 0..n_scheds {
+            // Gather issuable warps for this scheduler: a trailing-zeros
+            // scan over this scheduler's slot stripe, yielding slots in
+            // increasing order (the old strided walk's order, which the
+            // mutating `quota_allows` refill rules depend on). The policy
+            // choice folds into the same scan: GTO needs only the first
+            // minimum-age candidate (and whether the greedy slot is among
+            // the candidates), LRR only the first candidate and the first
+            // one past the cursor — all of which the increasing-slot order
+            // yields without materializing a candidate list.
+            // Sentinel-folded selection state: `u16::MAX` can never be a
+            // warp slot (the table is at most 64 slots per word times a few
+            // words), so it doubles as "none yet" without an `Option`
+            // discriminant branch per candidate. The scan yields slots in
+            // increasing order, so "first candidate" and "first past the
+            // cursor" are plain minima.
+            let greedy = self.scheds[sid].greedy;
+            let greedy_s = greedy.unwrap_or(u16::MAX);
+            let cursor = self.scheds[sid].rr_cursor;
+            let mut greedy_ready = false;
+            let mut best_slot = u16::MAX;
+            let mut best_age = u64::MAX;
+            let mut first_slot = u16::MAX;
+            let mut first_after = u16::MAX;
+            if all_allowed {
+                // Dense-path arm: every issuable warp is a candidate and no
+                // per-candidate bookkeeping mutates `self`.
+                let t = &self.warps;
+                let policy = self.policy;
+                let stripe = &self.stride_masks[sid];
+                for (wi, &stripe_w) in stripe.iter().enumerate().take(words) {
+                    let mut bits = self.live_buf[wi] & stripe_w;
+                    while bits != 0 {
+                        let slot = wi * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let s = slot as u16;
+                        match policy {
+                            SchedPolicy::Gto => {
+                                greedy_ready |= s == greedy_s;
+                                // Strict `<` keeps the *first* minimum (ages
+                                // are unique, but this also matches
+                                // `min_by_key` over the scan order exactly).
+                                if t.age[slot] < best_age {
+                                    best_age = t.age[slot];
+                                    best_slot = s;
+                                }
+                            }
+                            SchedPolicy::Lrr => {
+                                first_slot = first_slot.min(s);
+                                first_after =
+                                    first_after.min(if s > cursor { s } else { u16::MAX });
+                            }
+                        }
+                    }
+                }
+            } else {
+                for wi in 0..words {
+                    let mut bits = self.live_buf[wi] & self.stride_masks[sid][wi];
+                    while bits != 0 {
+                        let slot = wi * 64 + bits.trailing_zeros() as usize;
+                        bits &= bits - 1;
+                        let k = self.warps.kernel[slot].index();
+                        if self.quota_allows(k) {
+                            let s = slot as u16;
+                            match self.policy {
+                                SchedPolicy::Gto => {
+                                    greedy_ready |= s == greedy_s;
+                                    if self.warps.age[slot] < best_age {
+                                        best_age = self.warps.age[slot];
+                                        best_slot = s;
+                                    }
+                                }
+                                SchedPolicy::Lrr => {
+                                    first_slot = first_slot.min(s);
+                                    first_after =
+                                        first_after.min(if s > cursor { s } else { u16::MAX });
+                                }
+                            }
+                        } else {
+                            self.quota_blocked[k] += 1;
+                        }
+                    }
+                }
+            }
+            let pick = match self.policy {
+                SchedPolicy::Gto if greedy_ready => greedy,
+                SchedPolicy::Gto => (best_slot != u16::MAX).then_some(best_slot),
+                SchedPolicy::Lrr if first_after != u16::MAX => Some(first_after),
+                SchedPolicy::Lrr => (first_slot != u16::MAX).then_some(first_slot),
+            };
             if let Some(slot) = pick {
-                self.issue(slot, now);
-                self.issued_total += 1;
-            } else if let Some(slot) = self.scavenge(sid, now) {
-                // Work-conserving slack reclamation: the slot would idle --
-                // no admissible warp is ready -- so a quota-exhausted
-                // *non-QoS* warp may use it (QoS kernels stay throttled at
-                // their goals; this is the "keep them running" intent of
-                // the mid-epoch rule in section 3.4.1). The issue still
-                // debits the quota counter, so epoch accounting and the
-                // section 3.5 feedback see the true consumption.
-                self.issue(slot, now);
-                self.issued_total += 1;
+                self.scheds[sid].greedy = Some(slot);
+                self.scheds[sid].rr_cursor = slot;
             }
+            // The scavenger scan counts as selection; only the issue()
+            // execution is carved out of the span, so an issue-free tick
+            // costs exactly two clock reads. With no kernel gated the
+            // scavenger is a guaranteed miss (it only admits gated exhausted
+            // kernels), so the dense path skips the call.
+            let pick = if all_allowed { pick } else { pick.or_else(|| self.scavenge(sid, now)) };
+            if let Some(slot) = pick {
+                // Work-conserving slack reclamation (the scavenge arm): the
+                // slot would idle -- no admissible warp is ready -- so a
+                // quota-exhausted *non-QoS* warp may use it (QoS kernels
+                // stay throttled at their goals; this is the "keep them
+                // running" intent of the mid-epoch rule in section 3.4.1).
+                // The issue still debits the quota counter, so epoch
+                // accounting and the section 3.5 feedback see the true
+                // consumption.
+                sel.pause();
+                self.issue(slot, now);
+                self.issued_total += 1;
+                issued_any = true;
+                sel.resume();
+            }
+        }
+        sel.pause();
+        if sel.on {
+            // Scale the sampled span back to a full-rate estimate so the
+            // profile table's share column reads directly against wall time.
+            self.issue_select_nanos += sel.nanos() * SEL_SAMPLE_PERIOD;
+            self.issue_select_calls += 1;
+        }
+        // An issue-free slow tick means the SM just went (or stayed)
+        // quiescent: refill the wake cache now so the following stalled
+        // cycles take the fast path above. Issuing ticks skip this — the
+        // issue invalidated the cache and the SM is busy anyway, so the
+        // recompute would be pure overhead on the compute-bound path. Safe
+        // before the drain barrier: an issue-free tick parked no warp on
+        // the [`icn::PENDING`] sentinel.
+        if !issued_any && self.wake.get().is_none() {
+            let v = self.compute_next_event();
+            self.wake.put(v);
         }
     }
 
@@ -178,6 +575,8 @@ impl Sm {
         if self.icn.requests.is_empty() {
             return;
         }
+        // Responses rewrite warp scoreboards, an input of `next_event`.
+        self.wake.invalidate();
         let t0 = prof.begin();
         let mut port = std::mem::take(&mut self.icn);
         for req in port.requests.drain(..) {
@@ -195,11 +594,12 @@ impl Sm {
             // A vacated slot means the warp retired on this very instruction
             // and its whole TB completed at issue time; the serial path wrote
             // the completion cycle into a warp that was removed in the same
-            // call, so dropping the response is identical. Slots cannot have
+            // call, so dropping the response is identical — and keeps the
+            // freed slot's canonical zeroed state intact. Slots cannot have
             // been *reused* yet: dispatch only happens in the TB scheduler's
             // service pass, outside the tick→drain window.
-            if let Some(w) = self.warps[resp.warp_slot as usize].as_mut() {
-                w.ready_at = resp.ready_at;
+            if self.warps.is_occupied(resp.warp_slot) {
+                self.warps.ready_at[usize::from(resp.warp_slot)] = resp.ready_at;
             }
         }
         // Hand the (now empty) buffers back so next cycle reuses the
@@ -220,44 +620,63 @@ impl Sm {
     /// Oldest issuable non-QoS warp whose kernel is only blocked by an
     /// exhausted quota; `None` under the Rollover-Time priority gate while
     /// QoS quota remains (strict time multiplexing is that scheme's point).
-    fn scavenge(&self, sid: u16, now: Cycle) -> Option<u16> {
+    fn scavenge(&self, sid: usize, _now: Cycle) -> Option<u16> {
         if self.quota_frozen {
+            return None;
+        }
+        // No kernel in scavengeable state (gated, non-QoS, exhausted) means
+        // the stripe scan below cannot match — skip it. This is the common
+        // case on every unmanaged scenario, where an empty issue slot would
+        // otherwise pay a second full scan per scheduler per cycle.
+        if !(0..MAX_KERNELS).any(|k| self.gated[k] && !self.is_qos[k] && self.quota[k] <= 0) {
             return None;
         }
         if self.priority_block && self.any_qos_quota_positive() {
             return None;
         }
         let mut best: Option<(u16, u64)> = None;
-        let mut slot = sid;
-        while slot < self.max_warps {
-            if self.warp_issuable(slot, now) {
-                let w = self.warps[slot as usize].as_ref().expect("issuable warp");
-                let k = w.kernel.index();
+        let t = &self.warps;
+        for wi in 0..t.words() {
+            // `live_buf` already folds in the `ready_at <= now` test.
+            let mut bits = self.live_buf[wi] & self.stride_masks[sid][wi];
+            while bits != 0 {
+                let slot = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let k = t.kernel[slot].index();
                 if self.gated[k] && !self.is_qos[k] && self.quota[k] <= 0 {
                     match best {
-                        Some((_, age)) if age <= w.age => {}
-                        _ => best = Some((slot, w.age)),
+                        Some((_, age)) if age <= t.age[slot] => {}
+                        _ => best = Some((slot as u16, t.age[slot])),
                     }
                 }
             }
-            slot += self.num_scheds;
         }
         best.map(|(slot, _)| slot)
     }
 
     fn issue(&mut self, slot: u16, now: Cycle) {
-        let k = self.warps[slot as usize].as_ref().expect("issued warp exists").kernel.index();
+        // Issue rewrites scoreboards (and possibly barrier/retire state),
+        // all inputs of `next_event`.
+        self.wake.invalidate();
+        let i = usize::from(slot);
+        let k = self.warps.kernel[i].index();
         // `Op` is `Copy` and the body length is all the control flow needs,
-        // so the hot path avoids cloning the kernel's `Arc`.
+        // so the hot path reads the flattened `bodies` mirror — one indexed
+        // load — instead of chasing `Option<Arc<KernelDesc>>`. An empty
+        // mirror means this SM was just restored from a snapshot (`bodies`
+        // is skip-snapped); rebuild it from the authoritative desc. A warp
+        // can only issue from a registered, non-empty kernel body, so
+        // emptiness is an unambiguous "not built yet" sentinel.
+        if self.bodies[k].is_empty() {
+            self.bodies[k] = self.descs[k].as_ref().expect("desc").body().to_vec();
+        }
         let (op, body_len) = {
-            let d = self.descs[k].as_ref().expect("desc");
-            let w = self.warps[slot as usize].as_ref().expect("warp");
-            (d.body()[w.pc as usize], d.body().len())
+            let body = &self.bodies[k];
+            (body[usize::from(self.warps.pc[i])], body.len())
         };
-        let w = self.warps[slot as usize].as_mut().expect("issued warp exists");
 
-        if w.rem == 0 {
-            w.rem = match op {
+        if self.warps.rem[i] == 0 {
+            self.warps.rem[i] = match op {
                 Op::Alu { repeat, .. } | Op::Sfu { repeat, .. } => repeat.max(1),
                 Op::Mem { .. } | Op::Bar => 1,
             };
@@ -267,25 +686,24 @@ impl Sm {
         match op {
             Op::Alu { latency, active_lanes, .. } => {
                 lanes = active_lanes;
-                w.ready_at = now + Cycle::from(latency.max(1));
+                self.warps.ready_at[i] = now + Cycle::from(latency.max(1));
                 self.alu_thread_insts[k] += u64::from(active_lanes);
             }
             Op::Sfu { latency, active_lanes, .. } => {
                 lanes = active_lanes;
-                w.ready_at = now + Cycle::from(latency.max(1));
+                self.warps.ready_at[i] = now + Cycle::from(latency.max(1));
                 self.sfu_thread_insts[k] += u64::from(active_lanes);
             }
             Op::Mem { space: MemSpace::Shared, active_lanes, .. } => {
                 lanes = active_lanes;
-                w.ready_at = now + Cycle::from(self.l1_hit_latency);
+                self.warps.ready_at[i] = now + Cycle::from(self.l1_hit_latency);
                 self.smem_accesses[k] += u64::from(active_lanes);
             }
             Op::Mem { space: MemSpace::Global, pattern, active_lanes, .. } => {
                 lanes = active_lanes;
-                let tb_index =
-                    self.tbs[w.tb_slot as usize].as_ref().expect("TB of issuing warp").tb_index.0;
+                let tb_index = self.tbs.tb_index[usize::from(self.warps.tb_slot[i])].0;
                 let mut buf = [0u64; 32];
-                let n = w.gen_lines(
+                let n = self.warps.addr_stream(slot).gen_lines(
                     &pattern,
                     KernelDesc::base_addr(k),
                     self.line_bytes,
@@ -306,41 +724,41 @@ impl Sm {
                 }
                 let miss_len = self.icn.lines.len() as u32 - miss_start;
                 self.icn.requests.push(IcnRequest {
-                    kernel: w.kernel,
+                    kernel: self.warps.kernel[i],
                     warp_slot: slot,
                     total_lines: n as u32,
                     miss_start,
                     miss_len,
                 });
-                w.ready_at = icn::PENDING;
+                self.warps.ready_at[i] = icn::PENDING;
             }
             Op::Bar => {
                 lanes = crate::WARP_SIZE as u8;
-                w.ready_at = now + 1;
+                self.warps.ready_at[i] = now + 1;
             }
         }
 
         // Retire one dynamic instruction and advance the program counter.
-        w.rem -= 1;
+        self.warps.rem[i] -= 1;
         let mut arrived_barrier = false;
         let mut retired = false;
-        if w.rem == 0 {
-            w.pc += 1;
-            if usize::from(w.pc) == body_len {
-                w.iter -= 1;
-                if w.iter == 0 {
-                    w.done = true;
+        if self.warps.rem[i] == 0 {
+            self.warps.pc[i] += 1;
+            if usize::from(self.warps.pc[i]) == body_len {
+                self.warps.iter[i] -= 1;
+                if self.warps.iter[i] == 0 {
+                    mask_set(&mut self.warps.done, slot);
                     retired = true;
                 } else {
-                    w.pc = 0;
+                    self.warps.pc[i] = 0;
                 }
             }
             if matches!(op, Op::Bar) {
-                w.at_barrier = true;
+                mask_set(&mut self.warps.at_barrier, slot);
                 arrived_barrier = true;
             }
         }
-        let tb_slot = w.tb_slot;
+        let tb_slot = self.warps.tb_slot[i];
 
         self.counters[k].thread_insts += u64::from(lanes);
         self.counters[k].warp_insts += 1;

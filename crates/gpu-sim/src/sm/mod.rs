@@ -8,24 +8,26 @@
 //! evaluated lazily when a blocked warp is encountered, so the per-cycle
 //! issue loop stays branch-light.
 //!
-//! Every field of [`Sm`] is private, domain-local state: warp and TB slots,
-//! the private L1, quota counters, statistics, and the flight-recorder ring.
-//! The one piece of shared machine state an SM used to reach into — the
-//! L2/DRAM hierarchy — is now behind the typed [`crate::icn::IcnPort`]
-//! boundary: [`Sm::tick`] takes no `MemSystem` and instead enqueues requests
-//! that the machine drains at the end-of-cycle barrier in stable SM-index
-//! order (DESIGN.md §13). That isolation is what lets `intra_parallel`
-//! stepping run SM domains on concurrent threads with bit-identical results.
+//! Every field of [`Sm`] is private, domain-local state: the
+//! struct-of-arrays [`WarpTable`] and TB slab, the private L1, quota
+//! counters, statistics, and the flight-recorder ring. The one piece of
+//! shared machine state an SM used to reach into — the L2/DRAM hierarchy —
+//! is behind the typed [`crate::icn::IcnPort`] boundary: [`Sm::tick`] takes
+//! no `MemSystem` and instead enqueues requests that the machine drains at
+//! the end-of-cycle barrier in stable SM-index order (DESIGN.md §13). That
+//! isolation is what lets `intra_parallel` stepping run SM domains on
+//! concurrent threads with bit-identical results.
 //!
 //! Module map:
 //!
-//! | module    | owns                                                        |
-//! |-----------|-------------------------------------------------------------|
-//! | `mod.rs`  | the [`Sm`] struct, construction, snapshot codec              |
-//! | `slots`   | occupancy: TB dispatch, preemption, completion, audits       |
-//! | `quota`   | the EWS quota gate: carry rules, refills, fault freezes      |
-//! | `issue`   | the front end: schedulers, issue, `IcnPort` traffic, horizons|
-//! | `observe` | sampling, counters, and every read-only stats accessor       |
+//! | module       | owns                                                     |
+//! |--------------|----------------------------------------------------------|
+//! | `mod.rs`     | the [`Sm`] struct, construction, snapshot codec          |
+//! | `warp_table` | struct-of-arrays warp state + packed bitmasks            |
+//! | `slots`      | occupancy: TB dispatch, preemption, completion, audits   |
+//! | `quota`      | the EWS quota gate: carry rules, refills, fault freezes  |
+//! | `issue`      | the front end: bitmask ready-scan, issue, `IcnPort`      |
+//! | `observe`    | sampling, counters, and every read-only stats accessor   |
 
 mod issue;
 mod observe;
@@ -33,9 +35,12 @@ mod quota;
 mod slots;
 #[cfg(test)]
 mod tests;
+mod warp_table;
 
 pub use quota::QuotaCarry;
+pub use warp_table::WarpTable;
 
+use std::cell::Cell;
 use std::sync::Arc;
 
 use crate::cache::Cache;
@@ -44,11 +49,10 @@ use crate::icn::IcnPort;
 use crate::kernel::KernelDesc;
 use crate::observe::{EventRing, TraceEvent, TraceEventKind};
 use crate::preempt::{PreemptStats, SavedTb};
-use crate::tb::TbState;
+use crate::tb::TbSlab;
 use crate::telemetry::LatencyHistogram;
 use crate::types::{per_kernel, Cycle, KernelId, PerKernel, SmId, TbIndex};
-use crate::warp::WarpState;
-use crate::warp_sched::{Candidate, SchedPolicy, SchedulerState};
+use crate::warp_sched::{SchedPolicy, SchedulerState};
 
 /// Per-kernel issue counters of one SM for one epoch.
 #[derive(Debug, Clone, Copy, Default)]
@@ -57,6 +61,52 @@ pub struct SmKernelCounters {
     pub thread_insts: u64,
     /// Warp-level instructions issued.
     pub warp_insts: u64,
+}
+
+/// Memoized result of [`Sm::next_event`].
+///
+/// The next-event horizon only changes when an input of the computation
+/// changes (a warp issues or wakes, a TB transitions, quota/fault state
+/// flips); every such mutation calls `invalidate`. Between mutations —
+/// notably across the repeated fast-forward probes of a quiescent SM — the
+/// cached value is returned without rescanning the warp table.
+///
+/// Interior mutability (`Cell`) keeps `next_event` callable through `&self`;
+/// `Sm` only needs `Send` for pool stepping, which `Cell` satisfies.
+#[derive(Debug)]
+struct WakeCache {
+    valid: Cell<bool>,
+    value: Cell<Option<Cycle>>,
+}
+
+impl Default for WakeCache {
+    // Invalid by default: a freshly decoded (skip-field) cache recomputes on
+    // first use, so restore never observes a stale horizon.
+    fn default() -> Self {
+        WakeCache { valid: Cell::new(false), value: Cell::new(None) }
+    }
+}
+
+impl WakeCache {
+    #[inline]
+    fn invalidate(&self) {
+        self.valid.set(false);
+    }
+
+    #[inline]
+    fn get(&self) -> Option<Option<Cycle>> {
+        if self.valid.get() {
+            Some(self.value.get())
+        } else {
+            None
+        }
+    }
+
+    #[inline]
+    fn put(&self, v: Option<Cycle>) {
+        self.value.set(v);
+        self.valid.set(true);
+    }
 }
 
 /// A streaming multiprocessor.
@@ -73,6 +123,12 @@ pub struct Sm {
 
     l1: Cache,
     descs: PerKernel<Option<Arc<KernelDesc>>>,
+    // Flattened mirror of each registered kernel's op body, so the issue
+    // path reads the current op through one indexed load instead of chasing
+    // `Option<Arc<KernelDesc>>` → `Vec` on every dynamic instruction.
+    // Written alongside `descs` in `set_kernel_desc`; skip-snapped (a
+    // restored SM rebuilds each entry lazily on its first issue).
+    bodies: PerKernel<Vec<crate::kernel::Op>>,
 
     // Domain-local copies of machine config consulted on the issue path;
     // the SM must not reach across the interconnect boundary to read them.
@@ -83,10 +139,8 @@ pub struct Sm {
     used_regs: u64,
     used_smem: u64,
 
-    warps: Vec<Option<WarpState>>,
-    tbs: Vec<Option<TbState>>,
-    free_warps: Vec<u16>,
-    free_tbs: Vec<u16>,
+    warps: WarpTable,
+    tbs: TbSlab,
     scheds: Vec<SchedulerState>,
     next_age: u64,
     transitioning: Vec<u16>,
@@ -144,7 +198,24 @@ pub struct Sm {
     completed: Vec<(KernelId, TbIndex)>,
     saved: Vec<(KernelId, SavedTb)>,
 
-    ready_buf: Vec<Candidate>,
+    // Per-tick scratch: live-candidate mask words (occupied, not done, not
+    // at a barrier, TB active), computed once per tick and scanned per
+    // scheduler. Rebuilt every tick, so restore-as-empty is safe.
+    live_buf: Vec<u64>,
+    // Per-scheduler slot-stripe masks (bit set iff slot % num_scheds == sid).
+    // Pure function of the geometry; lazily rebuilt when empty, so a
+    // restored SM regenerates them on its first tick.
+    stride_masks: Vec<Vec<u64>>,
+    // Memoized next-event horizon (see `WakeCache`).
+    wake: WakeCache,
+
+    // --- host-side profiling (opt-in, cascaded from `Gpu::set_profiling`) ---
+    // Accumulated wall-nanoseconds and span count of ready-warp selection,
+    // harvested by the machine after each stepping barrier. Skip-snapped:
+    // profiling state never travels through checkpoints.
+    profile_issue: bool,
+    issue_select_nanos: u64,
+    issue_select_calls: u64,
 }
 
 impl Sm {
@@ -163,15 +234,14 @@ impl Sm {
             smem_bytes: cfg.sm.shared_mem_bytes,
             l1: Cache::new(cfg.mem.l1_bytes, cfg.mem.l1_ways, cfg.mem.line_bytes),
             descs: per_kernel(|_| None),
+            bodies: per_kernel(|_| Vec::new()),
             l1_hit_latency: cfg.mem.l1_hit_latency,
             line_bytes: cfg.mem.line_bytes,
             used_threads: 0,
             used_regs: 0,
             used_smem: 0,
-            warps: (0..max_warps).map(|_| None).collect(),
-            tbs: (0..max_tbs).map(|_| None).collect(),
-            free_warps: (0..max_warps).rev().collect(),
-            free_tbs: (0..max_tbs).rev().collect(),
+            warps: WarpTable::new(max_warps),
+            tbs: TbSlab::new(max_tbs),
             scheds: vec![SchedulerState::default(); cfg.sm.warp_schedulers as usize],
             next_age: 0,
             transitioning: Vec::new(),
@@ -210,13 +280,47 @@ impl Sm {
             scoreboard_waits: per_kernel(|_| 0),
             completed: Vec::new(),
             saved: Vec::new(),
-            ready_buf: Vec::with_capacity(max_warps as usize),
+            live_buf: Vec::new(),
+            stride_masks: Vec::new(),
+            wake: WakeCache::default(),
+            profile_issue: false,
+            issue_select_nanos: 0,
+            issue_select_calls: 0,
         }
     }
 
     /// This SM's identifier.
     pub fn id(&self) -> SmId {
         self.id
+    }
+
+    /// Enables or disables ready-warp-selection profiling for this SM.
+    pub fn set_issue_profiling(&mut self, on: bool) {
+        self.profile_issue = on;
+        self.issue_select_nanos = 0;
+        self.issue_select_calls = 0;
+    }
+
+    /// Takes the accumulated `issue_select` span (nanos, calls), resetting
+    /// the accumulators. Harvested by the machine after a stepping barrier.
+    pub fn take_issue_select(&mut self) -> (u64, u64) {
+        let out = (self.issue_select_nanos, self.issue_select_calls);
+        self.issue_select_nanos = 0;
+        self.issue_select_calls = 0;
+        out
+    }
+
+    /// Builds the per-scheduler slot-stripe masks: bit `s` of
+    /// `stride_masks[sid]` is set iff warp slot `s` belongs to scheduler
+    /// `sid` (`s % num_scheds == sid`), mirroring the strided slot walk of
+    /// the pre-SoA gather loop.
+    fn build_stride_masks(&mut self) {
+        let words = self.warps.words();
+        let scheds = usize::from(self.num_scheds).max(1);
+        self.stride_masks = vec![vec![0u64; words]; scheds];
+        for slot in 0..usize::from(self.max_warps) {
+            self.stride_masks[slot % scheds][slot / 64] |= 1 << (slot % 64);
+        }
     }
 
     /// Records a flight-recorder event. A single branch when tracing is off,
@@ -231,10 +335,14 @@ impl Sm {
 
 crate::impl_snap_struct!(SmKernelCounters { thread_insts, warp_insts });
 
-// `ready_buf` is per-tick scratch, always drained before `tick` returns, and
+// `bodies` is a pure mirror of `descs`, rebuilt lazily by `issue`;
+// `live_buf` is per-tick scratch, always rebuilt before use;
 // `icn` is pure transit state, always empty outside the step→drain window of
-// one cycle (snapshots are taken at epoch boundaries, between cycles), so a
-// restored SM starts with empty (re-growable) buffers for both.
+// one cycle (snapshots are taken at epoch boundaries, between cycles);
+// `stride_masks` is a pure function of the geometry, lazily rebuilt;
+// `wake` decodes invalid and recomputes on first use; the `profile_*`
+// accumulators are host-side instrumentation re-armed by `set_profiling`.
+// A restored SM therefore starts with empty/default values for all of them.
 crate::impl_snap_struct!(Sm {
     id,
     policy,
@@ -253,8 +361,6 @@ crate::impl_snap_struct!(Sm {
     used_smem,
     warps,
     tbs,
-    free_warps,
-    free_tbs,
     scheds,
     next_age,
     transitioning,
@@ -288,4 +394,13 @@ crate::impl_snap_struct!(Sm {
     scoreboard_waits,
     completed,
     saved,
-} skip { ready_buf, icn });
+} skip {
+    icn,
+    bodies,
+    live_buf,
+    stride_masks,
+    wake,
+    profile_issue,
+    issue_select_nanos,
+    issue_select_calls
+});

@@ -5,7 +5,7 @@
 use crate::health::WarpStallCounts;
 use crate::observe::EventRing;
 use crate::preempt::PreemptStats;
-use crate::types::{per_kernel, Cycle, KernelId, PerKernel};
+use crate::types::{per_kernel, Cycle, KernelId};
 
 use super::{Sm, SmKernelCounters};
 
@@ -17,23 +17,25 @@ impl Sm {
     /// occupy static resources without contributing progress (§3.6).
     pub(crate) fn sample_idle_warps(&mut self, now: Cycle) {
         self.idle_samples += 1;
-        for slot in 0..self.max_warps {
-            if self.warp_issuable(slot, now) {
-                let k = self.warps[slot as usize].as_ref().expect("warp").kernel;
-                self.idle_warp_acc[k.index()] += 1;
+        let t = &self.warps;
+        for wi in 0..t.words() {
+            // Live warps: occupied, not retired, not parked at a barrier.
+            // Both censuses accumulate order-independent per-kernel sums, so
+            // scanning set bits is equivalent to the old slot-order walk.
+            let mut bits = t.occupied[wi] & !t.done[wi] & !t.at_barrier[wi];
+            while bits != 0 {
+                let slot = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                let k = t.kernel[slot].index();
+                if t.ready_at[slot] > now {
+                    // Scoreboard census rides on the same sampling cadence:
+                    // live warps waiting on operand latencies accumulate
+                    // into the per-kernel scoreboard-wait counter.
+                    self.scoreboard_waits[k] += 1;
+                } else if self.tbs.issuable(t.tb_slot[slot], now) {
+                    self.idle_warp_acc[k] += 1;
+                }
             }
-        }
-        // Scoreboard census rides on the same sampling cadence: warps that
-        // are live but waiting on operand latencies (not done, not parked at
-        // a barrier) accumulate into the per-kernel scoreboard-wait counter.
-        let mut waits: PerKernel<u64> = per_kernel(|_| 0);
-        for w in self.warps.iter().flatten() {
-            if !w.done && !w.at_barrier && w.ready_at > now {
-                waits[w.kernel.index()] += 1;
-            }
-        }
-        for (k, w) in waits.iter().enumerate() {
-            self.scoreboard_waits[k] += w;
         }
     }
 
@@ -107,21 +109,25 @@ impl Sm {
 
     /// TBs resident on this SM (all kernels, including transitioning ones).
     pub fn resident_tbs(&self) -> u32 {
-        (self.max_tbs as usize - self.free_tbs.len()) as u32
+        (self.max_tbs as usize - self.tbs.free_slots()) as u32
     }
 
     /// Census of resident warps by stall state at cycle `now`.
     pub fn warp_stall_counts(&self, now: Cycle) -> WarpStallCounts {
         let mut counts = WarpStallCounts::default();
-        for w in self.warps.iter().flatten() {
-            if w.done {
-                counts.done += 1;
-            } else if w.at_barrier {
-                counts.at_barrier += 1;
-            } else if w.ready_at > now {
-                counts.waiting += 1;
-            } else {
-                counts.ready += 1;
+        let t = &self.warps;
+        for wi in 0..t.words() {
+            counts.done += (t.occupied[wi] & t.done[wi]).count_ones();
+            counts.at_barrier += (t.occupied[wi] & !t.done[wi] & t.at_barrier[wi]).count_ones();
+            let mut bits = t.occupied[wi] & !t.done[wi] & !t.at_barrier[wi];
+            while bits != 0 {
+                let slot = wi * 64 + bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if t.ready_at[slot] > now {
+                    counts.waiting += 1;
+                } else {
+                    counts.ready += 1;
+                }
             }
         }
         counts
@@ -180,12 +186,12 @@ impl Sm {
 
     /// Free warp slots.
     pub fn free_warp_slots(&self) -> u32 {
-        self.free_warps.len() as u32
+        self.warps.free_slots() as u32
     }
 
     /// Free TB slots.
     pub fn free_tb_slots(&self) -> u32 {
-        self.free_tbs.len() as u32
+        self.tbs.free_slots() as u32
     }
 
     /// Whether this SM's interconnect port holds in-flight traffic. Always

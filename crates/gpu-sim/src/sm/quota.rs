@@ -31,6 +31,7 @@ impl Sm {
         if self.quota_frozen {
             return;
         }
+        self.wake.invalidate();
         self.gated[k.index()] = gated;
     }
 
@@ -42,6 +43,7 @@ impl Sm {
         if self.quota_frozen {
             return;
         }
+        self.wake.invalidate();
         let i = k.index();
         let old = self.quota[i];
         self.quota[i] = match carry {
@@ -61,6 +63,7 @@ impl Sm {
     /// Marks kernel `k` as a QoS kernel (affects mid-epoch refill rules and
     /// the Rollover-Time priority gate).
     pub fn set_qos_kernel(&mut self, k: KernelId, qos: bool) {
+        self.wake.invalidate();
         self.is_qos[k.index()] = qos;
     }
 
@@ -70,12 +73,14 @@ impl Sm {
         if self.quota_frozen {
             return;
         }
+        self.wake.invalidate();
         self.elastic = on;
     }
 
     /// Enables the Rollover-Time priority gate: non-QoS kernels may only
     /// issue when every gated QoS kernel has exhausted its quota.
     pub fn set_priority_block(&mut self, on: bool) {
+        self.wake.invalidate();
         self.priority_block = on;
     }
 
@@ -109,6 +114,8 @@ impl Sm {
             // Elastic epoch: a new epoch starts early once *all* kernels
             // have consumed their quotas (Fig. 4b), carrying debt.
             if self.all_gated_exhausted() {
+                // Quota refills change which kernels are inert.
+                self.wake.invalidate();
                 for i in 0..MAX_KERNELS {
                     if self.gated[i] {
                         self.quota[i] += self.refill[i];
@@ -122,6 +129,7 @@ impl Sm {
         if !self.is_qos[k] && self.refill[k] > 0 && !self.any_qos_quota_positive() {
             // Naïve/Rollover mid-epoch rule: once every QoS kernel reached
             // its per-epoch goal, non-QoS kernels keep running (§3.4.1).
+            self.wake.invalidate();
             self.quota[k] += self.refill[k];
             self.quota_credit[k] += self.refill[k];
             return self.quota[k] > 0;
@@ -159,10 +167,26 @@ impl Sm {
         !(self.elastic && self.all_gated_exhausted())
     }
 
+    /// Whether any kernel is quota-inert while owning resident warps on
+    /// this SM. Guards the quiescent-tick fast path: inert kernels' issuable
+    /// warps must keep accumulating `quota_blocked` every cycle, which only
+    /// the full gather does. The gate tests (`gated`/`priority_block`/
+    /// `quota_frozen`) run first because no kernel can be inert without one
+    /// of them set, and unmanaged scenarios set none.
+    #[inline]
+    pub(super) fn any_inert_resident(&self) -> bool {
+        if !self.quota_frozen && !self.priority_block && !self.gated.iter().any(|&g| g) {
+            return false;
+        }
+        (0..MAX_KERNELS)
+            .any(|k| self.quota_inert(k) && self.warps.kernel_mask[k].iter().any(|&w| w != 0))
+    }
+
     /// Injected `StarveQuota` fault: gates every kernel at zero quota and
     /// freezes all quota writes and refill channels, so no controller can
     /// revive issue on this SM.
     pub(crate) fn freeze_all_quota(&mut self) {
+        self.wake.invalidate();
         for i in 0..MAX_KERNELS {
             self.gated[i] = true;
             let old = self.quota[i];
@@ -177,6 +201,7 @@ impl Sm {
     /// Injected `FreezeScheduler` fault: the SM stops issuing forever
     /// (in-flight context transfers still retire).
     pub(crate) fn freeze_schedulers(&mut self) {
+        self.wake.invalidate();
         self.sched_frozen = true;
     }
 
@@ -192,6 +217,7 @@ impl Sm {
     /// not carry them along. Quota counters and gates themselves are left
     /// untouched — they are workload state the controller owns.
     pub(crate) fn clear_fault_effects(&mut self) {
+        self.wake.invalidate();
         self.sched_frozen = false;
         self.quota_frozen = false;
         self.preempt_stalled = false;
@@ -206,6 +232,7 @@ impl Sm {
     /// through a ledger channel, to prove the audit catches stray writes.
     #[cfg(test)]
     pub(crate) fn corrupt_quota_for_test(&mut self, k: KernelId, delta: i64) {
+        self.wake.invalidate();
         self.quota[k.index()] += delta;
     }
 }

@@ -1,5 +1,12 @@
 //! Occupancy and slot accounting: TB dispatch, preemption context switches,
 //! completion outboxes, and the epoch-boundary invariant audit.
+//!
+//! All TB bookkeeping lives in the arena-allocated [`crate::tb::TbSlab`] and
+//! all warp state in the struct-of-arrays [`super::WarpTable`]; dispatch and
+//! release are index-based and allocation-free in steady state (the per-slot
+//! warp lists keep their capacity across reuse). Every TB phase change also
+//! updates the warp table's `tb_active`/`tb_loading` mirror bits, the
+//! invariant the issue path's bitmask scan relies on.
 
 use std::sync::Arc;
 
@@ -8,23 +15,25 @@ use crate::kernel::KernelDesc;
 use crate::observe::TraceEventKind;
 use crate::preempt::SavedTb;
 use crate::rng::derive_seed;
-use crate::tb::{TbPhase, TbState};
+use crate::tb::TbPhase;
 use crate::types::{Cycle, KernelId, TbIndex};
-use crate::warp::{WarpProgress, WarpState};
+use crate::warp::WarpProgress;
 use crate::MAX_KERNELS;
 
+use super::warp_table::{mask_clear, mask_get};
 use super::Sm;
 
 impl Sm {
     /// Registers the kernel description for slot `k` (done once at launch).
     pub(crate) fn set_kernel_desc(&mut self, k: KernelId, desc: Arc<KernelDesc>) {
+        self.bodies[k.index()] = desc.body().to_vec();
         self.descs[k.index()] = Some(desc);
     }
 
     /// Whether one more TB of `desc` fits in the remaining resources.
     pub fn can_host(&self, desc: &KernelDesc) -> bool {
-        !self.free_tbs.is_empty()
-            && self.free_warps.len() >= desc.warps_per_tb() as usize
+        self.tbs.free_slots() > 0
+            && self.warps.free_slots() >= desc.warps_per_tb() as usize
             && self.used_threads + desc.threads_per_tb() <= self.max_threads
             && self.used_regs + desc.regfile_bytes_per_tb() <= self.regfile_bytes
             && self.used_smem + desc.smem_per_tb() <= self.smem_bytes
@@ -67,11 +76,14 @@ impl Sm {
     ) {
         let desc = self.descs[k.index()].as_ref().expect("kernel desc registered").clone();
         assert!(self.can_host(&desc), "dispatch without capacity on {}", self.id);
+        // New residency changes the horizon inputs.
+        self.wake.invalidate();
         let resumed = resume.is_some();
-        let tb_slot = self.free_tbs.pop().expect("free TB slot");
         let warps_per_tb = desc.warps_per_tb() as u16;
-        let mut warp_slots = Vec::with_capacity(warps_per_tb as usize);
-        let mut warps_done = 0u16;
+        let tb_slot = self
+            .tbs
+            .alloc(k, tb_index, 0, TbPhase::Loading(now + load_cost))
+            .expect("free TB slot");
         let saved_warps = resume.as_ref().map(|s| &s.warps);
         if let Some(s) = &resume {
             assert_eq!(s.tb_index, tb_index, "resume must target the saved TB index");
@@ -79,52 +91,39 @@ impl Sm {
             self.preempt_stats.resumes += 1;
             self.preempt_stats.transfer_cycles += load_cost;
         }
+        let mut warps_done = 0u16;
         for wi in 0..warps_per_tb {
-            let slot = self.free_warps.pop().expect("free warp slot");
             let warp_uid = u64::from(tb_index.0) * u64::from(warps_per_tb) + u64::from(wi);
-            let mut w = WarpState {
-                kernel: k,
-                tb_slot,
-                warp_in_tb: wi,
-                warp_uid,
-                pc: 0,
-                rem: 0,
-                iter: desc.iterations(),
-                ready_at: now + load_cost,
-                at_barrier: false,
-                done: false,
-                seq: 0,
-                rng: crate::rng::SplitMix64::new(derive_seed(desc.seed(), warp_uid)),
-                age: self.next_age,
-            };
-            self.next_age += 1;
-            if let Some(saved) = saved_warps {
-                let p: &WarpProgress = &saved[wi as usize];
-                w.pc = p.pc;
-                w.rem = p.rem;
-                w.iter = p.iter;
-                w.seq = p.seq;
-                w.done = p.done;
-                w.rng = p.rng.clone();
-                if p.done {
-                    warps_done += 1;
+            let progress = match saved_warps {
+                Some(saved) => {
+                    let p: &WarpProgress = &saved[wi as usize];
+                    if p.done {
+                        warps_done += 1;
+                    }
+                    p.clone()
                 }
-            }
-            self.warps[slot as usize] = Some(w);
-            warp_slots.push(slot);
+                None => WarpProgress {
+                    pc: 0,
+                    rem: 0,
+                    iter: desc.iterations(),
+                    seq: 0,
+                    done: false,
+                    rng: crate::rng::SplitMix64::new(derive_seed(desc.seed(), warp_uid)),
+                },
+            };
+            let slot = self
+                .warps
+                .alloc(k, tb_slot, wi, warp_uid, &progress, now + load_cost, self.next_age)
+                .expect("free warp slot");
+            self.next_age += 1;
+            self.warps.set_tb_phase_bits(slot, false, true);
+            self.tbs.warp_slots[usize::from(tb_slot)].push(slot);
         }
+        self.tbs.warps_done[usize::from(tb_slot)] = warps_done;
         self.used_threads += desc.threads_per_tb();
         self.used_regs += desc.regfile_bytes_per_tb();
         self.used_smem += desc.smem_per_tb();
         self.hosted[k.index()] += 1;
-        self.tbs[tb_slot as usize] = Some(TbState {
-            kernel: k,
-            tb_index,
-            warp_slots,
-            warps_done,
-            barrier_arrived: 0,
-            phase: TbPhase::Loading(now + load_cost),
-        });
         self.transitioning.push(tb_slot);
         self.record(
             now,
@@ -141,53 +140,66 @@ impl Sm {
         }
         let victim = self
             .tbs
-            .iter()
-            .enumerate()
-            .filter_map(|(i, tb)| tb.as_ref().map(|t| (i, t)))
-            .filter(|(_, t)| t.kernel == k && t.phase == TbPhase::Active && !t.finished())
-            .map(|(i, t)| (i, t.tb_index.0))
+            .iter_occupied()
+            .filter(|&slot| {
+                let i = usize::from(slot);
+                self.tbs.kernel[i] == k
+                    && self.tbs.phase[i] == TbPhase::Active
+                    && !self.tbs.finished(slot)
+            })
+            .map(|slot| (slot, self.tbs.tb_index[usize::from(slot)].0))
             .max_by_key(|&(_, idx)| idx);
         let Some((slot, victim_tb)) = victim else { return false };
-        let tb = self.tbs[slot].as_mut().expect("victim TB present");
-        tb.phase = TbPhase::Saving(now + save_cost);
+        self.wake.invalidate();
+        let i = usize::from(slot);
+        self.tbs.phase[i] = TbPhase::Saving(now + save_cost);
         // Warps parked at a barrier would deadlock the saved context check;
         // the barrier state is recomputed on resume, so release the arrivals.
-        tb.barrier_arrived = 0;
+        self.tbs.barrier_arrived[i] = 0;
+        // Saving TBs' warps are frozen: neither phase-mirror bit set.
+        for idx in 0..self.tbs.warp_slots[i].len() {
+            let ws = self.tbs.warp_slots[i][idx];
+            self.warps.set_tb_phase_bits(ws, false, false);
+        }
         self.preempt_stats.saves += 1;
         self.preempt_stats.transfer_cycles += save_cost;
         self.preempt_save_hist[k.index()].record(save_cost);
-        self.transitioning.push(slot as u16);
+        self.transitioning.push(slot);
         self.record(now, TraceEventKind::PreemptStart { kernel: k.index() as u32, tb: victim_tb });
         true
     }
 
     /// Whether any TB is currently loading or saving context.
     pub fn context_switch_in_flight(&self) -> bool {
-        self.transitioning.iter().any(|&s| {
-            matches!(
-                self.tbs[s as usize].as_ref().map(|t| t.phase),
-                Some(TbPhase::Saving(_)) | Some(TbPhase::Loading(_))
-            )
-        })
+        self.transitioning
+            .iter()
+            .any(|&s| self.tbs.is_occupied(s) && self.tbs.transition_done_at(s).is_some())
     }
 
     pub(super) fn process_transitions(&mut self, now: Cycle) {
         let mut i = 0;
         while i < self.transitioning.len() {
             let slot = self.transitioning[i];
-            let phase = self.tbs[slot as usize].as_ref().map(|t| t.phase);
-            match phase {
-                Some(TbPhase::Loading(until)) if now >= until => {
-                    self.tbs[slot as usize].as_mut().expect("loading TB").phase = TbPhase::Active;
+            if !self.tbs.is_occupied(slot) {
+                // The TB completed while transitioning bookkeeping was
+                // pending (cannot normally happen; defensive).
+                self.wake.invalidate();
+                self.transitioning.swap_remove(i);
+                continue;
+            }
+            match self.tbs.phase[usize::from(slot)] {
+                TbPhase::Loading(until) if now >= until => {
+                    self.wake.invalidate();
+                    self.tbs.phase[usize::from(slot)] = TbPhase::Active;
+                    let si = usize::from(slot);
+                    for idx in 0..self.tbs.warp_slots[si].len() {
+                        let ws = self.tbs.warp_slots[si][idx];
+                        self.warps.set_tb_phase_bits(ws, true, false);
+                    }
                     self.transitioning.swap_remove(i);
                 }
-                Some(TbPhase::Saving(until)) if now >= until => {
+                TbPhase::Saving(until) if now >= until => {
                     self.finalize_save(slot, now);
-                    self.transitioning.swap_remove(i);
-                }
-                None => {
-                    // The TB completed while transitioning bookkeeping was
-                    // pending (cannot normally happen; defensive).
                     self.transitioning.swap_remove(i);
                 }
                 _ => i += 1,
@@ -196,19 +208,22 @@ impl Sm {
     }
 
     fn finalize_save(&mut self, tb_slot: u16, now: Cycle) {
-        let tb = self.tbs[tb_slot as usize].take().expect("saving TB present");
-        let desc = self.descs[tb.kernel.index()].as_ref().expect("desc").clone();
-        let mut warps = Vec::with_capacity(tb.warp_slots.len());
-        for &ws in &tb.warp_slots {
-            let w = self.warps[ws as usize].take().expect("warp of saving TB");
-            warps.push(WarpProgress::capture(&w));
-            self.free_warps.push(ws);
+        self.wake.invalidate();
+        let i = usize::from(tb_slot);
+        let kernel = self.tbs.kernel[i];
+        let tb_index = self.tbs.tb_index[i];
+        let desc = self.descs[kernel.index()].as_ref().expect("desc").clone();
+        let n = self.tbs.warp_slots[i].len();
+        let mut warps = Vec::with_capacity(n);
+        for idx in 0..n {
+            let ws = self.tbs.warp_slots[i][idx];
+            warps.push(self.warps.capture_progress(ws));
+            self.warps.free_slot(ws);
         }
         self.release_resources(&desc);
-        self.hosted[tb.kernel.index()] -= 1;
-        self.free_tbs.push(tb_slot);
-        let (kernel, tb_index) = (tb.kernel, tb.tb_index);
-        self.saved.push((tb.kernel, SavedTb { tb_index: tb.tb_index, warps }));
+        self.hosted[kernel.index()] -= 1;
+        self.tbs.release(tb_slot);
+        self.saved.push((kernel, SavedTb { tb_index, warps }));
         self.record(
             now,
             TraceEventKind::PreemptComplete { kernel: kernel.index() as u32, tb: tb_index.0 },
@@ -222,44 +237,43 @@ impl Sm {
     }
 
     pub(super) fn note_barrier_arrival(&mut self, tb_slot: u16, now: Cycle) {
-        let tb = self.tbs[tb_slot as usize].as_mut().expect("TB at barrier");
-        tb.barrier_arrived += 1;
-        let live = tb.warp_slots.len() as u16 - tb.warps_done;
-        if tb.barrier_arrived >= live {
-            tb.barrier_arrived = 0;
-            let slots = tb.warp_slots.clone();
-            for ws in slots {
-                if let Some(w) = self.warps[ws as usize].as_mut() {
-                    if w.at_barrier {
-                        w.at_barrier = false;
-                        w.ready_at = w.ready_at.max(now + 1);
-                    }
+        let i = usize::from(tb_slot);
+        self.tbs.barrier_arrived[i] += 1;
+        let live = self.tbs.warp_slots[i].len() as u16 - self.tbs.warps_done[i];
+        if self.tbs.barrier_arrived[i] >= live {
+            self.wake.invalidate();
+            self.tbs.barrier_arrived[i] = 0;
+            for idx in 0..self.tbs.warp_slots[i].len() {
+                let ws = self.tbs.warp_slots[i][idx];
+                if self.warps.is_occupied(ws) && mask_get(&self.warps.at_barrier, ws) {
+                    mask_clear(&mut self.warps.at_barrier, ws);
+                    let w = usize::from(ws);
+                    self.warps.ready_at[w] = self.warps.ready_at[w].max(now + 1);
                 }
             }
         }
     }
 
     pub(super) fn note_warp_retired(&mut self, tb_slot: u16, now: Cycle) {
-        let finished = {
-            let tb = self.tbs[tb_slot as usize].as_mut().expect("TB of retiring warp");
-            tb.warps_done += 1;
-            tb.finished()
-        };
-        if finished {
-            let tb = self.tbs[tb_slot as usize].take().expect("finished TB");
-            let desc = self.descs[tb.kernel.index()].as_ref().expect("desc").clone();
-            for &ws in &tb.warp_slots {
-                self.warps[ws as usize] = None;
-                self.free_warps.push(ws);
+        let i = usize::from(tb_slot);
+        self.tbs.warps_done[i] += 1;
+        if self.tbs.finished(tb_slot) {
+            self.wake.invalidate();
+            let kernel = self.tbs.kernel[i];
+            let tb_index = self.tbs.tb_index[i];
+            let desc = self.descs[kernel.index()].as_ref().expect("desc").clone();
+            for idx in 0..self.tbs.warp_slots[i].len() {
+                let ws = self.tbs.warp_slots[i][idx];
+                self.warps.free_slot(ws);
             }
             self.release_resources(&desc);
-            self.hosted[tb.kernel.index()] -= 1;
-            self.free_tbs.push(tb_slot);
+            self.hosted[kernel.index()] -= 1;
+            self.tbs.release(tb_slot);
             self.record(
                 now,
-                TraceEventKind::TbDrain { kernel: tb.kernel.index() as u32, tb: tb.tb_index.0 },
+                TraceEventKind::TbDrain { kernel: kernel.index() as u32, tb: tb_index.0 },
             );
-            self.completed.push((tb.kernel, tb.tb_index));
+            self.completed.push((kernel, tb_index));
         }
     }
 
@@ -288,9 +302,9 @@ impl Sm {
         let mut smem = 0u64;
         let mut hosted = [0u16; MAX_KERNELS];
         let mut live_tbs = 0usize;
-        for (slot, tb) in self.tbs.iter().enumerate() {
-            let Some(tb) = tb.as_ref() else { continue };
-            let k = tb.kernel.index();
+        for slot in self.tbs.iter_occupied() {
+            let i = usize::from(slot);
+            let k = self.tbs.kernel[i].index();
             let Some(desc) = self.descs[k].as_ref() else {
                 return Err((
                     AuditKind::SlotAccounting,
@@ -302,14 +316,31 @@ impl Sm {
             smem += desc.smem_per_tb();
             hosted[k] += 1;
             live_tbs += 1;
-            for &ws in &tb.warp_slots {
-                let ok = self.warps[ws as usize]
-                    .as_ref()
-                    .is_some_and(|w| w.kernel == tb.kernel && w.tb_slot == slot as u16);
+            let (want_active, want_loading) = match self.tbs.phase[i] {
+                TbPhase::Active => (true, false),
+                TbPhase::Loading(_) => (false, true),
+                TbPhase::Saving(_) => (false, false),
+            };
+            for &ws in &self.tbs.warp_slots[i] {
+                let ok = self.warps.is_occupied(ws)
+                    && self.warps.kernel[usize::from(ws)] == self.tbs.kernel[i]
+                    && self.warps.tb_slot[usize::from(ws)] == slot;
                 if !ok {
                     return Err((
                         AuditKind::SlotAccounting,
                         format!("TB slot {slot} claims warp slot {ws} it does not own"),
+                    ));
+                }
+                let is_active = mask_get(&self.warps.tb_active, ws);
+                let is_loading = mask_get(&self.warps.tb_loading, ws);
+                if (is_active, is_loading) != (want_active, want_loading) {
+                    return Err((
+                        AuditKind::SlotAccounting,
+                        format!(
+                            "warp slot {ws}: TB-phase mirror bits (active={is_active}, \
+                             loading={is_loading}) disagree with TB slot {slot} phase {:?}",
+                            self.tbs.phase[i]
+                        ),
                     ));
                 }
             }
@@ -344,23 +375,23 @@ impl Sm {
                 ));
             }
         }
-        if self.free_tbs.len() + live_tbs != self.max_tbs as usize {
+        if self.tbs.free_slots() + live_tbs != self.max_tbs as usize {
             return Err((
                 AuditKind::SlotAccounting,
                 format!(
                     "{} free + {live_tbs} live TB slots != {} total",
-                    self.free_tbs.len(),
+                    self.tbs.free_slots(),
                     self.max_tbs
                 ),
             ));
         }
-        let live_warps = self.warps.iter().filter(|w| w.is_some()).count();
-        if self.free_warps.len() + live_warps != self.max_warps as usize {
+        let live_warps: usize = self.warps.occupied.iter().map(|w| w.count_ones() as usize).sum();
+        if self.warps.free_slots() + live_warps != self.max_warps as usize {
             return Err((
                 AuditKind::SlotAccounting,
                 format!(
                     "{} free + {live_warps} live warp slots != {} total",
-                    self.free_warps.len(),
+                    self.warps.free_slots(),
                     self.max_warps
                 ),
             ));

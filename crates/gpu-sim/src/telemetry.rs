@@ -341,6 +341,12 @@ impl TimeSeries {
 pub enum ProfPhase {
     /// Stepping every SM domain for one cycle (serial or via the pool).
     SmStep,
+    /// Ready-warp selection inside the SM step: building the live-warp
+    /// bitmask and running the per-scheduler gather/choose passes. A
+    /// sub-span of [`ProfPhase::SmStep`] (its time is also inside that
+    /// total), attributed separately so dense-path reports show how much
+    /// of the step is scheduler selection versus issue execution.
+    IssueSelect,
     /// Draining SM interconnect ports: applying memory responses to warp
     /// scoreboards at the end-of-cycle barrier.
     IcnDrain,
@@ -364,8 +370,9 @@ pub enum ProfPhase {
 
 impl ProfPhase {
     /// Every phase, in display order.
-    pub const ALL: [ProfPhase; 9] = [
+    pub const ALL: [ProfPhase; 10] = [
         ProfPhase::SmStep,
+        ProfPhase::IssueSelect,
         ProfPhase::IcnDrain,
         ProfPhase::MemsysServe,
         ProfPhase::TbService,
@@ -380,6 +387,7 @@ impl ProfPhase {
     pub fn name(self) -> &'static str {
         match self {
             ProfPhase::SmStep => "sm_step",
+            ProfPhase::IssueSelect => "issue_select",
             ProfPhase::IcnDrain => "icn_drain",
             ProfPhase::MemsysServe => "memsys_serve",
             ProfPhase::TbService => "tb_service",
@@ -469,9 +477,16 @@ impl HostProfiler {
     /// Attributes `nanos` to `phase` directly (for externally timed spans
     /// such as checkpoint writes).
     pub fn add(&mut self, phase: ProfPhase, nanos: u64) {
+        self.add_span(phase, nanos, 1);
+    }
+
+    /// Attributes a pre-aggregated batch of `calls` spans totalling `nanos`
+    /// to `phase` (for spans timed inside concurrently stepped domains and
+    /// folded in at the barrier).
+    pub fn add_span(&mut self, phase: ProfPhase, nanos: u64, calls: u64) {
         let t = &mut self.totals[phase as usize];
         t.nanos = t.nanos.saturating_add(nanos);
-        t.calls += 1;
+        t.calls += calls;
     }
 
     /// Accumulated total of one phase.

@@ -1,70 +1,35 @@
-//! Per-warp execution state and address-stream generation.
+//! Warp address-stream generation and saved progress.
+//!
+//! Per-warp execution state itself lives in the struct-of-arrays
+//! [`crate::sm::WarpTable`]; this module holds the pieces that are not
+//! layout-sensitive: the deterministic address-stream generator (borrowed
+//! view over one table slot) and the architectural progress captured by a
+//! partial context switch.
 
 use crate::kernel::{AccessPattern, PatternKind};
 use crate::rng::SplitMix64;
-use crate::tb::TbPhase;
-use crate::types::{Addr, Cycle, KernelId};
+use crate::types::Addr;
 
-/// Execution progress of one warp, the unit the paper's quota counters and
-/// idle-warp sampling reason about.
-#[derive(Debug, Clone)]
-pub struct WarpState {
-    /// Owning kernel.
-    pub kernel: KernelId,
-    /// Index of the owning TB in the SM's TB slot array.
-    pub tb_slot: u16,
+/// Borrowed view of the address-stream state of one warp-table slot.
+///
+/// Streams are fully determined by `(kernel seed, warp_uid, seq)`, so a
+/// preempted-and-resumed warp continues exactly where it left off.
+#[derive(Debug)]
+pub struct AddrStream<'a> {
+    /// Globally unique warp number within the kernel (survives preemption).
+    pub warp_uid: u64,
     /// Warp position within its TB.
     pub warp_in_tb: u16,
-    /// Globally unique warp number within the kernel (survives preemption),
-    /// used to derive deterministic address streams.
-    pub warp_uid: u64,
-    /// Index of the current op in the kernel body.
-    pub pc: u16,
-    /// Remaining repeats of the current op (0 = not yet started).
-    pub rem: u16,
-    /// Remaining body iterations (counts down from `KernelDesc::iterations`).
-    pub iter: u32,
-    /// Cycle at which the warp's previous instruction completes.
-    pub ready_at: Cycle,
-    /// Whether the warp is parked at a barrier.
-    pub at_barrier: bool,
-    /// Whether the warp has retired its last instruction.
-    pub done: bool,
-    /// Memory-access sequence number (drives address streams).
-    pub seq: u64,
+    /// Memory-access sequence number (advanced by each generated access).
+    pub seq: &'a mut u64,
     /// Deterministic per-warp RNG for randomized patterns.
-    pub rng: SplitMix64,
-    /// Dispatch age: smaller = older (GTO tie-break).
-    pub age: u64,
+    pub rng: &'a mut SplitMix64,
 }
 
-impl WarpState {
-    /// The earliest cycle at which this warp could next become issuable,
-    /// given the phase of its owning TB, or `None` if only an external event
-    /// (barrier release, context-save completion) can wake it.
-    ///
-    /// Barrier-parked warps return `None` because their release is triggered
-    /// by *another* warp's issue — and some warp of the TB is then not at the
-    /// barrier and carries the wake-up in its own `ready_at`.
-    pub fn next_wake(&self, phase: TbPhase) -> Option<Cycle> {
-        if self.done || self.at_barrier {
-            return None;
-        }
-        match phase {
-            TbPhase::Active => Some(self.ready_at),
-            TbPhase::Loading(until) => Some(self.ready_at.max(until)),
-            // A saving TB's warps are frozen; the save completion itself is
-            // reported by the SM's transition horizon.
-            TbPhase::Saving(_) => None,
-        }
-    }
-
+impl AddrStream<'_> {
     /// Generates the coalesced line addresses for the warp's next memory
     /// access under `pattern`, appending up to `pattern.transactions` line
     /// addresses into `buf` and returning how many were written.
-    ///
-    /// Streams are fully determined by `(kernel seed, warp_uid, seq)`, so a
-    /// preempted-and-resumed warp continues exactly where it left off.
     pub fn gen_lines(
         &mut self,
         pattern: &AccessPattern,
@@ -76,17 +41,31 @@ impl WarpState {
         let line = u64::from(line_bytes);
         let trans = usize::from(pattern.transactions);
         let fp_lines = (pattern.footprint_bytes / line).max(1);
-        let seq = self.seq;
-        self.seq += 1;
+        let seq = *self.seq;
+        *self.seq += 1;
+        // Writes `(start + t) % fp_lines` scaled to line addresses for
+        // `t = 0..trans`. `start` is already reduced mod `fp_lines`, so the
+        // per-line modulo is a wrap-to-zero compare — one u64 division per
+        // *access* instead of one per line, which matters on the dense path
+        // where every memory issue runs this for a full warp's worth of
+        // transactions.
+        let fill = |buf: &mut [Addr; 32], base: Addr, start: u64| {
+            let mut x = start;
+            for slot in buf.iter_mut().take(trans) {
+                *slot = base + x * line;
+                x += 1;
+                if x == fp_lines {
+                    x = 0;
+                }
+            }
+        };
         match pattern.kind {
             PatternKind::Stream => {
                 // Each warp streams through its own region; fresh lines each
                 // access until the (large) footprint wraps.
                 let start =
                     self.warp_uid.wrapping_mul(2048).wrapping_add(seq * trans as u64) % fp_lines;
-                for (t, slot) in buf.iter_mut().take(trans).enumerate() {
-                    *slot = kernel_base + ((start + t as u64) % fp_lines) * line;
-                }
+                fill(buf, kernel_base, start);
             }
             PatternKind::Tile => {
                 // The whole TB cycles within one tile; after the first pass
@@ -94,9 +73,7 @@ impl WarpState {
                 let tile_base = kernel_base + u64::from(tb_index) % 1024 * pattern.footprint_bytes;
                 let start =
                     (u64::from(self.warp_in_tb) * 97 + seq).wrapping_mul(trans as u64) % fp_lines;
-                for (t, slot) in buf.iter_mut().take(trans).enumerate() {
-                    *slot = tile_base + ((start + t as u64) % fp_lines) * line;
-                }
+                fill(buf, tile_base, start);
             }
             PatternKind::Random => {
                 for slot in buf.iter_mut().take(trans) {
@@ -108,9 +85,7 @@ impl WarpState {
                 // successive accesses: L1 catches same-warp reuse, L2 catches
                 // cross-TB reuse.
                 let center = (self.warp_uid * trans as u64 + seq * 2) % fp_lines;
-                for (t, slot) in buf.iter_mut().take(trans).enumerate() {
-                    *slot = kernel_base + ((center + t as u64) % fp_lines) * line;
-                }
+                fill(buf, kernel_base, center);
             }
         }
         trans
@@ -134,36 +109,6 @@ pub struct WarpProgress {
     pub rng: SplitMix64,
 }
 
-impl WarpProgress {
-    /// Captures a warp's progress for a context save.
-    pub fn capture(w: &WarpState) -> Self {
-        WarpProgress {
-            pc: w.pc,
-            rem: w.rem,
-            iter: w.iter,
-            seq: w.seq,
-            done: w.done,
-            rng: w.rng.clone(),
-        }
-    }
-}
-
-crate::impl_snap_struct!(WarpState {
-    kernel,
-    tb_slot,
-    warp_in_tb,
-    warp_uid,
-    pc,
-    rem,
-    iter,
-    ready_at,
-    at_barrier,
-    done,
-    seq,
-    rng,
-    age,
-});
-
 crate::impl_snap_struct!(WarpProgress { pc, rem, iter, seq, done, rng });
 
 #[cfg(test)]
@@ -171,22 +116,33 @@ mod tests {
     use super::*;
     use crate::rng::SplitMix64;
 
-    fn warp(uid: u64) -> WarpState {
-        WarpState {
-            kernel: KernelId::new(0),
-            tb_slot: 0,
-            warp_in_tb: 0,
-            warp_uid: uid,
-            pc: 0,
-            rem: 0,
-            iter: 1,
-            ready_at: 0,
-            at_barrier: false,
-            done: false,
-            seq: 0,
-            rng: SplitMix64::new(uid),
-            age: 0,
+    struct OwnedStream {
+        warp_uid: u64,
+        warp_in_tb: u16,
+        seq: u64,
+        rng: SplitMix64,
+    }
+
+    impl OwnedStream {
+        fn gen(
+            &mut self,
+            pattern: &AccessPattern,
+            kernel_base: Addr,
+            tb_index: u32,
+            buf: &mut [Addr; 32],
+        ) -> usize {
+            AddrStream {
+                warp_uid: self.warp_uid,
+                warp_in_tb: self.warp_in_tb,
+                seq: &mut self.seq,
+                rng: &mut self.rng,
+            }
+            .gen_lines(pattern, kernel_base, 32, tb_index, buf)
         }
+    }
+
+    fn warp(uid: u64) -> OwnedStream {
+        OwnedStream { warp_uid: uid, warp_in_tb: 0, seq: 0, rng: SplitMix64::new(uid) }
     }
 
     #[test]
@@ -194,13 +150,13 @@ mod tests {
         let mut w = warp(0);
         let mut buf = [0u64; 32];
         let p = AccessPattern::stream();
-        let n = w.gen_lines(&p, 0, 32, 0, &mut buf);
+        let n = w.gen(&p, 0, 0, &mut buf);
         assert_eq!(n, 4);
         for t in 1..n {
             assert_eq!(buf[t] - buf[t - 1], 32, "stream lines are consecutive");
         }
         let first_access = buf[..n].to_vec();
-        let n2 = w.gen_lines(&p, 0, 32, 0, &mut buf);
+        let n2 = w.gen(&p, 0, 0, &mut buf);
         assert!(
             buf[..n2].iter().all(|a| !first_access.contains(a)),
             "successive stream accesses touch fresh lines"
@@ -213,7 +169,7 @@ mod tests {
         let mut buf = [0u64; 32];
         let p = AccessPattern::tile(4096);
         for _ in 0..100 {
-            let n = w.gen_lines(&p, 0, 32, 7, &mut buf);
+            let n = w.gen(&p, 0, 7, &mut buf);
             let tile_base = 7 * 4096;
             for &a in &buf[..n] {
                 assert!(
@@ -229,7 +185,7 @@ mod tests {
         let mut w = warp(5);
         let mut buf = [0u64; 32];
         let p = AccessPattern::random(1 << 20, 32);
-        let n = w.gen_lines(&p, 1 << 30, 32, 0, &mut buf);
+        let n = w.gen(&p, 1 << 30, 0, &mut buf);
         assert_eq!(n, 32);
         for &a in &buf[..n] {
             assert!((1 << 30..(1 << 30) + (1 << 20)).contains(&a));
@@ -246,21 +202,21 @@ mod tests {
         let mut bb = [0u64; 32];
         let p = AccessPattern::random(1 << 16, 8);
         for _ in 0..10 {
-            a.gen_lines(&p, 0, 32, 0, &mut ba);
-            b.gen_lines(&p, 0, 32, 0, &mut bb);
+            a.gen(&p, 0, 0, &mut ba);
+            b.gen(&p, 0, 0, &mut bb);
             assert_eq!(ba, bb);
         }
     }
 
     #[test]
-    fn progress_capture_round_trip() {
+    fn gen_lines_advances_seq_once_per_access() {
         let mut w = warp(1);
-        w.pc = 3;
-        w.rem = 2;
-        w.iter = 5;
-        w.seq = 42;
-        let p = WarpProgress::capture(&w);
-        assert_eq!((p.pc, p.rem, p.iter, p.seq, p.done), (3, 2, 5, 42, false));
+        let mut buf = [0u64; 32];
+        let p = AccessPattern::stream();
+        for expect in 1..=5u64 {
+            w.gen(&p, 0, 0, &mut buf);
+            assert_eq!(w.seq, expect, "each access advances seq by exactly one");
+        }
     }
 
     #[test]
@@ -271,12 +227,12 @@ mod tests {
         let mut b1 = [0u64; 32];
         let p = AccessPattern::stencil(1 << 16);
         // Advance warp 0 a little; its window should reach warp 1's start.
-        let n0 = w0.gen_lines(&p, 0, 32, 0, &mut b0);
-        let n1 = w1.gen_lines(&p, 0, 32, 0, &mut b1);
+        let n0 = w0.gen(&p, 0, 0, &mut b0);
+        let n1 = w1.gen(&p, 0, 0, &mut b1);
         let s0: std::collections::HashSet<u64> = b0[..n0].iter().copied().collect();
         let mut overlap = b1[..n1].iter().any(|a| s0.contains(a));
         for _ in 0..4 {
-            let n = w0.gen_lines(&p, 0, 32, 0, &mut b0);
+            let n = w0.gen(&p, 0, 0, &mut b0);
             overlap |= b0[..n].iter().any(|a| b1[..n1].contains(a));
         }
         assert!(overlap, "stencil windows should overlap across warps/accesses");

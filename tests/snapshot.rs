@@ -426,3 +426,106 @@ fn golden_scenario_survives_snapshot_restore() {
     );
     assert_eq!(tracer2.records(), &golden[..]);
 }
+
+// ----------------------------------------------------------------------
+// SoA-layout codec round trips (DESIGN.md §18.5).
+// ----------------------------------------------------------------------
+
+/// Barrier-heavy kernels so mid-stream snapshots catch warps parked at
+/// barriers, TBs mid-transition, and partially consumed op bodies — the
+/// states that populate every `WarpTable` column and packed mask, and the
+/// `TbSlab` arena columns, with non-default values.
+fn barrier_descs(nk: usize, seed: u64) -> Vec<KernelDesc> {
+    (0..nk)
+        .map(|k| {
+            KernelDesc::builder(format!("soa{k}"))
+                .grid_tbs(6 + k as u32)
+                .threads_per_tb(64)
+                .iterations(4)
+                .seed(seed.wrapping_add(k as u64))
+                .body(vec![
+                    Op::mem_load(AccessPattern::tile(2048)),
+                    Op::Bar,
+                    Op::smem(),
+                    Op::alu(3 + k as u16, 6),
+                    Op::Bar,
+                    Op::alu(2, 3),
+                ])
+                .build()
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The struct-of-arrays warp table and TB slab round-trip bit-exactly
+    /// at arbitrary mid-stream states: snapshot, restore into a fresh
+    /// machine, snapshot again — the two blobs must be byte-identical
+    /// (decode is a perfect left-inverse of encode for every column and
+    /// packed mask), and the restored machine must continue to the same
+    /// record stream.
+    #[test]
+    fn warp_table_and_slab_reencode_identically_mid_stream(
+        nk in 1usize..4,
+        seed in 0u64..10_000,
+        split_epochs in 1u64..8,
+        extra_epochs in 1u64..4,
+        fast_forward in any::<bool>(),
+    ) {
+        let cfg = build_config(fast_forward, false, false, None);
+        let descs = barrier_descs(nk, seed);
+        let (mut gpu, _) = build_gpu(&cfg, &descs);
+        let mut tracer = Tracer::new(Ctrl::Null);
+        gpu.try_run(split_epochs * cfg.epoch_cycles, &mut tracer).expect("healthy");
+
+        let bytes = gpu.snapshot().expect("epoch-aligned").to_bytes();
+        let blob = SnapshotBlob::from_bytes(&bytes).expect("wire round-trip");
+        let (mut fresh, _) = build_gpu(&cfg, &descs);
+        fresh.restore(&blob).expect("same config");
+        let rebytes = fresh.snapshot().expect("still epoch-aligned").to_bytes();
+        prop_assert_eq!(&rebytes, &bytes, "re-encoded snapshot must be byte-identical");
+
+        // And the restored table drives the machine to the same stream.
+        let extra = extra_epochs * cfg.epoch_cycles;
+        let mut t1 = Tracer::new(Ctrl::Null);
+        let mut t2 = Tracer::new(Ctrl::Null);
+        gpu.try_run(extra, &mut t1).expect("healthy");
+        fresh.try_run(extra, &mut t2).expect("healthy");
+        prop_assert_eq!(
+            records_hash(t1.records()),
+            records_hash(t2.records()),
+            "continuation must be bit-identical"
+        );
+    }
+}
+
+/// Regression pin for the counter registry's enumeration order across the
+/// SoA refactor: the exact `(scope, name)` sequence is load-bearing — it
+/// fixes Perfetto/metrics export layout and the fold order behind
+/// determinism hashes — so it is compared verbatim against a committed
+/// golden list. Regenerate deliberately with
+/// `BLESS_COUNTER_ORDER=1 cargo test counter_registry_enumeration_order`.
+#[test]
+fn counter_registry_enumeration_order_is_pinned() {
+    let cfg = build_config(true, false, false, None);
+    let descs = barrier_descs(2, 7);
+    let (mut gpu, _) = build_gpu(&cfg, &descs);
+    let mut tracer = Tracer::new(Ctrl::Null);
+    gpu.try_run(2 * cfg.epoch_cycles, &mut tracer).expect("healthy");
+
+    let listing: String =
+        gpu.counter_registry().iter().map(|e| format!("{:?} {}\n", e.scope, e.name)).collect();
+    let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("tests/golden/counter_registry_order.txt");
+    if std::env::var_os("BLESS_COUNTER_ORDER").is_some() {
+        std::fs::write(&path, &listing).expect("write golden listing");
+        return;
+    }
+    let golden = std::fs::read_to_string(&path).expect("golden listing readable");
+    assert_eq!(
+        listing, golden,
+        "counter registry enumeration order changed; if intentional, \
+         regenerate with BLESS_COUNTER_ORDER=1"
+    );
+}
